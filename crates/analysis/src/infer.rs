@@ -1,0 +1,167 @@
+//! The top-level `infer_properties` entry point and structural helpers.
+
+use crate::predicates::*;
+use gmc_expr::{Expr, Property, PropertySet};
+
+/// Infers the full property set of an expression (paper Fig. 4, line 10).
+///
+/// Runs every property predicate and collects the results; the returned
+/// set is closed under implication. The cost is `O(p · |expr|)` where `p`
+/// is the number of properties and `|expr|` the tree size — independent
+/// of the matrix dimensions, which is the key advantage over
+/// inspect-the-entries approaches (paper Sec. 3.2).
+///
+/// # Example
+///
+/// ```
+/// use gmc_expr::{Operand, Property};
+/// use gmc_analysis::infer_properties;
+///
+/// let a = Operand::matrix("A", 20, 15);
+/// let props = infer_properties(&(a.transpose() * a.expr()));
+/// assert!(props.contains(Property::SymmetricPositiveDefinite));
+/// assert!(props.contains(Property::Symmetric));
+/// ```
+pub fn infer_properties(expr: &Expr) -> PropertySet {
+    let mut set = PropertySet::new();
+    if is_diagonal(expr) {
+        set.insert(Property::Diagonal);
+    }
+    if is_lower_triangular(expr) {
+        set.insert(Property::LowerTriangular);
+    }
+    if is_upper_triangular(expr) {
+        set.insert(Property::UpperTriangular);
+    }
+    if is_symmetric(expr) {
+        set.insert(Property::Symmetric);
+    }
+    if is_spd(expr) {
+        set.insert(Property::SymmetricPositiveDefinite);
+    }
+    if is_identity(expr) {
+        set.insert(Property::Identity);
+    }
+    if is_zero(expr) {
+        set.insert(Property::Zero);
+    }
+    if is_orthogonal(expr) {
+        set.insert(Property::Orthogonal);
+    }
+    if is_permutation(expr) {
+        set.insert(Property::Permutation);
+    }
+    if is_unit_diagonal(expr) {
+        set.insert(Property::UnitDiagonal);
+    }
+    if is_full_rank(expr) {
+        set.insert(Property::FullRank);
+    }
+    set
+}
+
+/// Canonical form used for structural symmetry checks: the expression is
+/// [normalized](Expr::normalized) (unary operators pushed to the leaves)
+/// and transposes of *symmetric* leaf operands are erased (`Sᵀ → S`,
+/// `S⁻ᵀ → S⁻¹`).
+///
+/// Two expressions with equal canonical forms denote the same matrix;
+/// in particular, `e` is symmetric iff `canonical_transpose(e) ==
+/// canonical_transpose(eᵀ)`. Returns `None` for ill-formed expressions.
+pub fn canonical_transpose(expr: &Expr) -> Option<Expr> {
+    let normalized = expr.normalized().ok()?;
+    Some(erase_symmetric_transposes(normalized))
+}
+
+fn erase_symmetric_transposes(e: Expr) -> Expr {
+    match e {
+        Expr::Symbol(_) => e,
+        Expr::Times(fs) => Expr::Times(fs.into_iter().map(erase_symmetric_transposes).collect()),
+        Expr::Plus(ts) => Expr::Plus(ts.into_iter().map(erase_symmetric_transposes).collect()),
+        Expr::Transpose(inner) => match *inner {
+            Expr::Symbol(ref op) if op.properties().contains(Property::Symmetric) => {
+                Expr::Symbol(op.clone())
+            }
+            other => Expr::Transpose(Box::new(erase_symmetric_transposes(other))),
+        },
+        Expr::InverseTranspose(inner) => match *inner {
+            Expr::Symbol(ref op) if op.properties().contains(Property::Symmetric) => {
+                Expr::Inverse(Box::new(Expr::Symbol(op.clone())))
+            }
+            other => Expr::InverseTranspose(Box::new(erase_symmetric_transposes(other))),
+        },
+        Expr::Inverse(inner) => Expr::Inverse(Box::new(erase_symmetric_transposes(*inner))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmc_expr::Operand;
+
+    #[test]
+    fn infer_collects_and_closes() {
+        let l = Operand::square("L", 5).with_property(Property::LowerTriangular);
+        let u = Operand::square("U", 5).with_property(Property::UpperTriangular);
+        // L Uᵀ: product of two lower triangular matrices.
+        let props = infer_properties(&(l.expr() * u.transpose()));
+        assert!(props.contains(Property::LowerTriangular));
+        assert!(!props.contains(Property::Diagonal));
+    }
+
+    #[test]
+    fn infer_diagonal_product_closure() {
+        let d1 = Operand::square("D1", 5).with_property(Property::Diagonal);
+        let d2 = Operand::square("D2", 5).with_property(Property::Diagonal);
+        let props = infer_properties(&(d1.expr() * d2.expr()));
+        assert!(props.contains(Property::Diagonal));
+        assert!(props.contains(Property::Symmetric)); // via closure
+        assert!(props.contains(Property::LowerTriangular));
+    }
+
+    #[test]
+    fn infer_gram_spd() {
+        let a = Operand::square("A", 20);
+        let props = infer_properties(&(a.transpose() * a.expr()));
+        assert!(props.contains(Property::SymmetricPositiveDefinite));
+        assert!(props.contains(Property::FullRank)); // closure from SPD
+    }
+
+    #[test]
+    fn canonical_form_erases_symmetric_transpose() {
+        let s = Operand::square("S", 5).with_property(Property::Symmetric);
+        let c = canonical_transpose(&s.transpose()).unwrap();
+        assert_eq!(c, s.expr());
+        let c = canonical_transpose(&s.inverse_transpose()).unwrap();
+        assert_eq!(c, Expr::inverse(s.expr()));
+    }
+
+    #[test]
+    fn canonical_form_distributes_transpose() {
+        let a = Operand::square("A", 5);
+        let b = Operand::square("B", 5);
+        let c = canonical_transpose(&Expr::transpose(a.expr() * b.expr())).unwrap();
+        assert_eq!(c.to_string(), "B^T A^T");
+    }
+
+    #[test]
+    fn canonical_form_rejects_ill_formed() {
+        let a = Operand::matrix("A", 2, 3);
+        let b = Operand::matrix("B", 2, 3);
+        assert!(canonical_transpose(&(a.expr() * b.expr())).is_none());
+    }
+
+    #[test]
+    fn infer_on_temporaries_is_compositional() {
+        // Simulate the GMC flow: T = AᵀA is inferred SPD, then T·B
+        // (T symbolic temp carrying SPD) keeps symmetric inference paths
+        // working through the temp's property set.
+        let a = Operand::square("A", 20);
+        let t_props = infer_properties(&(a.transpose() * a.expr()));
+        let t = Operand::temporary("T0", gmc_expr::Shape::square(20), t_props);
+        assert!(t.properties().contains(Property::SymmetricPositiveDefinite));
+        // Tᵀ is erased in canonical form because T is symmetric.
+        let c = canonical_transpose(&t.transpose()).unwrap();
+        assert_eq!(c, t.expr());
+    }
+}

@@ -1,0 +1,415 @@
+//! Shared machinery for building baseline programs: values, temporaries
+//! and the pairwise product/solve/inverse compilers.
+
+use gmc_codegen::{Instruction, Program};
+use gmc_expr::{Operand, Property, PropertySet, Shape};
+use gmc_kernels::{InvKind, KernelOp, Side, Uplo};
+
+/// A computed (or input) value flowing through a baseline evaluation:
+/// an operand plus a pending transpose. Libraries fold transposes into
+/// kernel flags instead of materializing them, and so do we.
+#[derive(Clone, Debug)]
+pub struct Value {
+    /// The operand holding the value.
+    pub operand: Operand,
+    /// Whether the value is used transposed.
+    pub trans: bool,
+}
+
+impl Value {
+    /// A plain value.
+    pub fn plain(operand: Operand) -> Self {
+        Value {
+            operand,
+            trans: false,
+        }
+    }
+
+    /// The effective shape (transpose applied).
+    pub fn shape(&self) -> Shape {
+        if self.trans {
+            self.operand.shape().transposed()
+        } else {
+            self.operand.shape()
+        }
+    }
+
+    fn has(&self, p: Property) -> bool {
+        self.operand.properties().contains(p)
+    }
+
+    fn is_col_vec(&self) -> bool {
+        self.shape().is_col_vector()
+    }
+}
+
+/// How a library computes an explicit inverse and a linear solve for an
+/// operand with declared properties.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveKind {
+    /// Triangular solve.
+    Trsm(Uplo),
+    /// Cholesky solve (SPD).
+    Posv,
+    /// Diagonal solve.
+    Dgsv,
+    /// LU solve.
+    Gesv,
+}
+
+/// Accumulates instructions and mints fresh temporaries.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    program: Program,
+    counter: usize,
+    prefix: &'static str,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder; temporaries are named `{prefix}{counter}`.
+    pub fn new(prefix: &'static str) -> Self {
+        ProgramBuilder {
+            program: Program::default(),
+            counter: 0,
+            prefix,
+        }
+    }
+
+    /// Emits an instruction computing `op` into a fresh temporary with
+    /// the given properties; returns the temporary as a [`Value`].
+    pub fn emit(&mut self, op: KernelOp, properties: PropertySet) -> Value {
+        let shape = op.result_shape();
+        let dest = Operand::temporary(
+            format!("{}{}", self.prefix, self.counter),
+            shape,
+            properties,
+        );
+        self.counter += 1;
+        self.program.push(Instruction::new(dest.clone(), op));
+        Value::plain(dest)
+    }
+
+    /// Finishes the build.
+    pub fn finish(self) -> Program {
+        self.program
+    }
+
+    /// Emits the pairwise product `l · r`, choosing the kernel the way a
+    /// library with declared ("typed") properties would: vector kernels
+    /// for vector shapes, then DGMM/TRMM/SYMM by the structured
+    /// operand's declared property, otherwise GEMM with transpose flags.
+    /// With `typed == false` (Matlab-style untyped values) everything
+    /// but the vector cases is a GEMM.
+    pub fn product(&mut self, l: &Value, r: &Value, typed: bool) -> Value {
+        let op = product_op(l, r, typed);
+        self.emit(op, PropertySet::new())
+    }
+
+    /// Emits the solve `a⁻¹·rhs` (left) or `rhs·a⁻¹` (right).
+    pub fn solve(
+        &mut self,
+        kind: SolveKind,
+        side: Side,
+        a: &Operand,
+        a_trans: bool,
+        rhs: &Value,
+    ) -> Value {
+        let op = match kind {
+            SolveKind::Trsm(uplo) => KernelOp::Trsm {
+                side,
+                uplo,
+                trans: a_trans,
+                tb: rhs.trans,
+                a: a.clone(),
+                b: rhs.operand.clone(),
+            },
+            SolveKind::Posv => KernelOp::Posv {
+                side,
+                tb: rhs.trans,
+                a: a.clone(),
+                b: rhs.operand.clone(),
+            },
+            SolveKind::Dgsv => KernelOp::Diag {
+                side,
+                inv: true,
+                tb: rhs.trans,
+                d: a.clone(),
+                b: rhs.operand.clone(),
+            },
+            SolveKind::Gesv => KernelOp::Gesv {
+                side,
+                trans: a_trans,
+                tb: rhs.trans,
+                a: a.clone(),
+                b: rhs.operand.clone(),
+            },
+        };
+        self.emit(op, PropertySet::new())
+    }
+
+    /// Emits an explicit inversion of `a`, computed according to `kind`.
+    /// The pending transpose stays on the returned [`Value`] (libraries
+    /// fuse it into the next product). When `preserve_structure` is set
+    /// (Julia's typed `inv`), triangularity/diagonality carries over to
+    /// the inverse.
+    pub fn invert(
+        &mut self,
+        kind: InvKind,
+        a: &Operand,
+        trans: bool,
+        preserve_structure: bool,
+    ) -> Value {
+        let op = KernelOp::Inv {
+            kind,
+            trans: false,
+            a: a.clone(),
+        };
+        let mut props = PropertySet::new();
+        if preserve_structure {
+            for p in [
+                Property::Diagonal,
+                Property::LowerTriangular,
+                Property::UpperTriangular,
+            ] {
+                if a.properties().contains(p) {
+                    props.insert(p);
+                }
+            }
+        }
+        let mut v = self.emit(op, props);
+        v.trans = trans;
+        v
+    }
+}
+
+/// The pairwise product kernel selection shared by all baselines.
+pub fn product_op(l: &Value, r: &Value, typed: bool) -> KernelOp {
+    // Vector-shaped cases first (all libraries have fast paths here).
+    let l_col = l.operand.shape().is_col_vector();
+    let r_col = r.operand.shape().is_col_vector();
+    if l_col && l.trans && r_col && !r.trans {
+        return KernelOp::Dot {
+            x: l.operand.clone(),
+            y: r.operand.clone(),
+        };
+    }
+    if l_col && !l.trans && r_col && r.trans {
+        return KernelOp::Ger {
+            x: l.operand.clone(),
+            y: r.operand.clone(),
+        };
+    }
+    if r.is_col_vec() && r_col && !l.operand.shape().is_vector() {
+        if typed {
+            if l.has(Property::Diagonal) {
+                return KernelOp::Diag {
+                    side: Side::Left,
+                    inv: false,
+                    tb: false,
+                    d: l.operand.clone(),
+                    b: r.operand.clone(),
+                };
+            }
+            if l.has(Property::LowerTriangular) {
+                return KernelOp::Trmv {
+                    uplo: Uplo::Lower,
+                    trans: l.trans,
+                    a: l.operand.clone(),
+                    x: r.operand.clone(),
+                };
+            }
+            if l.has(Property::UpperTriangular) {
+                return KernelOp::Trmv {
+                    uplo: Uplo::Upper,
+                    trans: l.trans,
+                    a: l.operand.clone(),
+                    x: r.operand.clone(),
+                };
+            }
+            if l.has(Property::Symmetric) {
+                return KernelOp::Symv {
+                    a: l.operand.clone(),
+                    x: r.operand.clone(),
+                };
+            }
+        }
+        return KernelOp::Gemv {
+            trans: l.trans,
+            a: l.operand.clone(),
+            x: r.operand.clone(),
+        };
+    }
+    if typed {
+        // Structured matrix-matrix products. BLAS TRMM/SYMM cannot
+        // transpose the general operand, so those cases fall through to
+        // GEMM, exactly as the libraries do.
+        if l.has(Property::Diagonal) && !l.operand.shape().is_vector() {
+            return KernelOp::Diag {
+                side: Side::Left,
+                inv: false,
+                tb: r.trans,
+                d: l.operand.clone(),
+                b: r.operand.clone(),
+            };
+        }
+        if r.has(Property::Diagonal) && !r.operand.shape().is_vector() {
+            return KernelOp::Diag {
+                side: Side::Right,
+                inv: false,
+                tb: l.trans,
+                d: r.operand.clone(),
+                b: l.operand.clone(),
+            };
+        }
+        if !r.trans {
+            if l.has(Property::LowerTriangular) {
+                return KernelOp::Trmm {
+                    side: Side::Left,
+                    uplo: Uplo::Lower,
+                    trans: l.trans,
+                    a: l.operand.clone(),
+                    b: r.operand.clone(),
+                };
+            }
+            if l.has(Property::UpperTriangular) {
+                return KernelOp::Trmm {
+                    side: Side::Left,
+                    uplo: Uplo::Upper,
+                    trans: l.trans,
+                    a: l.operand.clone(),
+                    b: r.operand.clone(),
+                };
+            }
+            if l.has(Property::Symmetric) {
+                return KernelOp::Symm {
+                    side: Side::Left,
+                    a: l.operand.clone(),
+                    b: r.operand.clone(),
+                };
+            }
+        }
+        if !l.trans {
+            if r.has(Property::LowerTriangular) {
+                return KernelOp::Trmm {
+                    side: Side::Right,
+                    uplo: Uplo::Lower,
+                    trans: r.trans,
+                    a: r.operand.clone(),
+                    b: l.operand.clone(),
+                };
+            }
+            if r.has(Property::UpperTriangular) {
+                return KernelOp::Trmm {
+                    side: Side::Right,
+                    uplo: Uplo::Upper,
+                    trans: r.trans,
+                    a: r.operand.clone(),
+                    b: l.operand.clone(),
+                };
+            }
+            if r.has(Property::Symmetric) {
+                return KernelOp::Symm {
+                    side: Side::Right,
+                    a: r.operand.clone(),
+                    b: l.operand.clone(),
+                };
+            }
+        }
+    }
+    KernelOp::Gemm {
+        ta: l.trans,
+        tb: r.trans,
+        a: l.operand.clone(),
+        b: r.operand.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmc_kernels::KernelFamily;
+
+    fn val(op: Operand) -> Value {
+        Value::plain(op)
+    }
+
+    #[test]
+    fn product_selects_structured_kernels_when_typed() {
+        let l = Operand::square("L", 8).with_property(Property::LowerTriangular);
+        let b = Operand::matrix("B", 8, 4);
+        let op = product_op(&val(l.clone()), &val(b.clone()), true);
+        assert_eq!(op.family(), KernelFamily::Trmm);
+        // Untyped: GEMM.
+        let op = product_op(&val(l), &val(b), false);
+        assert_eq!(op.family(), KernelFamily::Gemm);
+    }
+
+    #[test]
+    fn product_vector_cases() {
+        let a = Operand::matrix("A", 8, 4);
+        let x = Operand::col_vector("x", 4);
+        let op = product_op(&val(a), &val(x.clone()), true);
+        assert_eq!(op.family(), KernelFamily::Gemv);
+
+        let y = Operand::col_vector("y", 8);
+        let mut yt = val(y.clone());
+        yt.trans = true;
+        let op = product_op(&val(Operand::col_vector("x", 4)), &yt, true);
+        assert_eq!(op.family(), KernelFamily::Ger);
+
+        let mut xt = val(Operand::col_vector("x", 8));
+        xt.trans = true;
+        let op = product_op(&xt, &val(y), true);
+        assert_eq!(op.family(), KernelFamily::Dot);
+    }
+
+    #[test]
+    fn trmm_falls_back_to_gemm_on_transposed_general_operand() {
+        let l = Operand::square("L", 8).with_property(Property::LowerTriangular);
+        let b = Operand::matrix("B", 4, 8);
+        let mut bt = val(b);
+        bt.trans = true;
+        let op = product_op(&val(l), &bt, true);
+        assert_eq!(op.family(), KernelFamily::Gemm);
+    }
+
+    #[test]
+    fn builder_mints_fresh_temps() {
+        let mut pb = ProgramBuilder::new("S");
+        let a = Operand::matrix("A", 3, 4);
+        let b = Operand::matrix("B", 4, 5);
+        let t = pb.product(&val(a), &val(b), true);
+        assert_eq!(t.operand.name(), "S0");
+        assert_eq!(t.shape(), Shape::new(3, 5));
+        let c = Operand::matrix("C", 5, 2);
+        let t2 = pb.product(&t, &val(c), true);
+        assert_eq!(t2.operand.name(), "S1");
+        let program = pb.finish();
+        assert_eq!(program.len(), 2);
+        assert!(program.validate().is_ok());
+    }
+
+    #[test]
+    fn invert_preserves_structure_when_asked() {
+        let mut pb = ProgramBuilder::new("S");
+        let l = Operand::square("L", 8).with_property(Property::LowerTriangular);
+        let v = pb.invert(InvKind::Triangular(Uplo::Lower), &l, false, true);
+        assert!(v.operand.properties().contains(Property::LowerTriangular));
+        let v = pb.invert(InvKind::Triangular(Uplo::Lower), &l, false, false);
+        assert!(v.operand.properties().is_empty());
+    }
+
+    #[test]
+    fn solve_kinds_produce_expected_ops() {
+        let mut pb = ProgramBuilder::new("S");
+        let a = Operand::square("A", 6).with_property(Property::SymmetricPositiveDefinite);
+        let b = Operand::matrix("B", 6, 3);
+        let v = pb.solve(SolveKind::Posv, Side::Left, &a, false, &val(b.clone()));
+        assert_eq!(v.shape(), Shape::new(6, 3));
+        let program = pb.finish();
+        assert_eq!(
+            program.instructions()[0].op().family(),
+            KernelFamily::Posv
+        );
+    }
+}

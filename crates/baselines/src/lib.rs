@@ -1,0 +1,44 @@
+//! Evaluation-strategy simulators for the libraries and languages the
+//! GMC paper compares against (Sec. 4): Julia, Matlab, Eigen, Blaze and
+//! Armadillo, each in *naive* (`inv(A)*B`) and — where the library
+//! offers solvers — *recommended* (`A\B`) form.
+//!
+//! Rather than linking the real libraries, each [`Strategy`] reimplements
+//! the library's documented evaluation semantics (association order,
+//! inverse handling, property-driven kernel dispatch) and compiles the
+//! chain to a [`gmc_codegen::Program`] over the same kernel vocabulary
+//! as the GMC optimizer. All ten implementations (GMC + 9 baselines)
+//! therefore execute on one substrate, which preserves exactly the
+//! effects the paper measures: parenthesization quality and kernel
+//! specialization.
+//!
+//! # Example
+//!
+//! ```
+//! use gmc_baselines::{Strategy, JULIA_NAIVE, JULIA_RECOMMENDED};
+//! use gmc_expr::{Chain, Operand, Property};
+//!
+//! # fn main() -> Result<(), gmc_expr::ExprError> {
+//! let a = Operand::square("A", 100).with_property(Property::SymmetricPositiveDefinite);
+//! let b = Operand::matrix("B", 100, 20);
+//! let chain = Chain::from_expr(&(a.inverse() * b.expr()))?;
+//!
+//! let naive = JULIA_NAIVE.compile(&chain);       // inv(A) * B
+//! let recommended = JULIA_RECOMMENDED.compile(&chain); // A \ B
+//! assert!(naive.flops() > recommended.flops());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod strategies;
+
+pub use builder::{product_op, ProgramBuilder, SolveKind, Value};
+pub use strategies::{
+    all_strategies, Inverses, Order, Profile, Strategy, ARMADILLO_NAIVE, ARMADILLO_RECOMMENDED,
+    BLAZE_NAIVE, EIGEN_NAIVE, EIGEN_RECOMMENDED, JULIA_NAIVE, JULIA_RECOMMENDED, MATLAB_NAIVE,
+    MATLAB_RECOMMENDED,
+};

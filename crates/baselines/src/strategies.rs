@@ -1,0 +1,829 @@
+//! The nine competitor strategies of the paper's evaluation (Sec. 4).
+//!
+//! Each strategy simulates how a library/language evaluates a matrix
+//! chain: its association order, its handling of the inverse operator
+//! (explicit `inv()` for the *naive* variants, linear solves for the
+//! *recommended* ones), and how declared operand properties influence
+//! kernel selection. All strategies compile a [`Chain`] to a
+//! [`Program`] over the same kernel vocabulary as the GMC optimizer, so
+//! their generated code runs on the same substrate.
+
+use crate::builder::{ProgramBuilder, SolveKind, Value};
+use gmc_codegen::Program;
+use gmc_expr::{Chain, Operand, Property};
+use gmc_kernels::{InvKind, Side, Uplo};
+
+/// A chain evaluation strategy (one of the paper's baselines).
+pub trait Strategy: Sync {
+    /// The paper's figure label, e.g. `"Jl n"`.
+    fn label(&self) -> &'static str;
+
+    /// A stable identifier, e.g. `"julia_naive"`.
+    fn id(&self) -> &'static str;
+
+    /// Compiles a chain into a kernel program according to the
+    /// library's evaluation semantics.
+    fn compile(&self, chain: &Chain) -> Program;
+}
+
+/// Association order of a library's chain evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Order {
+    /// Strict left-to-right folding (Julia, Matlab, Eigen — paper
+    /// Sec. 1.2).
+    LeftToRight,
+    /// Left-to-right, except that a trailing matrix-vector cascade is
+    /// evaluated right-to-left (`A·B·v = A(Bv)`, Blaze — paper Sec. 4).
+    BlazeVector,
+    /// Armadillo's chain heuristic: chains of length ≤ 4 compare
+    /// intermediate sizes; longer chains are broken into ≤4-term chunks
+    /// from the left, following C++'s left-associative expression
+    /// templates (paper Sec. 4).
+    Armadillo,
+}
+
+/// How the inverse operator is realized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Inverses {
+    /// `inv(A)` — explicit inversion, then ordinary products (the
+    /// *naive* implementations).
+    Explicit,
+    /// `A \ B`-style linear solves (the *recommended* implementations).
+    Solve,
+}
+
+/// A library profile: everything that distinguishes one baseline from
+/// another.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    label: &'static str,
+    id: &'static str,
+    order: Order,
+    inverses: Inverses,
+    /// Whether declared properties drive kernel selection for products
+    /// (types/views/adaptors). Matlab has no such mechanism.
+    typed_products: bool,
+    /// Whether explicit inverses keep triangular/diagonal structure
+    /// (Julia's typed `inv`).
+    preserves_inverse_structure: bool,
+    inv_kind: fn(&Operand) -> InvKind,
+    solve_kind: fn(&Operand) -> SolveKind,
+}
+
+fn tri_uplo(op: &Operand) -> Option<Uplo> {
+    if op.properties().contains(Property::LowerTriangular) {
+        Some(Uplo::Lower)
+    } else if op.properties().contains(Property::UpperTriangular) {
+        Some(Uplo::Upper)
+    } else {
+        None
+    }
+}
+
+// --- per-library explicit-inverse specialization -----------------------
+
+fn inv_untyped(_: &Operand) -> InvKind {
+    InvKind::General
+}
+
+fn inv_julia(op: &Operand) -> InvKind {
+    if op.properties().contains(Property::Diagonal) {
+        InvKind::Diagonal
+    } else if let Some(u) = tri_uplo(op) {
+        InvKind::Triangular(u)
+    } else {
+        InvKind::General
+    }
+}
+
+fn inv_armadillo(op: &Operand) -> InvKind {
+    if op.properties().contains(Property::Diagonal) {
+        InvKind::Diagonal
+    } else if op
+        .properties()
+        .contains(Property::SymmetricPositiveDefinite)
+    {
+        // arma::inv_sympd.
+        InvKind::Spd
+    } else if let Some(u) = tri_uplo(op) {
+        // trimatl/trimatu views.
+        InvKind::Triangular(u)
+    } else {
+        InvKind::General
+    }
+}
+
+fn inv_eigen(op: &Operand) -> InvKind {
+    if op.properties().contains(Property::Diagonal) {
+        InvKind::Diagonal
+    } else {
+        // A.inverse() — general, regardless of other structure.
+        InvKind::General
+    }
+}
+
+fn inv_blaze(op: &Operand) -> InvKind {
+    if op.properties().contains(Property::Diagonal) {
+        InvKind::Diagonal
+    } else if let Some(u) = tri_uplo(op) {
+        InvKind::Triangular(u)
+    } else {
+        InvKind::General
+    }
+}
+
+// --- per-library solve specialization -----------------------------------
+
+fn solve_julia(op: &Operand) -> SolveKind {
+    if op.properties().contains(Property::Diagonal) {
+        SolveKind::Dgsv
+    } else if let Some(u) = tri_uplo(op) {
+        SolveKind::Trsm(u)
+    } else {
+        // `\` on a dense (or Symmetric-typed) matrix: LU-class solve.
+        SolveKind::Gesv
+    }
+}
+
+fn solve_matlab(op: &Operand) -> SolveKind {
+    // mldivide inspects the matrix at runtime: triangular → back
+    // substitution, Hermitian positive definite → Cholesky, else LU.
+    if op.properties().contains(Property::Diagonal) {
+        SolveKind::Dgsv
+    } else if let Some(u) = tri_uplo(op) {
+        SolveKind::Trsm(u)
+    } else if op
+        .properties()
+        .contains(Property::SymmetricPositiveDefinite)
+    {
+        SolveKind::Posv
+    } else {
+        SolveKind::Gesv
+    }
+}
+
+fn solve_eigen(op: &Operand) -> SolveKind {
+    // llt().solve for SPD, triangularView solve, partialPivLu otherwise.
+    if op.properties().contains(Property::Diagonal) {
+        SolveKind::Dgsv
+    } else if let Some(u) = tri_uplo(op) {
+        SolveKind::Trsm(u)
+    } else if op
+        .properties()
+        .contains(Property::SymmetricPositiveDefinite)
+    {
+        SolveKind::Posv
+    } else {
+        SolveKind::Gesv
+    }
+}
+
+fn solve_armadillo(op: &Operand) -> SolveKind {
+    // arma::solve with solve_opts::fast: triangular detection via
+    // trimatl/trimatu, otherwise LU (no automatic Cholesky).
+    if op.properties().contains(Property::Diagonal) {
+        SolveKind::Dgsv
+    } else if let Some(u) = tri_uplo(op) {
+        SolveKind::Trsm(u)
+    } else {
+        SolveKind::Gesv
+    }
+}
+
+// --- the nine baselines --------------------------------------------------
+
+/// `Jl n` — Julia, naive: left-to-right, `inv()` (typed, so triangular
+/// and diagonal inverses stay structured).
+pub static JULIA_NAIVE: Profile = Profile {
+    label: "Jl n",
+    id: "julia_naive",
+    order: Order::LeftToRight,
+    inverses: Inverses::Explicit,
+    typed_products: true,
+    preserves_inverse_structure: true,
+    inv_kind: inv_julia,
+    solve_kind: solve_julia,
+};
+
+/// `Jl r` — Julia, recommended: left-to-right with `\` and `/`.
+pub static JULIA_RECOMMENDED: Profile = Profile {
+    label: "Jl r",
+    id: "julia_recommended",
+    order: Order::LeftToRight,
+    inverses: Inverses::Solve,
+    typed_products: true,
+    preserves_inverse_structure: true,
+    inv_kind: inv_julia,
+    solve_kind: solve_julia,
+};
+
+/// `Arma n` — Armadillo, naive: chain heuristic, specialized `inv`.
+pub static ARMADILLO_NAIVE: Profile = Profile {
+    label: "Arma n",
+    id: "armadillo_naive",
+    order: Order::Armadillo,
+    inverses: Inverses::Explicit,
+    typed_products: true,
+    preserves_inverse_structure: false,
+    inv_kind: inv_armadillo,
+    solve_kind: solve_armadillo,
+};
+
+/// `Arma r` — Armadillo, recommended: `arma::solve` with the fast
+/// option, chain heuristic for the products.
+pub static ARMADILLO_RECOMMENDED: Profile = Profile {
+    label: "Arma r",
+    id: "armadillo_recommended",
+    order: Order::Armadillo,
+    inverses: Inverses::Solve,
+    typed_products: true,
+    preserves_inverse_structure: false,
+    inv_kind: inv_armadillo,
+    solve_kind: solve_armadillo,
+};
+
+/// `Eig n` — Eigen, naive: left-to-right, `.inverse()`.
+pub static EIGEN_NAIVE: Profile = Profile {
+    label: "Eig n",
+    id: "eigen_naive",
+    order: Order::LeftToRight,
+    inverses: Inverses::Explicit,
+    typed_products: true,
+    preserves_inverse_structure: false,
+    inv_kind: inv_eigen,
+    solve_kind: solve_eigen,
+};
+
+/// `Eig r` — Eigen, recommended: decomposition `.solve()` methods and
+/// views.
+pub static EIGEN_RECOMMENDED: Profile = Profile {
+    label: "Eig r",
+    id: "eigen_recommended",
+    order: Order::LeftToRight,
+    inverses: Inverses::Solve,
+    typed_products: true,
+    preserves_inverse_structure: false,
+    inv_kind: inv_eigen,
+    solve_kind: solve_eigen,
+};
+
+/// `Bl n` — Blaze, naive (Blaze offers no solver, so there is no
+/// recommended variant — paper Sec. 4): adaptors for products, the
+/// `A(Bv)` rule for matrix-vector chains, `blaze::inv`.
+pub static BLAZE_NAIVE: Profile = Profile {
+    label: "Bl n",
+    id: "blaze_naive",
+    order: Order::BlazeVector,
+    inverses: Inverses::Explicit,
+    typed_products: true,
+    preserves_inverse_structure: false,
+    inv_kind: inv_blaze,
+    solve_kind: solve_julia,
+};
+
+/// `Mat n` — Matlab, naive: left-to-right, `inv()`, untyped products.
+pub static MATLAB_NAIVE: Profile = Profile {
+    label: "Mat n",
+    id: "matlab_naive",
+    order: Order::LeftToRight,
+    inverses: Inverses::Explicit,
+    typed_products: false,
+    preserves_inverse_structure: false,
+    inv_kind: inv_untyped,
+    solve_kind: solve_matlab,
+};
+
+/// `Mat r` — Matlab, recommended: `\` and `/` with runtime structure
+/// detection, untyped products.
+pub static MATLAB_RECOMMENDED: Profile = Profile {
+    label: "Mat r",
+    id: "matlab_recommended",
+    order: Order::LeftToRight,
+    inverses: Inverses::Solve,
+    typed_products: false,
+    preserves_inverse_structure: false,
+    inv_kind: inv_untyped,
+    solve_kind: solve_matlab,
+};
+
+/// All nine baselines, in the paper's Fig. 8 order.
+pub fn all_strategies() -> Vec<&'static Profile> {
+    vec![
+        &JULIA_NAIVE,
+        &JULIA_RECOMMENDED,
+        &ARMADILLO_NAIVE,
+        &ARMADILLO_RECOMMENDED,
+        &EIGEN_NAIVE,
+        &EIGEN_RECOMMENDED,
+        &BLAZE_NAIVE,
+        &MATLAB_NAIVE,
+        &MATLAB_RECOMMENDED,
+    ]
+}
+
+impl Strategy for Profile {
+    fn label(&self) -> &'static str {
+        self.label
+    }
+
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn compile(&self, chain: &Chain) -> Program {
+        let mut pb = ProgramBuilder::new("S");
+        let result = match self.inverses {
+            Inverses::Explicit => {
+                let values: Vec<Value> = chain
+                    .factors()
+                    .iter()
+                    .map(|f| {
+                        if f.op().is_inverted() {
+                            pb.invert(
+                                (self.inv_kind)(f.operand()),
+                                f.operand(),
+                                f.op().is_transposed(),
+                                self.preserves_inverse_structure,
+                            )
+                        } else {
+                            Value {
+                                operand: f.operand().clone(),
+                                trans: f.op().is_transposed(),
+                            }
+                        }
+                    })
+                    .collect();
+                self.associate(&values, &mut pb)
+            }
+            Inverses::Solve => self.fold_with_solves(chain, &mut pb),
+        };
+        // A chain of plain inputs with no product (cannot happen for
+        // well-formed chains of length ≥ 2) would leave an input as the
+        // result; chains always emit at least one instruction.
+        debug_assert!(result.operand.kind() == gmc_expr::OperandKind::Temporary);
+        pb.finish()
+    }
+}
+
+impl Profile {
+    /// Multiplies a slice of (explicitly materialized) values according
+    /// to the library's association order.
+    fn associate(&self, values: &[Value], pb: &mut ProgramBuilder) -> Value {
+        match self.order {
+            Order::LeftToRight => {
+                let mut acc = values[0].clone();
+                for v in &values[1..] {
+                    acc = pb.product(&acc, v, self.typed_products);
+                }
+                acc
+            }
+            Order::BlazeVector => {
+                // Find the first column-vector value: everything up to
+                // it is a matrix-vector cascade evaluated right-to-left.
+                match values.iter().position(|v| v.shape().is_col_vector()) {
+                    Some(k) if k > 0 => {
+                        let mut acc = values[k].clone();
+                        for v in values[..k].iter().rev() {
+                            acc = pb.product(v, &acc, self.typed_products);
+                        }
+                        for v in &values[k + 1..] {
+                            acc = pb.product(&acc, v, self.typed_products);
+                        }
+                        acc
+                    }
+                    _ => {
+                        let mut acc = values[0].clone();
+                        for v in &values[1..] {
+                            acc = pb.product(&acc, v, self.typed_products);
+                        }
+                        acc
+                    }
+                }
+            }
+            Order::Armadillo => self.arma_chain(values, pb),
+        }
+    }
+
+    /// Armadillo's deterministic chunking for chains longer than four:
+    /// C++ `*` is left-associative and each `glue_times` node flattens
+    /// at most four terms, so the *leading* four operands are evaluated
+    /// with the 4-term heuristic, the result joins the next ≤3 operands,
+    /// and so on.
+    fn arma_chain(&self, values: &[Value], pb: &mut ProgramBuilder) -> Value {
+        if values.len() <= 4 {
+            return self.arma_upto4(values, pb);
+        }
+        let mut acc = self.arma_upto4(&values[..4], pb);
+        let mut idx = 4;
+        while idx < values.len() {
+            let take = (values.len() - idx).min(3);
+            let mut chunk = Vec::with_capacity(take + 1);
+            chunk.push(acc);
+            chunk.extend(values[idx..idx + take].iter().cloned());
+            acc = self.arma_upto4(&chunk, pb);
+            idx += take;
+        }
+        acc
+    }
+
+    fn arma_upto4(&self, values: &[Value], pb: &mut ProgramBuilder) -> Value {
+        match values {
+            [a] => a.clone(),
+            [a, b] => pb.product(a, b, self.typed_products),
+            [a, b, c] => self.arma3(a, b, c, pb),
+            [a, b, c, d] => {
+                // (ABC)D if size(ABC) ≤ size(BCD), else A(BCD).
+                let abc = a.shape().rows() * c.shape().cols();
+                let bcd = b.shape().rows() * d.shape().cols();
+                if abc <= bcd {
+                    let t = self.arma3(a, b, c, pb);
+                    pb.product(&t, d, self.typed_products)
+                } else {
+                    let t = self.arma3(b, c, d, pb);
+                    pb.product(a, &t, self.typed_products)
+                }
+            }
+            _ => unreachable!("arma_upto4 called with 1..=4 values"),
+        }
+    }
+
+    fn arma3(&self, a: &Value, b: &Value, c: &Value, pb: &mut ProgramBuilder) -> Value {
+        // (AB)C if size(AB) ≤ size(BC), else A(BC).
+        let ab = a.shape().rows() * b.shape().cols();
+        let bc = b.shape().rows() * c.shape().cols();
+        if ab <= bc {
+            let t = pb.product(a, b, self.typed_products);
+            pb.product(&t, c, self.typed_products)
+        } else {
+            let t = pb.product(b, c, self.typed_products);
+            pb.product(a, &t, self.typed_products)
+        }
+    }
+
+    /// The *recommended* evaluation: a left-to-right walk where inverted
+    /// factors become solves. Leading inverses accumulate and apply
+    /// right-to-left once the first plain value arrives (`A⁻¹B⁻¹C` is
+    /// written `A\(B\C)`); later inverses are right-solves (`T/A`).
+    ///
+    /// For the Armadillo order, each inverse is first fused with its
+    /// following factor as `solve(A, B)` (that is how users write it),
+    /// and the chain heuristic then runs over the reduced value list.
+    fn fold_with_solves(&self, chain: &Chain, pb: &mut ProgramBuilder) -> Value {
+        // Turn factors into a work list.
+        #[derive(Clone)]
+        enum Item {
+            Val(Value),
+            Inv(Operand, bool), // operand, transposed
+        }
+        let mut items: Vec<Item> = chain
+            .factors()
+            .iter()
+            .map(|f| {
+                if f.op().is_inverted() {
+                    Item::Inv(f.operand().clone(), f.op().is_transposed())
+                } else {
+                    Item::Val(Value {
+                        operand: f.operand().clone(),
+                        trans: f.op().is_transposed(),
+                    })
+                }
+            })
+            .collect();
+
+        if self.order == Order::Armadillo {
+            // Fuse each inverse with its following value: solve(A, B).
+            // Right-to-left so that A⁻¹B⁻¹C fuses into solve(A, solve(B, C)).
+            let mut i = items.len();
+            while i > 1 {
+                i -= 1;
+                if let (Item::Inv(a, t), Item::Val(v)) = (items[i - 1].clone(), items[i].clone()) {
+                    let s = pb.solve((self.solve_kind)(&a), Side::Left, &a, t, &v);
+                    items[i - 1] = Item::Val(s);
+                    items.remove(i);
+                }
+            }
+            // Trailing inverses (…·A⁻¹) have no following factor; users
+            // fall back to an explicit inverse there.
+            let values: Vec<Value> = items
+                .into_iter()
+                .map(|item| match item {
+                    Item::Val(v) => v,
+                    Item::Inv(a, t) => {
+                        pb.invert((self.inv_kind)(&a), &a, t, self.preserves_inverse_structure)
+                    }
+                })
+                .collect();
+            return self.associate(&values, pb);
+        }
+
+        // Left-to-right with pending leading solves.
+        let mut pending: Vec<(Operand, bool)> = Vec::new();
+        let mut acc: Option<Value> = None;
+        for item in items {
+            match item {
+                Item::Inv(a, t) => match acc.take() {
+                    // Mid-chain inverse: T := T · A⁻¹ (a right solve,
+                    // `T / A`).
+                    Some(v) => {
+                        let s = pb.solve((self.solve_kind)(&a), Side::Right, &a, t, &v);
+                        acc = Some(s);
+                    }
+                    // Leading inverse: postponed until a value arrives.
+                    None => pending.push((a, t)),
+                },
+                Item::Val(v) => {
+                    let mut cur = match acc.take() {
+                        Some(prev) => pb.product(&prev, &v, self.typed_products),
+                        None => v,
+                    };
+                    // Drain pending solves right-to-left: A\(B\cur).
+                    while let Some((a, t)) = pending.pop() {
+                        cur = pb.solve((self.solve_kind)(&a), Side::Left, &a, t, &cur);
+                    }
+                    acc = Some(cur);
+                }
+            }
+        }
+        match acc {
+            Some(v) if pending.is_empty() => v,
+            _ => {
+                // The chain consists entirely of inverses: invert the
+                // innermost explicitly and solve outwards.
+                let (a, t) = pending.pop().expect("non-empty chain");
+                let mut cur =
+                    pb.invert((self.inv_kind)(&a), &a, t, self.preserves_inverse_structure);
+                while let Some((a, t)) = pending.pop() {
+                    cur = pb.solve((self.solve_kind)(&a), Side::Left, &a, t, &cur);
+                }
+                cur
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmc_expr::{Factor, Operand};
+    use gmc_kernels::KernelFamily;
+
+    fn table2_chain() -> Chain {
+        let a = Operand::square("A", 100).with_property(Property::SymmetricPositiveDefinite);
+        let b = Operand::matrix("B", 100, 40);
+        let c = Operand::square("C", 40).with_property(Property::LowerTriangular);
+        Chain::new(vec![
+            Factor::inverted(a),
+            Factor::plain(b),
+            Factor::transposed(c),
+        ])
+        .unwrap()
+    }
+
+    fn families(p: &Program) -> Vec<KernelFamily> {
+        p.instructions().iter().map(|i| i.op().family()).collect()
+    }
+
+    use gmc_codegen::Program;
+
+    #[test]
+    fn julia_naive_inverts_then_multiplies() {
+        let p = JULIA_NAIVE.compile(&table2_chain());
+        let f = families(&p);
+        // inv(A), then (invA * B), then (… * C').
+        assert_eq!(f[0], KernelFamily::Inv);
+        assert_eq!(f.len(), 3);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn julia_recommended_solves() {
+        let p = JULIA_RECOMMENDED.compile(&table2_chain());
+        let f = families(&p);
+        // (A\B) — Julia's `\` on a dense SPD matrix is LU-class — then
+        // a TRMM with C'.
+        assert_eq!(f, vec![KernelFamily::Gesv, KernelFamily::Trmm]);
+    }
+
+    #[test]
+    fn matlab_recommended_detects_spd() {
+        let p = MATLAB_RECOMMENDED.compile(&table2_chain());
+        let f = families(&p);
+        // mldivide detects positive definiteness: Cholesky solve; the
+        // product stays a GEMM (no types in Matlab).
+        assert_eq!(f, vec![KernelFamily::Posv, KernelFamily::Gemm]);
+    }
+
+    #[test]
+    fn matlab_naive_is_all_general(){
+        let p = MATLAB_NAIVE.compile(&table2_chain());
+        let f = families(&p);
+        assert_eq!(f, vec![KernelFamily::Inv, KernelFamily::Gemm, KernelFamily::Gemm]);
+        // The explicit inverse is a *general* inverse despite A being SPD.
+        match p.instructions()[0].op() {
+            gmc_kernels::KernelOp::Inv { kind, .. } => {
+                assert_eq!(*kind, InvKind::General)
+            }
+            other => panic!("expected Inv, got {other}"),
+        }
+    }
+
+    #[test]
+    fn armadillo_naive_uses_inv_sympd() {
+        let p = ARMADILLO_NAIVE.compile(&table2_chain());
+        match p.instructions()[0].op() {
+            gmc_kernels::KernelOp::Inv { kind, .. } => assert_eq!(*kind, InvKind::Spd),
+            other => panic!("expected Inv, got {other}"),
+        }
+    }
+
+    #[test]
+    fn armadillo_recommended_matches_paper_table2() {
+        // arma::solve(A, B) * C.t()
+        let p = ARMADILLO_RECOMMENDED.compile(&table2_chain());
+        let f = families(&p);
+        assert_eq!(f, vec![KernelFamily::Gesv, KernelFamily::Trmm]);
+    }
+
+    #[test]
+    fn blaze_vector_rule() {
+        // A B v: Blaze computes A(Bv).
+        let a = Operand::matrix("A", 50, 60);
+        let b = Operand::matrix("B", 60, 70);
+        let v = Operand::col_vector("v", 70);
+        let chain = Chain::new(vec![
+            Factor::plain(a),
+            Factor::plain(b),
+            Factor::plain(v),
+        ])
+        .unwrap();
+        let p = BLAZE_NAIVE.compile(&chain);
+        let f = families(&p);
+        assert_eq!(f, vec![KernelFamily::Gemv, KernelFamily::Gemv]);
+        // Julia (left-to-right) instead computes (AB)v.
+        let p = JULIA_NAIVE.compile(&chain);
+        let f = families(&p);
+        assert_eq!(f, vec![KernelFamily::Gemm, KernelFamily::Gemv]);
+    }
+
+    #[test]
+    fn armadillo_heuristic_length_3() {
+        // Sizes chosen so (AB)C is smaller: A 10x10, B 10x10, C 10x1000.
+        // size(AB) = 100 ≤ size(BC) = 10000 → (AB)C.
+        let a = Operand::matrix("A", 10, 10);
+        let b = Operand::matrix("B", 10, 10);
+        let c = Operand::matrix("C", 10, 1000);
+        let chain = Chain::new(vec![
+            Factor::plain(a.clone()),
+            Factor::plain(b.clone()),
+            Factor::plain(c.clone()),
+        ])
+        .unwrap();
+        let p = ARMADILLO_NAIVE.compile(&chain);
+        // First product must be A·B (10x10 operands).
+        match p.instructions()[0].op() {
+            gmc_kernels::KernelOp::Gemm { a, b, .. } => {
+                assert_eq!(a.name(), "A");
+                assert_eq!(b.name(), "B");
+            }
+            other => panic!("unexpected {other}"),
+        }
+
+        // Reversed: A 1000x10, B 10x10, C 10x10 → size(AB) = 10000 >
+        // size(BC) = 100 → A(BC).
+        let a = Operand::matrix("A", 1000, 10);
+        let b = Operand::matrix("B", 10, 10);
+        let c = Operand::matrix("C", 10, 10);
+        let chain = Chain::new(vec![
+            Factor::plain(a),
+            Factor::plain(b.clone()),
+            Factor::plain(c.clone()),
+        ])
+        .unwrap();
+        let p = ARMADILLO_NAIVE.compile(&chain);
+        match p.instructions()[0].op() {
+            gmc_kernels::KernelOp::Gemm { a, b, .. } => {
+                assert_eq!(a.name(), "B");
+                assert_eq!(b.name(), "C");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn armadillo_cannot_find_ab_cd() {
+        // Sizes where (AB)(CD) is optimal: 100x1 · 1x100 · 100x1 · 1x100.
+        // Optimal: (AB)(CD) — two rank-1 products then 100x100 × 100x100?
+        // That is expensive; the truly optimal split is A((BC)D)… the
+        // point here is only that Armadillo never produces the split
+        // (AB)(CD): its first product always involves an original
+        // operand pair adjacent in the reduced chain, and every later
+        // product includes the accumulated temporary.
+        let a = Operand::matrix("A", 30, 10);
+        let b = Operand::matrix("B", 10, 40);
+        let c = Operand::matrix("C", 40, 10);
+        let d = Operand::matrix("D", 10, 35);
+        let chain = Chain::new(vec![
+            Factor::plain(a),
+            Factor::plain(b),
+            Factor::plain(c),
+            Factor::plain(d),
+        ])
+        .unwrap();
+        let p = ARMADILLO_NAIVE.compile(&chain);
+        assert_eq!(p.len(), 3);
+        // (AB)(CD) would require an instruction whose two arguments are
+        // both temporaries; Armadillo's heuristic never does that.
+        for instr in p.instructions() {
+            let args = instr.op().operands();
+            let both_temps = args
+                .iter()
+                .all(|o| o.kind() == gmc_expr::OperandKind::Temporary);
+            assert!(!both_temps, "Armadillo produced (AB)(CD)-style split");
+        }
+    }
+
+    #[test]
+    fn armadillo_long_chain_chunks_from_left() {
+        // Six same-size square matrices: the chunking is
+        // h4(M0..M3), then h4(T, M4, M5).
+        let ops: Vec<Operand> = (0..6).map(|i| Operand::square(format!("M{i}"), 8)).collect();
+        let chain = Chain::new(ops.into_iter().map(Factor::plain).collect()).unwrap();
+        let p = ARMADILLO_NAIVE.compile(&chain);
+        assert_eq!(p.len(), 5);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn leading_inverse_stack() {
+        // A⁻¹ B⁻¹ C → gesv(B, C) then gesv(A, ·) for Julia recommended.
+        let a = Operand::square("A", 10);
+        let b = Operand::square("B", 10);
+        let c = Operand::matrix("C", 10, 4);
+        let chain = Chain::new(vec![
+            Factor::inverted(a),
+            Factor::inverted(b),
+            Factor::plain(c),
+        ])
+        .unwrap();
+        let p = JULIA_RECOMMENDED.compile(&chain);
+        let f = families(&p);
+        assert_eq!(f, vec![KernelFamily::Gesv, KernelFamily::Gesv]);
+        match p.instructions()[0].op() {
+            gmc_kernels::KernelOp::Gesv { a, .. } => assert_eq!(a.name(), "B"),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn mid_chain_inverse_right_solve() {
+        // B A⁻¹ C for Julia recommended: (B/A)·C.
+        let a = Operand::square("A", 10);
+        let b = Operand::matrix("B", 4, 10);
+        let c = Operand::matrix("C", 10, 6);
+        let chain = Chain::new(vec![
+            Factor::plain(b),
+            Factor::inverted(a),
+            Factor::plain(c),
+        ])
+        .unwrap();
+        let p = JULIA_RECOMMENDED.compile(&chain);
+        let f = families(&p);
+        assert_eq!(f, vec![KernelFamily::Gesv, KernelFamily::Gemm]);
+        match p.instructions()[0].op() {
+            gmc_kernels::KernelOp::Gesv { side, .. } => {
+                assert_eq!(*side, Side::Right)
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn all_inverse_chain() {
+        // A⁻¹ B⁻¹: recommended falls back to inv(B) then A\·.
+        let a = Operand::square("A", 10);
+        let b = Operand::square("B", 10);
+        let chain = Chain::new(vec![Factor::inverted(a), Factor::inverted(b)]).unwrap();
+        for s in all_strategies() {
+            let p = s.compile(&chain);
+            assert!(p.validate().is_ok(), "{} produced invalid program", s.id());
+            assert!(!p.is_empty());
+        }
+    }
+
+    #[test]
+    fn all_strategies_have_distinct_ids() {
+        let ids: Vec<_> = all_strategies().iter().map(|s| s.id()).collect();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        assert_eq!(ids.len(), 9);
+    }
+
+    #[test]
+    fn eigen_recommended_uses_llt_for_spd() {
+        let p = EIGEN_RECOMMENDED.compile(&table2_chain());
+        let f = families(&p);
+        assert_eq!(f[0], KernelFamily::Posv);
+    }
+}

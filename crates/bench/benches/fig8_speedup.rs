@@ -1,0 +1,39 @@
+//! Fig. 8 as a Criterion bench: executes the GMC-generated program and
+//! every baseline's program on the same inputs, per test chain. The
+//! ratio of the per-implementation times reproduces the speedup bars.
+//!
+//! Run: `cargo bench -p gmc-bench --bench fig8_speedup`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmc_bench::bench_chains;
+use gmc_experiments::harness::compile_all;
+use gmc_kernels::KernelRegistry;
+use gmc_runtime::{execute, Env};
+use std::time::Duration;
+
+fn fig8(c: &mut Criterion) {
+    let registry = KernelRegistry::blas_lapack();
+    let chains = bench_chains(3);
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    for (ci, chain) in chains.iter().enumerate() {
+        let programs = compile_all(chain, &registry).expect("computable");
+        let env = Env::random_for_chain(chain, 42);
+        for (label, program) in &programs {
+            group.bench_with_input(
+                BenchmarkId::new(label.replace(' ', "_"), format!("chain{ci}")),
+                program,
+                |b, program| {
+                    b.iter(|| {
+                        let mut e = env.clone();
+                        execute(program, &mut e).expect("runs")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

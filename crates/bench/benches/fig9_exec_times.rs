@@ -1,0 +1,39 @@
+//! Fig. 9 as a Criterion bench: per-problem execution time of the
+//! GMC-generated program across a spread of random test problems (the
+//! paper's x-axis). Baselines are covered by `fig8_speedup`; this bench
+//! tracks the distribution of GMC's own execution times.
+//!
+//! Run: `cargo bench -p gmc-bench --bench fig9_exec_times`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmc::{FlopCount, GmcOptimizer};
+use gmc_bench::bench_chains;
+use gmc_kernels::KernelRegistry;
+use gmc_runtime::{execute, Env};
+use std::time::Duration;
+
+fn fig9(c: &mut Criterion) {
+    let registry = KernelRegistry::blas_lapack();
+    let optimizer = GmcOptimizer::new(&registry, FlopCount);
+    let chains = bench_chains(6);
+    let mut group = c.benchmark_group("fig9_gmc_exec");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    for (ci, chain) in chains.iter().enumerate() {
+        let program = optimizer.solve(chain).expect("computable").program();
+        let env = Env::random_for_chain(chain, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("problem{ci}_len{}", chain.len())),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let mut e = env.clone();
+                    execute(program, &mut e).expect("runs")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! The Sec. 4 generation-time experiment as a Criterion bench: how fast
+//! the GMC optimizer itself runs, by chain length and at paper-scale
+//! operand sizes (generation time is size-independent).
+//!
+//! Run: `cargo bench -p gmc-bench --bench generation_time`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmc::{FlopCount, GmcOptimizer};
+use gmc_bench::paper_scale_chains;
+use gmc_expr::{Chain, Factor, Operand};
+use gmc_kernels::KernelRegistry;
+use std::time::Duration;
+
+fn by_chain_length(c: &mut Criterion) {
+    let registry = KernelRegistry::blas_lapack();
+    let optimizer = GmcOptimizer::new(&registry, FlopCount);
+    let mut group = c.benchmark_group("generation_time_by_length");
+    group.sample_size(30).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    for n in [3usize, 6, 10] {
+        let ops: Vec<Operand> = (0..n)
+            .map(|i| Operand::matrix(format!("M{i}"), 100 + 50 * i, 100 + 50 * (i + 1)))
+            .collect();
+        let chain = Chain::new(ops.into_iter().map(Factor::plain).collect()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, chain| {
+            b.iter(|| optimizer.solve(chain).expect("computable"))
+        });
+    }
+    group.finish();
+}
+
+fn paper_protocol(c: &mut Criterion) {
+    let registry = KernelRegistry::blas_lapack();
+    let optimizer = GmcOptimizer::new(&registry, FlopCount);
+    let chains = paper_scale_chains(20);
+    let mut group = c.benchmark_group("generation_time_paper_chains");
+    group.sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group.bench_function("20_random_chains", |b| {
+        b.iter(|| {
+            for chain in &chains {
+                criterion::black_box(optimizer.solve(chain).expect("computable"));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, by_chain_length, paper_protocol);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Substrate kernel benches: verify the performance hierarchy the
+//! paper's cost model relies on — TRMM/TRSM run in roughly half the
+//! time of GEMM at the same `m²n` volume, SYRK in roughly half of its
+//! GEMM equivalent, and POSV beats GESV beats explicit inversion.
+//!
+//! Run: `cargo bench -p gmc-bench --bench kernel_substrate`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmc_linalg::{blas3, lapack, random, Matrix, Triangle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const N: usize = 192;
+
+fn multiply_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = random::general(&mut rng, N, N);
+    let b = random::general(&mut rng, N, N);
+    let l = random::lower_triangular(&mut rng, N);
+    let s = random::symmetric(&mut rng, N);
+    let mut group = c.benchmark_group("table1_multiply_kernels");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group.bench_function(BenchmarkId::new("gemm", N), |bch| {
+        bch.iter(|| blas3::gemm(1.0, &a, false, &b, false))
+    });
+    group.bench_function(BenchmarkId::new("trmm", N), |bch| {
+        bch.iter(|| blas3::trmm(blas3::Side::Left, Triangle::Lower, false, false, 1.0, &l, &b))
+    });
+    group.bench_function(BenchmarkId::new("symm", N), |bch| {
+        bch.iter(|| blas3::symm(blas3::Side::Left, 1.0, &s, &b))
+    });
+    group.bench_function(BenchmarkId::new("syrk", N), |bch| {
+        bch.iter(|| blas3::syrk(1.0, &a, true))
+    });
+    group.finish();
+}
+
+fn solve_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let spd = random::spd(&mut rng, N);
+    let gen = random::invertible(&mut rng, N);
+    let l = random::lower_triangular(&mut rng, N);
+    let b = random::general(&mut rng, N, 32);
+    let mut group = c.benchmark_group("solver_hierarchy");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group.bench_function(BenchmarkId::new("trsm", N), |bch| {
+        bch.iter(|| blas3::trsm(blas3::Side::Left, Triangle::Lower, false, false, 1.0, &l, &b))
+    });
+    group.bench_function(BenchmarkId::new("posv", N), |bch| {
+        bch.iter(|| lapack::posv(&spd, &b).expect("SPD"))
+    });
+    group.bench_function(BenchmarkId::new("gesv", N), |bch| {
+        bch.iter(|| lapack::gesv(&gen, &b).expect("invertible"))
+    });
+    group.bench_function(BenchmarkId::new("inv_then_gemm", N), |bch| {
+        bch.iter(|| {
+            let inv = lapack::getri(&gen).expect("invertible");
+            blas3::gemm(1.0, &inv, false, &b, false)
+        })
+    });
+    group.finish();
+}
+
+fn vector_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = random::general(&mut rng, N, N);
+    let x = random::general(&mut rng, N, 1);
+    let mut group = c.benchmark_group("vector_kernels");
+    group.sample_size(30).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_secs(1));
+    group.bench_function(BenchmarkId::new("gemv", N), |bch| {
+        bch.iter(|| gmc_linalg::blas2::gemv(1.0, &a, false, x.col(0)))
+    });
+    group.bench_function(BenchmarkId::new("gemm_n1", N), |bch| {
+        bch.iter(|| blas3::gemm(1.0, &a, false, &x, false))
+    });
+    group.finish();
+}
+
+fn factorizations(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let spd = random::spd(&mut rng, N);
+    let gen = random::invertible(&mut rng, N);
+    let mut group = c.benchmark_group("factorizations");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group.bench_function(BenchmarkId::new("potrf", N), |bch| {
+        bch.iter(|| {
+            let mut m = spd.clone();
+            lapack::potrf(&mut m).expect("SPD");
+            m
+        })
+    });
+    group.bench_function(BenchmarkId::new("getrf", N), |bch| {
+        bch.iter(|| {
+            let mut m: Matrix = gen.clone();
+            lapack::getrf(&mut m).expect("invertible");
+            m
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    multiply_kernels,
+    solve_kernels,
+    vector_kernels,
+    factorizations
+);
+criterion_main!(benches);

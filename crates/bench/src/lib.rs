@@ -1,0 +1,27 @@
+//! Shared helpers for the Criterion benches regenerating the paper's
+//! evaluation. The benches live in `benches/`; see EXPERIMENTS.md for
+//! the mapping from paper figures/tables to bench targets.
+
+#![forbid(unsafe_code)]
+
+use gmc_expr::Chain;
+use gmc_experiments::generator::{random_chains, GeneratorConfig};
+
+/// A small, deterministic set of representative test chains at
+/// bench-friendly sizes.
+pub fn bench_chains(count: usize) -> Vec<Chain> {
+    let config = GeneratorConfig {
+        size_min: 50,
+        size_max: 150,
+        size_step: 50,
+        ..GeneratorConfig::default()
+    };
+    random_chains(&config, count, 0xBEEF)
+}
+
+/// Paper-scale chains (sizes up to 2000) for generation-time benches —
+/// the optimizer's cost is size-independent, so these are cheap to
+/// *optimize* even though they would be slow to execute.
+pub fn paper_scale_chains(count: usize) -> Vec<Chain> {
+    random_chains(&GeneratorConfig::default(), count, 0xBEEF)
+}

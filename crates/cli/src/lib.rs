@@ -1,0 +1,235 @@
+//! Driver logic for `gmcc`, the GMC linear algebra compiler CLI.
+//!
+//! Takes a problem in the paper's input language (Fig. 1–2), runs the
+//! GMC optimizer on every assignment, and emits code. Kept as a library
+//! so the driver is unit-testable; the `gmcc` binary is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gmc::{FlopCount, GmcOptimizer, TimeModel};
+use gmc_codegen::{Emitter, JuliaEmitter, PseudoEmitter, RustEmitter};
+use gmc_expr::Chain;
+use gmc_kernels::KernelRegistry;
+use gmc_runtime::{validate_against_reference, Env};
+use std::fmt::Write as _;
+
+/// Output language selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Emit {
+    /// Julia (paper Table 2 style).
+    Julia,
+    /// Rust against `gmc_runtime::ops`.
+    Rust,
+    /// Mathematical pseudocode.
+    Pseudo,
+}
+
+impl std::str::FromStr for Emit {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "julia" => Ok(Emit::Julia),
+            "rust" => Ok(Emit::Rust),
+            "pseudo" => Ok(Emit::Pseudo),
+            other => Err(format!(
+                "unknown emitter `{other}` (expected julia, rust or pseudo)"
+            )),
+        }
+    }
+}
+
+/// Cost metric selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// FLOP count (paper default).
+    Flops,
+    /// The calibrated execution-time model.
+    Time,
+}
+
+impl std::str::FromStr for Metric {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "flops" => Ok(Metric::Flops),
+            "time" => Ok(Metric::Time),
+            other => Err(format!("unknown metric `{other}` (expected flops or time)")),
+        }
+    }
+}
+
+/// CLI options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Output language.
+    pub emit: Emit,
+    /// Cost metric.
+    pub metric: Metric,
+    /// Execute the generated program on random inputs and validate it
+    /// against the reference evaluation.
+    pub check: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            emit: Emit::Julia,
+            metric: Metric::Flops,
+            check: false,
+        }
+    }
+}
+
+/// Compiles a problem text and renders a report.
+///
+/// # Errors
+///
+/// Returns a rendered error message for parse errors, non-chain
+/// assignments, optimizer failures, and (with `check`) validation
+/// failures.
+pub fn compile(input: &str, options: &Options) -> Result<String, String> {
+    let problem = gmc_frontend::parse(input)
+        .map_err(|e| gmc_frontend::render_error(input, &e))?;
+    let registry = KernelRegistry::blas_lapack();
+    let mut out = String::new();
+    for (target, expr) in &problem.assignments {
+        let chain = Chain::from_expr(expr)
+            .map_err(|e| format!("assignment `{target}`: {e}"))?;
+        let (program, paren, cost_line) = match options.metric {
+            Metric::Flops => {
+                let solution = GmcOptimizer::new(&registry, FlopCount)
+                    .solve(&chain)
+                    .map_err(|e| format!("assignment `{target}`: {e}"))?;
+                (
+                    solution.program(),
+                    solution.parenthesization().to_owned(),
+                    format!("cost: {:.4e} flops", solution.flops()),
+                )
+            }
+            Metric::Time => {
+                let solution = GmcOptimizer::new(&registry, TimeModel::default())
+                    .solve(&chain)
+                    .map_err(|e| format!("assignment `{target}`: {e}"))?;
+                (
+                    solution.program(),
+                    solution.parenthesization().to_owned(),
+                    format!(
+                        "cost: {:.3} ms (model), {:.4e} flops",
+                        solution.cost() * 1e3,
+                        solution.flops()
+                    ),
+                )
+            }
+        };
+        writeln!(out, "# {target} := {chain}").expect("string write");
+        writeln!(out, "# parenthesization: {paren}").expect("string write");
+        writeln!(out, "# {cost_line}").expect("string write");
+        let code = match options.emit {
+            Emit::Julia => JuliaEmitter::default().emit(&program),
+            Emit::Rust => RustEmitter.emit(&program),
+            Emit::Pseudo => PseudoEmitter.emit(&program),
+        };
+        out.push_str(&code);
+        out.push('\n');
+        if options.check {
+            let env = Env::random_for_chain(&chain, 0xC60);
+            validate_against_reference(&program, &chain, &env, 1e-6)
+                .map_err(|e| format!("assignment `{target}`: validation failed: {e}"))?;
+            writeln!(out, "# check: OK (matches reference evaluation)").expect("string write");
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE2: &str = "\
+Matrix A (2000, 2000) <SPD>
+Matrix B (2000, 200)
+Matrix C (200, 200) <LowerTriangular>
+X := A^-1 * B * C^T
+";
+
+    #[test]
+    fn compiles_table2_to_julia() {
+        let out = compile(TABLE2, &Options::default()).unwrap();
+        assert!(out.contains("trmm!('R', 'L', 'T', 'N', 1.0, C, B)"));
+        assert!(out.contains("posv!('L', A, B)"));
+        assert!(out.contains("parenthesization"));
+    }
+
+    #[test]
+    fn emits_rust_and_pseudo() {
+        let out = compile(
+            TABLE2,
+            &Options {
+                emit: Emit::Rust,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(out.contains("ops::posv"));
+        let out = compile(
+            TABLE2,
+            &Options {
+                emit: Emit::Pseudo,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(out.contains("[posv]"));
+    }
+
+    #[test]
+    fn check_mode_validates() {
+        let small = "\
+Matrix A (30, 30) <SPD>
+Matrix B (30, 10)
+X := A^-1 * B
+";
+        let out = compile(
+            small,
+            &Options {
+                check: true,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(out.contains("check: OK"));
+    }
+
+    #[test]
+    fn time_metric_reports_model_cost() {
+        let out = compile(
+            TABLE2,
+            &Options {
+                metric: Metric::Time,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(out.contains("ms (model)"));
+    }
+
+    #[test]
+    fn parse_errors_are_surfaced() {
+        let err = compile("Matrix A (5, 5)\nX := A * Q\n", &Options::default()).unwrap_err();
+        assert!(err.contains("not defined"));
+    }
+
+    #[test]
+    fn sum_assignments_rejected_as_chains() {
+        let err = compile(
+            "Matrix A (5, 5)\nMatrix B (5, 5)\nX := A + B\n",
+            &Options::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("not a matrix chain"));
+    }
+}

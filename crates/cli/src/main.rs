@@ -1,0 +1,88 @@
+//! `gmcc` — the GMC linear algebra compiler.
+//!
+//! ```text
+//! gmcc [FILE] [--emit julia|rust|pseudo] [--metric flops|time] [--check]
+//! ```
+//!
+//! Reads a problem description in the paper's input language (from FILE
+//! or stdin), runs the Generalized Matrix Chain algorithm on every
+//! assignment and prints generated code with cost annotations.
+
+use gmc_cli::{compile, Emit, Metric, Options};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut file: Option<String> = None;
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--emit" => match args.next().as_deref().map(str::parse::<Emit>) {
+                Some(Ok(e)) => options.emit = e,
+                Some(Err(e)) => {
+                    eprintln!("gmcc: {e}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("gmcc: --emit needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--metric" => match args.next().as_deref().map(str::parse::<Metric>) {
+                Some(Ok(m)) => options.metric = m,
+                Some(Err(e)) => {
+                    eprintln!("gmcc: {e}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("gmcc: --metric needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check" => options.check = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: gmcc [FILE] [--emit julia|rust|pseudo] [--metric flops|time] [--check]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("gmcc: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let input = match &file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("gmcc: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if std::io::stdin().read_to_string(&mut s).is_err() {
+                eprintln!("gmcc: cannot read stdin");
+                return ExitCode::from(2);
+            }
+            s
+        }
+    };
+
+    match compile(&input, &options) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gmcc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! Julia code emission, in the style of the paper's Table 2.
+//!
+//! The GMC implementation in the paper generates Julia code that calls
+//! BLAS/LAPACK wrappers, reusing input buffers for in-place kernels:
+//!
+//! ```text
+//! trmm!('R', 'L', 'T', 'N', 1.0, C, B)
+//! posv!('L', A, B)
+//! ```
+//!
+//! This emitter reproduces that style: in-place kernels (`trmm!`,
+//! `trsm!`, `posv!`, `gesv!`) overwrite their right-hand side buffer
+//! when it is dead afterwards, and insert `copy(...)` when it is still
+//! live (a tiny liveness analysis over the straight-line program).
+
+use crate::program::Program;
+use crate::Emitter;
+use gmc_kernels::{KernelOp, Side, Uplo};
+use std::collections::HashMap;
+
+/// Emits Julia source for a [`Program`].
+#[derive(Clone, Copy, Debug)]
+pub struct JuliaEmitter {
+    /// Reuse dead buffers for in-place kernels (paper style). When
+    /// false, every instruction assigns a fresh variable.
+    pub reuse_buffers: bool,
+}
+
+impl Default for JuliaEmitter {
+    fn default() -> Self {
+        JuliaEmitter {
+            reuse_buffers: true,
+        }
+    }
+}
+
+fn side(s: Side) -> char {
+    match s {
+        Side::Left => 'L',
+        Side::Right => 'R',
+    }
+}
+
+fn uplo(u: Uplo) -> char {
+    match u {
+        Uplo::Lower => 'L',
+        Uplo::Upper => 'U',
+    }
+}
+
+fn t(flag: bool) -> char {
+    if flag {
+        'T'
+    } else {
+        'N'
+    }
+}
+
+impl Emitter for JuliaEmitter {
+    fn language(&self) -> &str {
+        "julia"
+    }
+
+    fn emit(&self, program: &Program) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        // Current buffer holding each (symbolic) operand's value.
+        let mut buffer: HashMap<String, String> = HashMap::new();
+        let buf = |buffer: &HashMap<String, String>, name: &str| -> String {
+            buffer.get(name).cloned().unwrap_or_else(|| name.to_owned())
+        };
+
+        for (idx, instr) in program.instructions().iter().enumerate() {
+            let dest = instr.dest().name().to_owned();
+            match instr.op() {
+                KernelOp::Gemm { ta, tb, a, b } => {
+                    lines.push(format!(
+                        "{dest} = BLAS.gemm('{}', '{}', 1.0, {}, {})",
+                        t(*ta),
+                        t(*tb),
+                        buf(&buffer, a.name()),
+                        buf(&buffer, b.name())
+                    ));
+                }
+                KernelOp::Trmm {
+                    side: s,
+                    uplo: u,
+                    trans,
+                    a,
+                    b,
+                } => {
+                    let a_buf = buf(&buffer, a.name());
+                    let target =
+                        self.inplace_target(program, idx, b.name(), &dest, &a_buf, &mut buffer, &mut lines);
+                    lines.push(format!(
+                        "trmm!('{}', '{}', '{}', 'N', 1.0, {}, {})",
+                        side(*s),
+                        uplo(*u),
+                        t(*trans),
+                        buf(&buffer, a.name()),
+                        target
+                    ));
+                    buffer.insert(dest, target);
+                    continue;
+                }
+                KernelOp::Symm { side: s, a, b } => {
+                    lines.push(format!(
+                        "{dest} = BLAS.symm('{}', 'L', 1.0, {}, {})",
+                        side(*s),
+                        buf(&buffer, a.name()),
+                        buf(&buffer, b.name())
+                    ));
+                }
+                KernelOp::Trsm {
+                    side: s,
+                    uplo: u,
+                    trans,
+                    tb,
+                    a,
+                    b,
+                } => {
+                    let target = if *tb {
+                        let bb = buf(&buffer, b.name());
+                        lines.push(format!("{dest} = Matrix({bb}')"));
+                        dest.clone()
+                    } else {
+                        let a_buf = buf(&buffer, a.name());
+                        self.inplace_target(program, idx, b.name(), &dest, &a_buf, &mut buffer, &mut lines)
+                    };
+                    lines.push(format!(
+                        "trsm!('{}', '{}', '{}', 'N', 1.0, {}, {})",
+                        side(*s),
+                        uplo(*u),
+                        t(*trans),
+                        buf(&buffer, a.name()),
+                        target
+                    ));
+                    buffer.insert(dest, target);
+                    continue;
+                }
+                KernelOp::Syrk { trans, a } => {
+                    lines.push(format!(
+                        "{dest} = BLAS.syrk('L', '{}', 1.0, {})",
+                        t(*trans),
+                        buf(&buffer, a.name())
+                    ));
+                }
+                KernelOp::Gesv {
+                    side: s,
+                    trans,
+                    tb,
+                    a,
+                    b,
+                } => {
+                    let target = if *tb {
+                        let bb = buf(&buffer, b.name());
+                        lines.push(format!("{dest} = Matrix({bb}')"));
+                        dest.clone()
+                    } else {
+                        let a_buf = buf(&buffer, a.name());
+                        self.inplace_target(program, idx, b.name(), &dest, &a_buf, &mut buffer, &mut lines)
+                    };
+                    // gesv! factorizes in place: protect A if live (or
+                    // transposed).
+                    let a_name = buf(&buffer, a.name());
+                    let a_expr = match (trans, s) {
+                        // A right-side solve X·A = B is AᵀXᵀ = Bᵀ; the
+                        // Julia wrapper call works on the transposed
+                        // system.
+                        (false, Side::Left) => {
+                            if program.live_after(idx, a.name()) {
+                                format!("copy({a_name})")
+                            } else {
+                                a_name
+                            }
+                        }
+                        (true, Side::Left) => format!("Matrix({a_name}')"),
+                        (false, Side::Right) => format!("Matrix({a_name}')"),
+                        (true, Side::Right) => {
+                            if program.live_after(idx, a.name()) {
+                                format!("copy({a_name})")
+                            } else {
+                                a_name
+                            }
+                        }
+                    };
+                    match s {
+                        Side::Left => lines.push(format!("gesv!({a_expr}, {target})")),
+                        Side::Right => {
+                            // Solve on the transposed right-hand side.
+                            lines.push(format!("{target} = Matrix({target}')"));
+                            lines.push(format!("gesv!({a_expr}, {target})"));
+                            lines.push(format!("{target} = Matrix({target}')"));
+                        }
+                    }
+                    buffer.insert(dest, target);
+                    continue;
+                }
+                KernelOp::Posv { side: s, tb, a, b } => {
+                    let target = if *tb {
+                        let bb = buf(&buffer, b.name());
+                        lines.push(format!("{dest} = Matrix({bb}')"));
+                        dest.clone()
+                    } else {
+                        let a_buf = buf(&buffer, a.name());
+                        self.inplace_target(program, idx, b.name(), &dest, &a_buf, &mut buffer, &mut lines)
+                    };
+                    let a_name = buf(&buffer, a.name());
+                    let a_expr = if program.live_after(idx, a.name()) {
+                        format!("copy({a_name})")
+                    } else {
+                        a_name
+                    };
+                    match s {
+                        Side::Left => lines.push(format!("posv!('L', {a_expr}, {target})")),
+                        Side::Right => {
+                            lines.push(format!("{target} = Matrix({target}')"));
+                            lines.push(format!("posv!('L', {a_expr}, {target})"));
+                            lines.push(format!("{target} = Matrix({target}')"));
+                        }
+                    }
+                    buffer.insert(dest, target);
+                    continue;
+                }
+                KernelOp::Diag {
+                    side: s,
+                    inv,
+                    tb,
+                    d,
+                    b,
+                } => {
+                    let bb = buf(&buffer, b.name());
+                    let bexpr = if *tb { format!("Matrix({bb}')") } else { bb };
+                    let dd = format!("Diagonal({})", buf(&buffer, d.name()));
+                    let rhs = match (s, inv) {
+                        (Side::Left, false) => format!("{dd} * {bexpr}"),
+                        (Side::Left, true) => format!("{dd} \\ {bexpr}"),
+                        (Side::Right, false) => format!("{bexpr} * {dd}"),
+                        (Side::Right, true) => format!("{bexpr} / {dd}"),
+                    };
+                    lines.push(format!("{dest} = {rhs}"));
+                }
+                KernelOp::Gemv { trans, a, x } => {
+                    lines.push(format!(
+                        "{dest} = BLAS.gemv('{}', 1.0, {}, {})",
+                        t(*trans),
+                        buf(&buffer, a.name()),
+                        buf(&buffer, x.name())
+                    ));
+                }
+                KernelOp::Trmv { uplo: u, trans, a, x } => {
+                    lines.push(format!(
+                        "{dest} = BLAS.trmv('{}', '{}', 'N', {}, {})",
+                        uplo(*u),
+                        t(*trans),
+                        buf(&buffer, a.name()),
+                        buf(&buffer, x.name())
+                    ));
+                }
+                KernelOp::Symv { a, x } => {
+                    lines.push(format!(
+                        "{dest} = BLAS.symv('L', 1.0, {}, {})",
+                        buf(&buffer, a.name()),
+                        buf(&buffer, x.name())
+                    ));
+                }
+                KernelOp::Trsv { uplo: u, trans, a, x } => {
+                    lines.push(format!(
+                        "{dest} = BLAS.trsv('{}', '{}', 'N', {}, {})",
+                        uplo(*u),
+                        t(*trans),
+                        buf(&buffer, a.name()),
+                        buf(&buffer, x.name())
+                    ));
+                }
+                KernelOp::Ger { x, y } => {
+                    lines.push(format!(
+                        "{dest} = {} * {}'",
+                        buf(&buffer, x.name()),
+                        buf(&buffer, y.name())
+                    ));
+                }
+                KernelOp::Dot { x, y } => {
+                    lines.push(format!(
+                        "{dest} = dot({}, {})",
+                        buf(&buffer, x.name()),
+                        buf(&buffer, y.name())
+                    ));
+                }
+                KernelOp::Copy { b } => {
+                    lines.push(format!("{dest} = copy({})", buf(&buffer, b.name())));
+                }
+                KernelOp::Inv { kind, trans, a } => {
+                    let aa = buf(&buffer, a.name());
+                    let call = match kind {
+                        gmc_kernels::InvKind::Spd => format!("inv(cholesky({aa}))"),
+                        gmc_kernels::InvKind::Diagonal => format!("inv(Diagonal({aa}))"),
+                        _ => format!("inv({aa})"),
+                    };
+                    if *trans {
+                        lines.push(format!("{dest} = Matrix({call}')"));
+                    } else {
+                        lines.push(format!("{dest} = {call}"));
+                    }
+                }
+                KernelOp::InvPair { ta, tb, a, b } => {
+                    let bb = buf(&buffer, b.name());
+                    let bexpr = if *tb { format!("{bb}'") } else { bb };
+                    lines.push(format!("{dest} = inv({bexpr})"));
+                    let aa = buf(&buffer, a.name());
+                    let aexpr = if *ta {
+                        format!("Matrix({aa}')")
+                    } else if program.live_after(idx, a.name()) {
+                        format!("copy({aa})")
+                    } else {
+                        aa
+                    };
+                    lines.push(format!("gesv!({aexpr}, {dest})"));
+                }
+            }
+            buffer.insert(dest.clone(), dest);
+        }
+
+        if let Some(last) = program.instructions().last() {
+            let result = buf(&buffer, last.dest().name());
+            lines.push(format!("# result in {result}"));
+        }
+        lines.join("\n")
+    }
+}
+
+impl JuliaEmitter {
+    /// Picks the buffer an in-place kernel writes to: the right-hand
+    /// side's current buffer if dead, otherwise a fresh copy.
+    fn inplace_target(
+        &self,
+        program: &Program,
+        idx: usize,
+        b_name: &str,
+        dest: &str,
+        conflict: &str,
+        buffer: &mut HashMap<String, String>,
+        lines: &mut Vec<String>,
+    ) -> String {
+        let current = buffer
+            .get(b_name)
+            .cloned()
+            .unwrap_or_else(|| b_name.to_owned());
+        // Reusing the right-hand side's buffer is only legal when it is
+        // dead afterwards AND distinct from the factor operand's buffer
+        // (an in-place kernel must not alias its two arguments).
+        if self.reuse_buffers && !program.live_after(idx, b_name) && current != conflict {
+            current
+        } else {
+            lines.push(format!("{dest} = copy({current})"));
+            dest.to_owned()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Instruction;
+    use gmc_expr::{Operand, Property, PropertySet, Shape};
+
+    #[test]
+    fn paper_table2_gmc_row() {
+        // X := A⁻¹BCᵀ, A SPD, C lower triangular. The paper's generated
+        // code: trmm!('R','L','T','N',1.0,C,B); posv!('L',A,B).
+        let a = Operand::square("A", 2000).with_property(Property::SymmetricPositiveDefinite);
+        let b = Operand::matrix("B", 2000, 200);
+        let c = Operand::square("C", 200).with_property(Property::LowerTriangular);
+        let t0 = Operand::temporary("T1_2", Shape::new(2000, 200), PropertySet::new());
+        let t1 = Operand::temporary("T0_2", Shape::new(2000, 200), PropertySet::new());
+        let program = Program::new(vec![
+            Instruction::new(
+                t0.clone(),
+                KernelOp::Trmm {
+                    side: gmc_kernels::Side::Right,
+                    uplo: Uplo::Lower,
+                    trans: true,
+                    a: c,
+                    b: b.clone(),
+                },
+            ),
+            Instruction::new(
+                t1,
+                KernelOp::Posv {
+                    side: gmc_kernels::Side::Left,
+                    tb: false,
+                    a,
+                    b: t0,
+                },
+            ),
+        ]);
+        let code = JuliaEmitter::default().emit(&program);
+        let expected = "\
+trmm!('R', 'L', 'T', 'N', 1.0, C, B)
+posv!('L', A, B)
+# result in B";
+        assert_eq!(code, expected);
+    }
+
+    #[test]
+    fn copy_inserted_when_buffer_live() {
+        // B is used by both instructions: the first in-place kernel must
+        // not clobber it.
+        let l = Operand::square("L", 4).with_property(Property::LowerTriangular);
+        let b = Operand::matrix("B", 4, 4);
+        let t0 = Operand::temporary("T0", Shape::new(4, 4), PropertySet::new());
+        let t1 = Operand::temporary("T1", Shape::new(4, 4), PropertySet::new());
+        let program = Program::new(vec![
+            Instruction::new(
+                t0.clone(),
+                KernelOp::Trmm {
+                    side: gmc_kernels::Side::Left,
+                    uplo: Uplo::Lower,
+                    trans: false,
+                    a: l,
+                    b: b.clone(),
+                },
+            ),
+            Instruction::new(
+                t1,
+                KernelOp::Gemm {
+                    ta: false,
+                    tb: false,
+                    a: t0,
+                    b,
+                },
+            ),
+        ]);
+        let code = JuliaEmitter::default().emit(&program);
+        assert!(code.contains("T0 = copy(B)"), "got:\n{code}");
+        assert!(code.contains("trmm!('L', 'L', 'N', 'N', 1.0, L, T0)"));
+    }
+
+    #[test]
+    fn no_reuse_mode_always_copies() {
+        let l = Operand::square("L", 4).with_property(Property::LowerTriangular);
+        let b = Operand::matrix("B", 4, 4);
+        let t0 = Operand::temporary("T0", Shape::new(4, 4), PropertySet::new());
+        let program = Program::new(vec![Instruction::new(
+            t0,
+            KernelOp::Trmm {
+                side: gmc_kernels::Side::Left,
+                uplo: Uplo::Lower,
+                trans: false,
+                a: l,
+                b,
+            },
+        )]);
+        let code = JuliaEmitter {
+            reuse_buffers: false,
+        }
+        .emit(&program);
+        assert!(code.contains("T0 = copy(B)"));
+    }
+
+    #[test]
+    fn functional_ops_assign_fresh_variables() {
+        let a = Operand::matrix("A", 3, 4);
+        let x = Operand::col_vector("x", 4);
+        let t0 = Operand::temporary("T0", Shape::col_vector(3), PropertySet::new());
+        let program = Program::new(vec![Instruction::new(
+            t0,
+            KernelOp::Gemv {
+                trans: false,
+                a,
+                x,
+            },
+        )]);
+        let code = JuliaEmitter::default().emit(&program);
+        assert!(code.contains("T0 = BLAS.gemv('N', 1.0, A, x)"));
+        assert!(code.ends_with("# result in T0"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Program IR and code emitters for GMC kernel sequences (paper
+//! Sec. 3.5).
+//!
+//! The GMC algorithm (and each baseline strategy) produces a
+//! [`Program`]: a straight-line sequence of [`Instruction`]s in
+//! dependency order, each pairing a destination temporary with a
+//! [`gmc_kernels::KernelOp`]. Emitters translate programs to source
+//! text:
+//!
+//! * [`JuliaEmitter`] — the paper's target (Table 2 style, with in-place
+//!   buffer reuse),
+//! * [`RustEmitter`] — Rust code against the `gmc-runtime` helpers,
+//! * [`PseudoEmitter`] — mathematical pseudocode for reports.
+//!
+//! # Example
+//!
+//! ```
+//! use gmc_codegen::{Emitter, Instruction, JuliaEmitter, Program};
+//! use gmc_expr::{Operand, PropertySet, Shape};
+//! use gmc_kernels::KernelOp;
+//!
+//! let a = Operand::matrix("A", 4, 5);
+//! let b = Operand::matrix("B", 5, 6);
+//! let t = Operand::temporary("T", Shape::new(4, 6), PropertySet::new());
+//! let program = Program::new(vec![Instruction::new(
+//!     t,
+//!     KernelOp::Gemm { ta: false, tb: false, a, b },
+//! )]);
+//! let code = JuliaEmitter::default().emit(&program);
+//! assert!(code.contains("BLAS.gemm('N', 'N', 1.0, A, B)"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod julia;
+mod program;
+mod pseudo;
+mod rust;
+
+pub use julia::JuliaEmitter;
+pub use program::{Instruction, Program};
+pub use pseudo::{math_form, PseudoEmitter};
+pub use rust::RustEmitter;
+
+/// Translates a [`Program`] into source text for some target language.
+pub trait Emitter {
+    /// Emits the program as source text.
+    fn emit(&self, program: &Program) -> String;
+
+    /// The name of the target language (e.g. `"julia"`).
+    fn language(&self) -> &str;
+}

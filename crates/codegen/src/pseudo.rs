@@ -1,0 +1,199 @@
+//! Mathematical pseudocode emission, for reports and teaching output.
+
+use crate::program::Program;
+use crate::Emitter;
+use gmc_kernels::{KernelOp, Side};
+
+/// Emits one line per instruction in mathematical notation, annotated
+/// with the kernel routine:
+///
+/// ```text
+/// T1_2 := B C^T        [trmm]
+/// T0_2 := A^-1 T1_2    [posv]
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PseudoEmitter;
+
+/// Renders the mathematical form of an operation, e.g. `A^-1 T1`.
+pub fn math_form(op: &KernelOp) -> String {
+    fn t(name: &str, flag: bool) -> String {
+        if flag {
+            format!("{name}^T")
+        } else {
+            name.to_owned()
+        }
+    }
+    match op {
+        KernelOp::Gemm { ta, tb, a, b } => {
+            format!("{} {}", t(a.name(), *ta), t(b.name(), *tb))
+        }
+        KernelOp::Trmm {
+            side, trans, a, b, ..
+        } => match side {
+            Side::Left => format!("{} {}", t(a.name(), *trans), b.name()),
+            Side::Right => format!("{} {}", b.name(), t(a.name(), *trans)),
+        },
+        KernelOp::Symm { side, a, b } => match side {
+            Side::Left => format!("{} {}", a.name(), b.name()),
+            Side::Right => format!("{} {}", b.name(), a.name()),
+        },
+        KernelOp::Trsm {
+            side,
+            trans,
+            tb,
+            a,
+            b,
+            ..
+        }
+        | KernelOp::Gesv {
+            side,
+            trans,
+            tb,
+            a,
+            b,
+        } => {
+            let inv = if *trans {
+                format!("{}^-T", a.name())
+            } else {
+                format!("{}^-1", a.name())
+            };
+            match side {
+                Side::Left => format!("{inv} {}", t(b.name(), *tb)),
+                Side::Right => format!("{} {inv}", t(b.name(), *tb)),
+            }
+        }
+        KernelOp::Posv { side, tb, a, b } => {
+            let inv = format!("{}^-1", a.name());
+            match side {
+                Side::Left => format!("{inv} {}", t(b.name(), *tb)),
+                Side::Right => format!("{} {inv}", t(b.name(), *tb)),
+            }
+        }
+        KernelOp::Syrk { trans, a } => {
+            if *trans {
+                format!("{}^T {}", a.name(), a.name())
+            } else {
+                format!("{} {}^T", a.name(), a.name())
+            }
+        }
+        KernelOp::Diag {
+            side, inv, tb, d, b,
+        } => {
+            let dd = if *inv {
+                format!("{}^-1", d.name())
+            } else {
+                d.name().to_owned()
+            };
+            match side {
+                Side::Left => format!("{dd} {}", t(b.name(), *tb)),
+                Side::Right => format!("{} {dd}", t(b.name(), *tb)),
+            }
+        }
+        KernelOp::Gemv { trans, a, x } => format!("{} {}", t(a.name(), *trans), x.name()),
+        KernelOp::Trmv { trans, a, x, .. } => format!("{} {}", t(a.name(), *trans), x.name()),
+        KernelOp::Symv { a, x } => format!("{} {}", a.name(), x.name()),
+        KernelOp::Trsv { trans, a, x, .. } => {
+            let inv = if *trans {
+                format!("{}^-T", a.name())
+            } else {
+                format!("{}^-1", a.name())
+            };
+            format!("{inv} {}", x.name())
+        }
+        KernelOp::Ger { x, y } => format!("{} {}^T", x.name(), y.name()),
+        KernelOp::Dot { x, y } => format!("{}^T {}", x.name(), y.name()),
+        KernelOp::Copy { b } => b.name().to_owned(),
+        KernelOp::Inv { trans, a, .. } => {
+            if *trans {
+                format!("{}^-T", a.name())
+            } else {
+                format!("{}^-1", a.name())
+            }
+        }
+        KernelOp::InvPair { ta, tb, a, b } => {
+            let left = if *ta {
+                format!("{}^-T", a.name())
+            } else {
+                format!("{}^-1", a.name())
+            };
+            let right = if *tb {
+                format!("{}^-T", b.name())
+            } else {
+                format!("{}^-1", b.name())
+            };
+            format!("{left} {right}")
+        }
+    }
+}
+
+impl Emitter for PseudoEmitter {
+    fn language(&self) -> &str {
+        "pseudo"
+    }
+
+    fn emit(&self, program: &Program) -> String {
+        let width = program
+            .instructions()
+            .iter()
+            .map(|i| i.dest().name().len() + math_form(i.op()).len())
+            .max()
+            .unwrap_or(0);
+        program
+            .instructions()
+            .iter()
+            .map(|i| {
+                let math = math_form(i.op());
+                let pad = width + 4 - (i.dest().name().len() + math.len());
+                format!(
+                    "{} := {}{}[{}]",
+                    i.dest().name(),
+                    math,
+                    " ".repeat(pad),
+                    i.op().family()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Instruction;
+    use gmc_expr::{Operand, Property, PropertySet, Shape};
+    use gmc_kernels::Uplo;
+
+    #[test]
+    fn math_forms() {
+        let a = Operand::square("A", 4).with_property(Property::SymmetricPositiveDefinite);
+        let b = Operand::matrix("B", 4, 2);
+        let op = KernelOp::Posv {
+            side: Side::Left,
+            tb: false,
+            a,
+            b,
+        };
+        assert_eq!(math_form(&op), "A^-1 B");
+    }
+
+    #[test]
+    fn emit_annotates_kernels() {
+        let c = Operand::square("C", 2).with_property(Property::LowerTriangular);
+        let b = Operand::matrix("B", 4, 2);
+        let t = Operand::temporary("T1_2", Shape::new(4, 2), PropertySet::new());
+        let program = Program::new(vec![Instruction::new(
+            t,
+            KernelOp::Trmm {
+                side: Side::Right,
+                uplo: Uplo::Lower,
+                trans: true,
+                a: c,
+                b,
+            },
+        )]);
+        let text = PseudoEmitter.emit(&program);
+        assert!(text.contains("T1_2 := B C^T"));
+        assert!(text.contains("[trmm]"));
+    }
+}

@@ -1,0 +1,735 @@
+//! The Generalized Matrix Chain algorithm (paper Sec. 3, Fig. 4).
+
+use crate::metric::{Cost, CostMetric};
+use gmc_analysis::infer_properties;
+use gmc_codegen::{Instruction, Program};
+use gmc_expr::{Chain, Expr, Operand, PropertySet};
+use gmc_kernels::{KernelMatch, KernelRegistry};
+use std::fmt;
+
+/// Errors produced by the optimizer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GmcError {
+    /// No combination of kernels can compute the chain: some sub-product
+    /// has no matching kernel under every parenthesization (paper
+    /// Sec. 3.4 discusses when this can happen).
+    NotComputable {
+        /// Display form of the chain.
+        chain: String,
+    },
+}
+
+impl fmt::Display for GmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmcError::NotComputable { chain } => {
+                write!(f, "no kernel sequence can compute the chain {chain}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GmcError {}
+
+/// How temporaries' properties are derived (DESIGN.md ablation #1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InferenceMode {
+    /// As in the paper (Fig. 4 line 10): infer from the binary product
+    /// expression of the chosen split, compositionally via the
+    /// temporaries' stored property sets.
+    #[default]
+    Compositional,
+    /// Re-derive properties from the fully unfolded sub-chain expression.
+    /// Catches split-dependent property loss (e.g. symmetry of
+    /// `(AᵀB)(BᵀA)`), at a modestly higher inference cost.
+    Deep,
+}
+
+/// One step of a generated kernel sequence.
+#[derive(Clone, Debug)]
+pub struct Step<C> {
+    /// The temporary receiving the result.
+    pub dest: Operand,
+    /// The kernel operation computing it.
+    pub op: gmc_kernels::KernelOp,
+    /// Name of the kernel that was selected (e.g. `"TRMM_RLT"`).
+    pub kernel: String,
+    /// The metric cost of this step.
+    pub cost: C,
+}
+
+/// A solution to the GMCP: a parenthesization together with a mapping of
+/// expressions to kernels (paper Sec. 1.1), materialized as an ordered
+/// kernel sequence.
+#[derive(Clone, Debug)]
+pub struct GmcSolution<C> {
+    steps: Vec<Step<C>>,
+    total_cost: C,
+    total_flops: f64,
+    paren: String,
+}
+
+impl<C: Cost> GmcSolution<C> {
+    /// The kernel calls, in dependency order (paper Fig. 7).
+    pub fn steps(&self) -> &[Step<C>] {
+        &self.steps
+    }
+
+    /// The accumulated metric cost.
+    pub fn cost(&self) -> C {
+        self.total_cost.clone()
+    }
+
+    /// The accumulated FLOP count (available regardless of the metric).
+    pub fn flops(&self) -> f64 {
+        self.total_flops
+    }
+
+    /// The parenthesization that was selected, e.g. `"(A^-1 (B C^T))"`.
+    pub fn parenthesization(&self) -> &str {
+        &self.paren
+    }
+
+    /// The names of the selected kernels, in execution order.
+    pub fn kernel_names(&self) -> Vec<&str> {
+        self.steps.iter().map(|s| s.kernel.as_str()).collect()
+    }
+
+    /// Lowers the solution to a [`Program`] for code generation or
+    /// execution. The last instruction's destination is the chain result.
+    pub fn program(&self) -> Program {
+        Program::new(
+            self.steps
+                .iter()
+                .map(|s| Instruction::new(s.dest.clone(), s.op.clone()))
+                .collect(),
+        )
+    }
+}
+
+impl<C: Cost> fmt::Display for GmcSolution<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "parenthesization: {}", self.paren)?;
+        for s in &self.steps {
+            writeln!(f, "  {} := {}    # {}", s.dest, s.op, s.kernel)?;
+        }
+        write!(f, "cost: {:?}", self.total_cost)
+    }
+}
+
+/// The Generalized Matrix Chain optimizer.
+///
+/// Couples a [`KernelRegistry`] with a [`CostMetric`] and solves the
+/// GMCP by bottom-up dynamic programming over symbolic expressions
+/// (paper Fig. 4): for every sub-chain and split it matches the binary
+/// product against the kernel set, infers the properties of the
+/// temporary, and keeps the cheapest computable alternative.
+///
+/// # Example
+///
+/// ```
+/// use gmc::{FlopCount, GmcOptimizer};
+/// use gmc_expr::{Chain, Operand, Property};
+/// use gmc_kernels::KernelRegistry;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let registry = KernelRegistry::blas_lapack();
+/// let gmc = GmcOptimizer::new(&registry, FlopCount);
+///
+/// // Paper Table 2: X := A⁻¹ B Cᵀ, A SPD, C lower triangular.
+/// let a = Operand::square("A", 2000).with_property(Property::SymmetricPositiveDefinite);
+/// let b = Operand::matrix("B", 2000, 200);
+/// let c = Operand::square("C", 200).with_property(Property::LowerTriangular);
+/// let chain = Chain::from_expr(&(a.inverse() * b.expr() * c.transpose()))?;
+///
+/// let solution = gmc.solve(&chain)?;
+/// assert_eq!(solution.kernel_names(), vec!["TRMM_RLT", "POSV_LN"]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GmcOptimizer<'r, M> {
+    registry: &'r KernelRegistry,
+    metric: M,
+    inference: InferenceMode,
+}
+
+impl<'r, M: CostMetric> GmcOptimizer<'r, M> {
+    /// Creates an optimizer over a kernel registry with a cost metric.
+    pub fn new(registry: &'r KernelRegistry, metric: M) -> Self {
+        GmcOptimizer {
+            registry,
+            metric,
+            inference: InferenceMode::Compositional,
+        }
+    }
+
+    /// Selects the property-inference mode (see [`InferenceMode`]).
+    #[must_use]
+    pub fn with_inference(mut self, mode: InferenceMode) -> Self {
+        self.inference = mode;
+        self
+    }
+
+    /// The registry in use.
+    pub fn registry(&self) -> &KernelRegistry {
+        self.registry
+    }
+
+    /// Solves the GMCP for `chain` (paper Fig. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GmcError::NotComputable`] if no parenthesization exposes
+    /// only kernel-computable binary products (possible only with
+    /// restricted registries; see paper Sec. 3.4).
+    pub fn solve(&self, chain: &Chain) -> Result<GmcSolution<M::Cost>, GmcError> {
+        let n = chain.len();
+        // exprs[i][j]: the symbolic value representing M[i..=j]; leaves
+        // are the factor expressions, interior entries temporaries.
+        let mut exprs: Vec<Vec<Option<Expr>>> = vec![vec![None; n]; n];
+        let mut costs: Vec<Vec<Option<M::Cost>>> = vec![vec![None; n]; n];
+        let mut chosen: Vec<Vec<Option<ChosenKernel<M::Cost>>>> = vec![vec![None; n]; n];
+        let mut splits: Vec<Vec<usize>> = vec![vec![0; n]; n];
+
+        for i in 0..n {
+            exprs[i][i] = Some(chain.factor(i).expr());
+            costs[i][i] = Some(M::Cost::zero());
+        }
+
+        for l in 1..n {
+            for i in 0..(n - l) {
+                let j = i + l;
+                let mut best: Option<(M::Cost, usize, ChosenKernel<M::Cost>)> = None;
+                for k in i..j {
+                    let (Some(cl), Some(cr)) = (costs[i][k].clone(), costs[k + 1][j].clone())
+                    else {
+                        continue;
+                    };
+                    let (Some(le), Some(re)) = (&exprs[i][k], &exprs[k + 1][j]) else {
+                        continue;
+                    };
+                    let product = Expr::times([le.clone(), re.clone()]);
+                    let Some(m) = self.best_kernel(&product) else {
+                        continue;
+                    };
+                    let op_cost = self.metric.op_cost(&m.op);
+                    let total = cl.add(&cr).add(&op_cost);
+                    let better = match &best {
+                        None => true,
+                        Some((c, _, _)) => total < *c,
+                    };
+                    if better {
+                        let properties = self.temp_properties(chain, i, j, &product);
+                        best = Some((
+                            total,
+                            k,
+                            ChosenKernel {
+                                name: m.kernel.name().to_owned(),
+                                op: m.op,
+                                op_cost,
+                                properties,
+                            },
+                        ));
+                    }
+                }
+                if let Some((total, k, ck)) = best {
+                    let shape = ck.op.result_shape();
+                    let temp = Operand::temporary(format!("T{i}_{j}"), shape, ck.properties);
+                    exprs[i][j] = Some(temp.expr());
+                    costs[i][j] = Some(total);
+                    splits[i][j] = k;
+                    chosen[i][j] = Some(ck);
+                }
+            }
+        }
+
+        if costs[0][n - 1].is_none() {
+            return Err(GmcError::NotComputable {
+                chain: chain.to_string(),
+            });
+        }
+
+        // Reconstruct the kernel sequence in dependency order (Fig. 7).
+        let mut steps = Vec::with_capacity(n - 1);
+        construct_solution(0, n - 1, &splits, &chosen, &exprs, &mut steps);
+        let total_cost = costs[0][n - 1].clone().expect("checked above");
+        let total_flops = steps.iter().map(|s: &Step<M::Cost>| s.op.flops()).sum();
+        let paren = parenthesization(chain, 0, n - 1, &splits);
+        Ok(GmcSolution {
+            steps,
+            total_cost,
+            total_flops,
+            paren,
+        })
+    }
+
+    /// Solves the GMCP with top-down memoized recursion instead of the
+    /// bottom-up table fill — the other classic formulation of the DP
+    /// (paper Sec. 2). Produces the same solutions as [`solve`](Self::solve)
+    /// (ties may rarely resolve differently under partial-order metrics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GmcError::NotComputable`] under the same conditions as
+    /// [`solve`](Self::solve).
+    pub fn solve_top_down(&self, chain: &Chain) -> Result<GmcSolution<M::Cost>, GmcError> {
+        let n = chain.len();
+        let mut memo = TopDownMemo {
+            exprs: vec![vec![None; n]; n],
+            costs: vec![vec![None; n]; n],
+            chosen: vec![vec![None; n]; n],
+            splits: vec![vec![0; n]; n],
+            done: vec![vec![false; n]; n],
+        };
+        for i in 0..n {
+            memo.exprs[i][i] = Some(chain.factor(i).expr());
+            memo.costs[i][i] = Some(M::Cost::zero());
+            memo.done[i][i] = true;
+        }
+        self.top_down(chain, 0, n - 1, &mut memo);
+        if memo.costs[0][n - 1].is_none() {
+            return Err(GmcError::NotComputable {
+                chain: chain.to_string(),
+            });
+        }
+        let mut steps = Vec::with_capacity(n - 1);
+        construct_solution(0, n - 1, &memo.splits, &memo.chosen, &memo.exprs, &mut steps);
+        let total_cost = memo.costs[0][n - 1].clone().expect("checked above");
+        let total_flops = steps.iter().map(|s: &Step<M::Cost>| s.op.flops()).sum();
+        let paren = parenthesization(chain, 0, n - 1, &memo.splits);
+        Ok(GmcSolution {
+            steps,
+            total_cost,
+            total_flops,
+            paren,
+        })
+    }
+
+    fn top_down(&self, chain: &Chain, i: usize, j: usize, memo: &mut TopDownMemo<M::Cost>) {
+        if memo.done[i][j] {
+            return;
+        }
+        memo.done[i][j] = true;
+        let mut best: Option<(M::Cost, usize, ChosenKernel<M::Cost>)> = None;
+        for k in i..j {
+            self.top_down(chain, i, k, memo);
+            self.top_down(chain, k + 1, j, memo);
+            let (Some(cl), Some(cr)) = (memo.costs[i][k].clone(), memo.costs[k + 1][j].clone())
+            else {
+                continue;
+            };
+            let (Some(le), Some(re)) = (&memo.exprs[i][k], &memo.exprs[k + 1][j]) else {
+                continue;
+            };
+            let product = Expr::times([le.clone(), re.clone()]);
+            let Some(m) = self.best_kernel(&product) else {
+                continue;
+            };
+            let op_cost = self.metric.op_cost(&m.op);
+            let total = cl.add(&cr).add(&op_cost);
+            let better = match &best {
+                None => true,
+                Some((c, _, _)) => total < *c,
+            };
+            if better {
+                let properties = self.temp_properties(chain, i, j, &product);
+                best = Some((
+                    total,
+                    k,
+                    ChosenKernel {
+                        name: m.kernel.name().to_owned(),
+                        op: m.op,
+                        op_cost,
+                        properties,
+                    },
+                ));
+            }
+        }
+        if let Some((total, k, ck)) = best {
+            let shape = ck.op.result_shape();
+            let temp = Operand::temporary(format!("T{i}_{j}"), shape, ck.properties);
+            memo.exprs[i][j] = Some(temp.expr());
+            memo.costs[i][j] = Some(total);
+            memo.splits[i][j] = k;
+            memo.chosen[i][j] = Some(ck);
+        }
+    }
+
+    /// Selects the kernel minimizing the metric among all matches,
+    /// breaking ties in favor of higher specificity.
+    fn best_kernel(&self, product: &Expr) -> Option<KernelMatch<'r>> {
+        let matches = self.registry.match_expr(product);
+        matches.into_iter().min_by(|p, q| {
+            let cp = self.metric.op_cost(&p.op);
+            let cq = self.metric.op_cost(&q.op);
+            cp.partial_cmp(&cq)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| q.kernel.specificity().cmp(&p.kernel.specificity()))
+        })
+    }
+
+    fn temp_properties(&self, chain: &Chain, i: usize, j: usize, product: &Expr) -> PropertySet {
+        match self.inference {
+            InferenceMode::Compositional => infer_properties(product),
+            InferenceMode::Deep => {
+                let unfolded =
+                    Expr::times((i..=j).map(|t| chain.factor(t).expr()).collect::<Vec<_>>());
+                infer_properties(&unfolded)
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ChosenKernel<C> {
+    name: String,
+    op: gmc_kernels::KernelOp,
+    op_cost: C,
+    properties: PropertySet,
+}
+
+struct TopDownMemo<C> {
+    exprs: Vec<Vec<Option<Expr>>>,
+    costs: Vec<Vec<Option<C>>>,
+    chosen: Vec<Vec<Option<ChosenKernel<C>>>>,
+    splits: Vec<Vec<usize>>,
+    done: Vec<Vec<bool>>,
+}
+
+fn construct_solution<C: Cost>(
+    i: usize,
+    j: usize,
+    splits: &[Vec<usize>],
+    chosen: &[Vec<Option<ChosenKernel<C>>>],
+    exprs: &[Vec<Option<Expr>>],
+    out: &mut Vec<Step<C>>,
+) {
+    if i == j {
+        return;
+    }
+    let k = splits[i][j];
+    construct_solution(i, k, splits, chosen, exprs, out);
+    construct_solution(k + 1, j, splits, chosen, exprs, out);
+    let ck = chosen[i][j].as_ref().expect("solution entries are complete");
+    let dest = match exprs[i][j].as_ref().expect("solution entries are complete") {
+        Expr::Symbol(op) => op.clone(),
+        other => unreachable!("temporary must be a symbol, got {other}"),
+    };
+    out.push(Step {
+        dest,
+        op: ck.op.clone(),
+        kernel: ck.name.clone(),
+        cost: ck.op_cost.clone(),
+    });
+}
+
+fn parenthesization(chain: &Chain, i: usize, j: usize, splits: &[Vec<usize>]) -> String {
+    if i == j {
+        return chain.factor(i).to_string();
+    }
+    let k = splits[i][j];
+    format!(
+        "({} {})",
+        parenthesization(chain, i, k, splits),
+        parenthesization(chain, k + 1, j, splits)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcp::matrix_chain_order;
+    use crate::metric::{FlopCount, FlopsThenKernels, TimeModel};
+    use gmc_expr::{Factor, Property};
+    use gmc_kernels::KernelFamily;
+
+    fn chain_of(expr: &Expr) -> Chain {
+        Chain::from_expr(expr).expect("well-formed chain")
+    }
+
+    #[test]
+    fn two_factor_chain() {
+        let registry = KernelRegistry::blas_lapack();
+        let gmc = GmcOptimizer::new(&registry, FlopCount);
+        let a = Operand::matrix("A", 2, 3);
+        let b = Operand::matrix("B", 3, 4);
+        let sol = gmc.solve(&chain_of(&(a.expr() * b.expr()))).unwrap();
+        assert_eq!(sol.steps().len(), 1);
+        assert_eq!(sol.kernel_names(), vec!["GEMM_NN"]);
+        assert_eq!(sol.flops(), 48.0);
+        assert_eq!(sol.parenthesization(), "(A B)");
+    }
+
+    #[test]
+    fn matches_classic_mcp_on_plain_chains() {
+        // On chains without operators/properties, GMC with the full
+        // registry must find the classic MCP optimum.
+        let registry = KernelRegistry::blas_lapack();
+        let gmc = GmcOptimizer::new(&registry, FlopCount);
+        let sizes = [130usize, 700, 383, 1340, 193, 900];
+        let ops: Vec<Operand> = (0..5)
+            .map(|i| Operand::matrix(format!("M{i}"), sizes[i], sizes[i + 1]))
+            .collect();
+        let chain = Chain::new(ops.into_iter().map(Factor::plain).collect()).unwrap();
+        let sol = gmc.solve(&chain).unwrap();
+        let classic = matrix_chain_order(&sizes);
+        assert_eq!(sol.flops(), classic.flops());
+        assert_eq!(sol.parenthesization(), "((((M0 M1) M2) M3) M4)");
+    }
+
+    #[test]
+    fn paper_table2_kernel_sequence() {
+        let registry = KernelRegistry::blas_lapack();
+        let gmc = GmcOptimizer::new(&registry, FlopCount);
+        let a = Operand::square("A", 2000).with_property(Property::SymmetricPositiveDefinite);
+        let b = Operand::matrix("B", 2000, 200);
+        let c = Operand::square("C", 200).with_property(Property::LowerTriangular);
+        let chain = chain_of(&(a.inverse() * b.expr() * c.transpose()));
+        let sol = gmc.solve(&chain).unwrap();
+        assert_eq!(sol.kernel_names(), vec!["TRMM_RLT", "POSV_LN"]);
+        assert_eq!(sol.parenthesization(), "(A^-1 (B C^T))");
+    }
+
+    #[test]
+    fn paper_sec32_property_changes_parenthesization() {
+        // X := AᵀAB with A 20x20, B 20x15 (paper Sec. 3.2, without SYRK
+        // so AᵀA is priced as a general product):
+        //   (AᵀA)B with SYMM: 16000 + 6000 = 22000 flops
+        //   Aᵀ(AB) with two GEMMs: 24000 flops.
+        let registry = KernelRegistry::builder()
+            .without_family(KernelFamily::Syrk)
+            .build();
+        let gmc = GmcOptimizer::new(&registry, FlopCount);
+        let a = Operand::square("A", 20);
+        let b = Operand::matrix("B", 20, 15);
+        let chain = chain_of(&(a.transpose() * a.expr() * b.expr()));
+        let sol = gmc.solve(&chain).unwrap();
+        assert_eq!(sol.flops(), 22000.0);
+        assert_eq!(sol.parenthesization(), "((A^T A) B)");
+        assert_eq!(sol.kernel_names(), vec!["GEMM_TN", "SYMM_LN"]);
+    }
+
+    #[test]
+    fn paper_sec32_with_syrk() {
+        // With SYRK in the registry, AᵀA costs half: 8000 + 6000 = 14000.
+        let registry = KernelRegistry::blas_lapack();
+        let gmc = GmcOptimizer::new(&registry, FlopCount);
+        let a = Operand::square("A", 20);
+        let b = Operand::matrix("B", 20, 15);
+        let chain = chain_of(&(a.transpose() * a.expr() * b.expr()));
+        let sol = gmc.solve(&chain).unwrap();
+        assert_eq!(sol.flops(), 14000.0);
+        assert_eq!(sol.kernel_names(), vec!["SYRK_T", "SYMM_LN"]);
+    }
+
+    #[test]
+    fn completeness_inverse_pair_via_two_solves() {
+        // Paper Sec. 3.4: X := A⁻¹B⁻¹C with no kernel for X⁻¹Y⁻¹ is
+        // still computable as A⁻¹(B⁻¹C).
+        let registry = KernelRegistry::builder().without_composite_inverse().build();
+        let gmc = GmcOptimizer::new(&registry, FlopCount);
+        let a = Operand::square("A", 100);
+        let b = Operand::square("B", 100);
+        let c = Operand::matrix("C", 100, 10);
+        let chain = chain_of(&(a.inverse() * b.inverse() * c.expr()));
+        let sol = gmc.solve(&chain).unwrap();
+        assert_eq!(sol.parenthesization(), "(A^-1 (B^-1 C))");
+        assert_eq!(sol.kernel_names(), vec!["GESV_LN", "GESV_LN"]);
+    }
+
+    #[test]
+    fn not_computable_without_any_solver() {
+        // Remove every kernel that can process an inverse: the chain
+        // A⁻¹B becomes uncomputable.
+        let registry = KernelRegistry::builder()
+            .only_families([KernelFamily::Gemm])
+            .build();
+        let gmc = GmcOptimizer::new(&registry, FlopCount);
+        let a = Operand::square("A", 10);
+        let b = Operand::matrix("B", 10, 4);
+        let chain = chain_of(&(a.inverse() * b.expr()));
+        assert!(matches!(
+            gmc.solve(&chain),
+            Err(GmcError::NotComputable { .. })
+        ));
+    }
+
+    #[test]
+    fn property_propagation_through_temporaries() {
+        // L1 L2 B with both L lower triangular: (L1 L2) is inferred
+        // lower triangular, so the second product can use TRMM again.
+        let registry = KernelRegistry::blas_lapack();
+        let gmc = GmcOptimizer::new(&registry, FlopCount);
+        let l1 = Operand::square("L1", 100).with_property(Property::LowerTriangular);
+        let l2 = Operand::square("L2", 100).with_property(Property::LowerTriangular);
+        let b = Operand::matrix("B", 100, 80);
+        let chain = chain_of(&(l1.expr() * l2.expr() * b.expr()));
+        let sol = gmc.solve(&chain).unwrap();
+        // (L1 L2) B: TRMM (1e6) + TRMM via temp property (8e5·... ) —
+        // check that at least one step besides the first is property
+        // specialized.
+        let fams: Vec<_> = sol.steps().iter().map(|s| s.op.family()).collect();
+        assert!(fams.contains(&KernelFamily::Trmm));
+        // The right-to-left evaluation L1 (L2 B) costs 2·TRMM(100²·80);
+        // the left-first (L1 L2) B costs TRMM(100³)+TRMM(100²·80) which
+        // is more. So the parenthesization is right-to-left and both
+        // steps are TRMM.
+        assert_eq!(sol.parenthesization(), "(L1 (L2 B))");
+        assert_eq!(sol.kernel_names(), vec!["TRMM_LLN", "TRMM_LLN"]);
+    }
+
+    #[test]
+    fn vector_chain_gemv_cascade() {
+        // M1 M2 v1 v2ᵀ: optimal is GEMV cascade then outer product
+        // (paper Sec. 4 discussion).
+        let registry = KernelRegistry::blas_lapack();
+        let gmc = GmcOptimizer::new(&registry, FlopCount);
+        let m1 = Operand::square("M1", 500);
+        let m2 = Operand::square("M2", 500);
+        let v1 = Operand::col_vector("v1", 500);
+        let v2 = Operand::col_vector("v2", 400);
+        let chain = chain_of(&(m1.expr() * m2.expr() * v1.expr() * v2.transpose()));
+        let sol = gmc.solve(&chain).unwrap();
+        assert_eq!(sol.parenthesization(), "((M1 (M2 v1)) v2^T)");
+        assert_eq!(sol.kernel_names(), vec!["GEMV_N", "GEMV_N", "GER"]);
+    }
+
+    #[test]
+    fn time_metric_can_change_the_solution() {
+        // With FLOPs, a BLAS-2-heavy evaluation may win; the time model
+        // penalizes BLAS-2 and can prefer keeping BLAS-3 kernels.
+        let registry = KernelRegistry::blas_lapack();
+        let a = Operand::matrix("A", 300, 40);
+        let b = Operand::matrix("B", 40, 300);
+        let c = Operand::matrix("C", 300, 40);
+        let chain = chain_of(&(a.expr() * b.expr() * c.expr()));
+        let flops_sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+        let time_sol = GmcOptimizer::new(&registry, TimeModel::default())
+            .solve(&chain)
+            .unwrap();
+        // Both must be valid; FLOP counts must agree with their own
+        // metric's optimum ordering.
+        assert!(flops_sol.flops() <= time_sol.flops());
+    }
+
+    #[test]
+    fn lexicographic_metric_minimizes_kernel_count_second() {
+        let registry = KernelRegistry::blas_lapack();
+        let gmc = GmcOptimizer::new(&registry, FlopsThenKernels);
+        let a = Operand::matrix("A", 10, 20);
+        let b = Operand::matrix("B", 20, 30);
+        let c = Operand::matrix("C", 30, 5);
+        let chain = chain_of(&(a.expr() * b.expr() * c.expr()));
+        let sol = gmc.solve(&chain).unwrap();
+        let lex = sol.cost();
+        assert_eq!(lex.1, 2.0); // two kernel calls
+    }
+
+    #[test]
+    fn deep_inference_recovers_split_dependent_properties() {
+        // (Aᵀ B)(Bᵀ A): compositional inference on the chosen split may
+        // miss symmetry of the overall product; deep inference sees the
+        // full palindrome.
+        let registry = KernelRegistry::blas_lapack();
+        let a = Operand::matrix("A", 60, 4);
+        let b = Operand::matrix("B", 60, 4);
+        let chain = chain_of(&(a.transpose() * b.expr() * b.transpose() * a.expr()));
+        let deep = GmcOptimizer::new(&registry, FlopCount)
+            .with_inference(InferenceMode::Deep)
+            .solve(&chain)
+            .unwrap();
+        // Deep mode must not be worse.
+        let comp = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+        assert!(deep.flops() <= comp.flops());
+    }
+
+    #[test]
+    fn solution_program_has_one_instruction_per_step() {
+        let registry = KernelRegistry::blas_lapack();
+        let gmc = GmcOptimizer::new(&registry, FlopCount);
+        let a = Operand::matrix("A", 4, 5);
+        let b = Operand::matrix("B", 5, 6);
+        let c = Operand::matrix("C", 6, 7);
+        let chain = chain_of(&(a.expr() * b.expr() * c.expr()));
+        let sol = gmc.solve(&chain).unwrap();
+        let program = sol.program();
+        assert_eq!(program.len(), sol.steps().len());
+    }
+
+    #[test]
+    fn top_down_matches_bottom_up() {
+        use gmc_expr::UnaryOp;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let registry = KernelRegistry::blas_lapack();
+        let gmc = GmcOptimizer::new(&registry, FlopCount);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            // Random square chain with random ops and properties.
+            let n = rng.gen_range(2..=7);
+            let dim = rng.gen_range(2..=6) * 10;
+            let factors: Vec<Factor> = (0..n)
+                .map(|i| {
+                    let mut op = Operand::square(format!("M{i}"), dim);
+                    if rng.gen_bool(0.5) {
+                        let p = [
+                            Property::Diagonal,
+                            Property::LowerTriangular,
+                            Property::UpperTriangular,
+                            Property::Symmetric,
+                            Property::SymmetricPositiveDefinite,
+                        ][rng.gen_range(0..5)];
+                        op = op.with_property(p);
+                    }
+                    let u = [
+                        UnaryOp::None,
+                        UnaryOp::Transpose,
+                        UnaryOp::Inverse,
+                        UnaryOp::InverseTranspose,
+                    ][rng.gen_range(0..4)];
+                    Factor::new(op, u)
+                })
+                .collect();
+            let chain = Chain::new(factors).unwrap();
+            let bottom_up = gmc.solve(&chain).unwrap();
+            let top_down = gmc.solve_top_down(&chain).unwrap();
+            assert_eq!(bottom_up.cost(), top_down.cost(), "chain {chain}");
+            assert_eq!(
+                bottom_up.parenthesization(),
+                top_down.parenthesization(),
+                "chain {chain}"
+            );
+            assert_eq!(bottom_up.kernel_names(), top_down.kernel_names());
+        }
+    }
+
+    #[test]
+    fn top_down_reports_not_computable() {
+        let registry = KernelRegistry::builder()
+            .only_families([KernelFamily::Gemm])
+            .build();
+        let gmc = GmcOptimizer::new(&registry, FlopCount);
+        let a = Operand::square("A", 10);
+        let b = Operand::matrix("B", 10, 4);
+        let chain = chain_of(&(a.inverse() * b.expr()));
+        assert!(matches!(
+            gmc.solve_top_down(&chain),
+            Err(GmcError::NotComputable { .. })
+        ));
+    }
+
+    #[test]
+    fn display_lists_steps() {
+        let registry = KernelRegistry::blas_lapack();
+        let gmc = GmcOptimizer::new(&registry, FlopCount);
+        let a = Operand::matrix("A", 4, 5);
+        let b = Operand::matrix("B", 5, 6);
+        let chain = chain_of(&(a.expr() * b.expr()));
+        let sol = gmc.solve(&chain).unwrap();
+        let text = sol.to_string();
+        assert!(text.contains("GEMM_NN"));
+        assert!(text.contains("T0_1"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Diagnostic tool: finds the test problems where the GMC-generated
+//! program is furthest from the best implementation (wall clock) and
+//! prints both programs with per-instruction timings.
+
+use gmc_codegen::{Emitter, PseudoEmitter};
+use gmc_experiments::generator::{random_chains, GeneratorConfig};
+use gmc_experiments::harness::{compile_all, evaluate_chain, EvalMode};
+use gmc_experiments::{args, report};
+use gmc_kernels::KernelRegistry;
+use gmc_runtime::{execute_op, Env};
+use std::time::Instant;
+
+fn main() {
+    let chains_n: usize = args::opt_or("chains", 30);
+    let seed: u64 = args::opt_or("seed", 2018);
+    let reps: usize = args::opt_or("reps", 3);
+    let mut config = GeneratorConfig::measured_scale();
+    config.size_max = args::opt_or("size-max", config.size_max);
+    let top: usize = args::opt_or("top", 3);
+
+    let registry = KernelRegistry::blas_lapack();
+    let chains = random_chains(&config, chains_n, seed);
+    let mut scored = Vec::new();
+    for chain in &chains {
+        let m = evaluate_chain(
+            chain,
+            &registry,
+            EvalMode::Measured {
+                reps,
+                seed,
+                validate: false,
+            },
+        )
+        .expect("measured run");
+        scored.push((m.gmc() / m.best(), chain.clone(), m));
+    }
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+    for (ratio, chain, m) in scored.iter().take(top) {
+        println!("==============================================");
+        println!("chain: {chain}   GMC/best = {ratio:.2}");
+        for (label, cost) in &m.costs {
+            println!("  {label:<8} {}", report::fmt_cost(*cost));
+        }
+        let programs = compile_all(chain, &registry).expect("compiles");
+        let best_label = m
+            .costs
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+            .0
+            .clone();
+        for (label, program) in &programs {
+            if label != "GMC" && *label != best_label {
+                continue;
+            }
+            println!("--- {label} program (flops {:.3e}):", program.flops());
+            let env = Env::random_for_chain(chain, seed);
+            let mut env2 = env.clone();
+            for instr in program.instructions() {
+                let start = Instant::now();
+                let v = execute_op(instr.op(), &env2).expect("op runs");
+                let dt = start.elapsed().as_secs_f64();
+                env2.bind(instr.dest().name(), v);
+                println!(
+                    "    {:<9} {}",
+                    report::fmt_cost(dt),
+                    PseudoEmitter.emit(&gmc_codegen::Program::new(vec![instr.clone()]))
+                );
+            }
+        }
+    }
+}

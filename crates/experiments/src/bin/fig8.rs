@@ -1,0 +1,66 @@
+//! Reproduces paper Fig. 8: average speedup of the GMC-generated code
+//! over each baseline, on 100 random chains.
+//!
+//! ```text
+//! fig8 [--chains 100] [--seed 2018] [--size-max 300] [--reps 3]
+//!      [--flops | --model]      # cost analytically instead of executing
+//!      [--paper-sizes]          # size range 50..2000 (use with --flops)
+//! ```
+
+use gmc::TimeModel;
+use gmc_experiments::generator::{load_chains, random_chains, save_chains, GeneratorConfig};
+use gmc_experiments::harness::{evaluate_chain, fig8_speedups, EvalMode};
+use gmc_experiments::{args, report};
+use gmc_kernels::KernelRegistry;
+
+fn main() {
+    let chains_n: usize = args::opt_or("chains", 100);
+    let seed: u64 = args::opt_or("seed", 2018);
+    let reps: usize = args::opt_or("reps", 3);
+    let mut config = if args::flag("paper-sizes") {
+        GeneratorConfig::default()
+    } else {
+        GeneratorConfig::measured_scale()
+    };
+    config.size_max = args::opt_or("size-max", config.size_max);
+
+    let mode = if args::flag("flops") {
+        EvalMode::Flops
+    } else if args::flag("model") {
+        EvalMode::Model(TimeModel::default())
+    } else {
+        EvalMode::Measured {
+            reps,
+            seed,
+            validate: false,
+        }
+    };
+
+    eprintln!(
+        "fig8: {chains_n} chains, seed {seed}, sizes {}..{} step {}, mode {mode:?}",
+        config.size_min, config.size_max, config.size_step
+    );
+
+    let registry = KernelRegistry::blas_lapack();
+    let chains = match args::opt("chains-file") {
+        Some(path) => load_chains(std::path::Path::new(&path)).expect("readable chain set"),
+        None => random_chains(&config, chains_n, seed),
+    };
+    if let Some(path) = args::opt("save-chains") {
+        save_chains(std::path::Path::new(&path), &chains).expect("writable chain set");
+    }
+    let mut results = Vec::with_capacity(chains.len());
+    for (i, chain) in chains.iter().enumerate() {
+        match evaluate_chain(chain, &registry, mode) {
+            Ok(m) => results.push(m),
+            Err(e) => eprintln!("chain {i} skipped: {e}"),
+        }
+        if (i + 1) % 10 == 0 {
+            eprintln!("  {}/{} chains done", i + 1, chains_n);
+        }
+    }
+
+    println!("== Fig. 8: average speedup of GMC over each baseline ==");
+    println!("(paper reports speedups between ~6 and ~15, ~9 overall)\n");
+    print!("{}", report::fig8_table(&fig8_speedups(&results)));
+}

@@ -1,0 +1,56 @@
+//! Reproduces paper Table 1: example kernel patterns with their
+//! constraints and costs, straight from the kernel registry.
+//!
+//! Pass `--full` to print the complete registry (all 90+ kernels) as a
+//! Markdown table instead of the paper's five example rows.
+
+use gmc_experiments::args;
+use gmc_kernels::KernelRegistry;
+
+fn main() {
+    let registry = KernelRegistry::blas_lapack();
+    if args::flag("full") {
+        println!("== full kernel registry ({} kernels) ==\n", registry.len());
+        print!("{}", registry.describe());
+        return;
+    }
+    println!("== Table 1: examples of patterns for BLAS kernels ==\n");
+    println!("{:<14} {:<22} {:<28} cost", "Name", "Pattern", "Constraints");
+    // The rows the paper shows, by kernel name.
+    let rows = ["GEMM_NN", "TRMM_LLN", "SYMM_LN", "TRSM_LLN", "SYRK_T"];
+    for name in rows {
+        let k = registry
+            .kernels()
+            .iter()
+            .find(|k| k.name() == name)
+            .expect("kernel present in full registry");
+        let constraints = if k.constraints().is_empty() {
+            "-".to_owned()
+        } else {
+            k.constraints()
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let cost = match k.family() {
+            gmc_kernels::KernelFamily::Gemm => "2mnk",
+            gmc_kernels::KernelFamily::Trmm
+            | gmc_kernels::KernelFamily::Symm
+            | gmc_kernels::KernelFamily::Trsm => "m^2 n",
+            gmc_kernels::KernelFamily::Syrk => "m^2 k",
+            _ => "?",
+        };
+        println!("{:<14} {:<22} {:<28} {}", k.name(), k.pattern().to_string(), constraints, cost);
+    }
+    println!(
+        "\nfull registry: {} kernels across {} families",
+        registry.len(),
+        {
+            let mut fams: Vec<_> = registry.kernels().iter().map(|k| k.family()).collect();
+            fams.sort_unstable();
+            fams.dedup();
+            fams.len()
+        }
+    );
+}

@@ -1,0 +1,356 @@
+//! The experiment harness: compile a chain with all ten implementations
+//! (GMC + 9 baselines), cost or execute each program, and summarize.
+
+use crate::generator::ChainSpec;
+use gmc::{CostMetric, FlopCount, GmcError, GmcOptimizer, TimeModel};
+use gmc_baselines::{all_strategies, Strategy};
+use gmc_codegen::Program;
+use gmc_expr::Chain;
+use gmc_kernels::KernelRegistry;
+use gmc_runtime::{validate_against_reference, Env, RuntimeError};
+
+/// Label used for the GMC implementation in result rows.
+pub const GMC_LABEL: &str = "GMC";
+
+/// Errors from the harness.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// The optimizer failed (registry cannot compute the chain).
+    Gmc(GmcError),
+    /// Execution or validation failed.
+    Runtime(RuntimeError),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Gmc(e) => write!(f, "optimizer: {e}"),
+            HarnessError::Runtime(e) => write!(f, "runtime: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<GmcError> for HarnessError {
+    fn from(e: GmcError) -> Self {
+        HarnessError::Gmc(e)
+    }
+}
+
+impl From<RuntimeError> for HarnessError {
+    fn from(e: RuntimeError) -> Self {
+        HarnessError::Runtime(e)
+    }
+}
+
+/// Compiles the chain with GMC (FLOPs metric, as in the paper's
+/// evaluation) and all nine baselines, in the paper's order.
+///
+/// # Errors
+///
+/// Returns an error if the optimizer cannot map the chain (impossible
+/// with the full registry).
+pub fn compile_all(
+    chain: &Chain,
+    registry: &KernelRegistry,
+) -> Result<Vec<(String, Program)>, GmcError> {
+    let gmc = GmcOptimizer::new(registry, FlopCount).solve(chain)?;
+    let mut out = vec![(GMC_LABEL.to_owned(), gmc.program())];
+    for s in all_strategies() {
+        out.push((s.label().to_owned(), s.compile(chain)));
+    }
+    Ok(out)
+}
+
+/// How implementations are costed.
+#[derive(Clone, Copy, Debug)]
+pub enum EvalMode {
+    /// Sum of per-kernel FLOPs (paper Table 1 conventions) — exact and
+    /// size-independent, usable at full paper scale.
+    Flops,
+    /// The calibrated execution-time model of `gmc::TimeModel`.
+    Model(TimeModel),
+    /// Actually execute each program on the substrate and take the
+    /// minimum wall-clock time over `reps` runs (paper footnote 7).
+    Measured {
+        /// Repetitions per program.
+        reps: usize,
+        /// Seed for the random input matrices.
+        seed: u64,
+        /// Validate every program against the reference evaluation
+        /// before timing.
+        validate: bool,
+    },
+}
+
+/// The per-implementation costs for one test problem.
+#[derive(Clone, Debug)]
+pub struct ChainMeasurement {
+    /// The problem.
+    pub spec: ChainSpec,
+    /// `(label, cost)` rows, GMC first, baselines in paper order.
+    pub costs: Vec<(String, f64)>,
+}
+
+impl ChainMeasurement {
+    /// The GMC cost.
+    pub fn gmc(&self) -> f64 {
+        self.costs[0].1
+    }
+
+    /// The minimum cost over all implementations.
+    pub fn best(&self) -> f64 {
+        self.costs.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Evaluates one chain under the given mode.
+///
+/// # Errors
+///
+/// Propagates optimizer and runtime errors.
+pub fn evaluate_chain(
+    chain: &Chain,
+    registry: &KernelRegistry,
+    mode: EvalMode,
+) -> Result<ChainMeasurement, HarnessError> {
+    let programs = compile_all(chain, registry)?;
+    let mut costs = Vec::with_capacity(programs.len());
+    match mode {
+        EvalMode::Flops => {
+            for (label, program) in &programs {
+                costs.push((label.clone(), program.flops()));
+            }
+        }
+        EvalMode::Model(model) => {
+            for (label, program) in &programs {
+                let t: f64 = program
+                    .instructions()
+                    .iter()
+                    .map(|i| model.op_cost(i.op()))
+                    .sum();
+                costs.push((label.clone(), t));
+            }
+        }
+        EvalMode::Measured {
+            reps,
+            seed,
+            validate,
+        } => {
+            let env = Env::random_for_chain(chain, seed);
+            let mut best = vec![f64::INFINITY; programs.len()];
+            // Round-robin repetitions: every round times each
+            // implementation once, so slow phases of the machine hit all
+            // implementations instead of whichever ran during them.
+            // Immediately before each timed run the same program runs
+            // untimed, so a small program is not charged for the cache
+            // damage of whichever (possibly much heavier) program ran
+            // before it. The minimum over rounds is kept (paper footnote
+            // 7 uses minima as well).
+            for round in 0..reps.max(1) {
+                for (idx, (_, program)) in programs.iter().enumerate() {
+                    if round == 0 && validate {
+                        validate_against_reference(program, chain, &env, 1e-5)?;
+                    }
+                    let _ = gmc_runtime::time_program(program, &env)?;
+                    let t = gmc_runtime::time_program(program, &env)?;
+                    best[idx] = best[idx].min(t);
+                }
+            }
+            for ((label, _), t) in programs.iter().zip(best) {
+                costs.push((label.clone(), t));
+            }
+        }
+    }
+    Ok(ChainMeasurement {
+        spec: ChainSpec::from_chain(chain),
+        costs,
+    })
+}
+
+/// Fig. 8: the average speedup of GMC over each baseline (arithmetic
+/// mean over the test problems of `cost_baseline / cost_GMC`).
+pub fn fig8_speedups(results: &[ChainMeasurement]) -> Vec<(String, f64)> {
+    if results.is_empty() {
+        return Vec::new();
+    }
+    let labels: Vec<String> = results[0]
+        .costs
+        .iter()
+        .skip(1)
+        .map(|(l, _)| l.clone())
+        .collect();
+    labels
+        .iter()
+        .enumerate()
+        .map(|(idx, label)| {
+            let mean = results
+                .iter()
+                .map(|r| r.costs[idx + 1].1 / r.gmc())
+                .sum::<f64>()
+                / results.len() as f64;
+            (label.clone(), mean)
+        })
+        .collect()
+}
+
+/// Statistics the paper reports alongside Fig. 9.
+#[derive(Clone, Debug)]
+pub struct Fig9Stats {
+    /// Fraction of test cases in which GMC is the fastest.
+    pub gmc_fastest_fraction: f64,
+    /// Largest ratio `cost_GMC / cost_best` (paper: never above 1.66).
+    pub worst_gmc_to_best_ratio: f64,
+    /// Fraction of cases where some other implementation beats GMC by
+    /// more than 10% (paper: 4%).
+    pub other_beats_gmc_by_10pct: f64,
+    /// Per baseline: fraction of cases where it is more than 10× slower
+    /// than GMC (paper: at least 10% for every baseline).
+    pub baseline_10x_slower: Vec<(String, f64)>,
+}
+
+/// Computes the Fig. 9 summary statistics.
+pub fn fig9_stats(results: &[ChainMeasurement]) -> Fig9Stats {
+    let n = results.len().max(1) as f64;
+    // Baselines frequently emit the *same* program as GMC (left-to-right
+    // happens to be optimal; the paper discusses this in Sec. 4), in
+    // which case wall-clock noise decides who is "fastest". A 2% tie
+    // tolerance keeps identical programs from flipping the statistic.
+    let gmc_fastest = results
+        .iter()
+        .filter(|r| r.gmc() <= r.best() * 1.02)
+        .count() as f64;
+    let worst_ratio = results
+        .iter()
+        .map(|r| r.gmc() / r.best())
+        .fold(0.0, f64::max);
+    let beat10 = results
+        .iter()
+        .filter(|r| r.best() < r.gmc() / 1.1)
+        .count() as f64;
+    let labels: Vec<String> = results
+        .first()
+        .map(|r| r.costs.iter().skip(1).map(|(l, _)| l.clone()).collect())
+        .unwrap_or_default();
+    let baseline_10x_slower = labels
+        .iter()
+        .enumerate()
+        .map(|(idx, label)| {
+            let count = results
+                .iter()
+                .filter(|r| r.costs[idx + 1].1 > 10.0 * r.gmc())
+                .count() as f64;
+            (label.clone(), count / n)
+        })
+        .collect();
+    Fig9Stats {
+        gmc_fastest_fraction: gmc_fastest / n,
+        worst_gmc_to_best_ratio: worst_ratio,
+        other_beats_gmc_by_10pct: beat10 / n,
+        baseline_10x_slower,
+    }
+}
+
+/// Fig. 9 rows: one row per test problem, sorted by the GMC cost, each
+/// row holding every implementation's cost.
+pub fn fig9_rows(results: &[ChainMeasurement]) -> Vec<&ChainMeasurement> {
+    let mut rows: Vec<&ChainMeasurement> = results.iter().collect();
+    rows.sort_by(|a, b| a.gmc().total_cmp(&b.gmc()));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{random_chains, GeneratorConfig};
+
+    #[test]
+    fn compile_all_produces_ten_programs() {
+        let registry = KernelRegistry::blas_lapack();
+        let config = GeneratorConfig::measured_scale();
+        let chain = &random_chains(&config, 1, 4)[0];
+        let programs = compile_all(chain, &registry).unwrap();
+        assert_eq!(programs.len(), 10);
+        assert_eq!(programs[0].0, GMC_LABEL);
+        for (label, p) in &programs {
+            assert!(p.validate().is_ok(), "{label} program invalid");
+            assert!(!p.is_empty(), "{label} program empty");
+        }
+    }
+
+    #[test]
+    fn gmc_never_more_flops_than_any_baseline() {
+        let registry = KernelRegistry::blas_lapack();
+        let config = GeneratorConfig::measured_scale();
+        for chain in random_chains(&config, 25, 11) {
+            let m = evaluate_chain(&chain, &registry, EvalMode::Flops).unwrap();
+            let gmc = m.gmc();
+            for (label, cost) in &m.costs[1..] {
+                assert!(
+                    gmc <= cost * (1.0 + 1e-9),
+                    "GMC ({gmc}) beaten by {label} ({cost}) on {}",
+                    chain
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measured_mode_validates_and_times() {
+        let registry = KernelRegistry::blas_lapack();
+        let config = GeneratorConfig {
+            size_min: 10,
+            size_max: 40,
+            size_step: 10,
+            len_max: 5,
+            ..GeneratorConfig::default()
+        };
+        let chain = &random_chains(&config, 1, 5)[0];
+        let m = evaluate_chain(
+            chain,
+            &registry,
+            EvalMode::Measured {
+                reps: 1,
+                seed: 1,
+                validate: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.costs.len(), 10);
+        assert!(m.costs.iter().all(|(_, t)| *t > 0.0));
+    }
+
+    #[test]
+    fn fig8_speedups_shape() {
+        let registry = KernelRegistry::blas_lapack();
+        let config = GeneratorConfig::measured_scale();
+        let results: Vec<_> = random_chains(&config, 10, 21)
+            .iter()
+            .map(|c| evaluate_chain(c, &registry, EvalMode::Flops).unwrap())
+            .collect();
+        let speedups = fig8_speedups(&results);
+        assert_eq!(speedups.len(), 9);
+        // By optimality, every FLOP speedup is ≥ 1.
+        for (label, s) in &speedups {
+            assert!(*s >= 1.0, "{label} speedup {s} < 1");
+        }
+    }
+
+    #[test]
+    fn fig9_stats_flops_mode() {
+        let registry = KernelRegistry::blas_lapack();
+        let config = GeneratorConfig::measured_scale();
+        let results: Vec<_> = random_chains(&config, 15, 22)
+            .iter()
+            .map(|c| evaluate_chain(c, &registry, EvalMode::Flops).unwrap())
+            .collect();
+        let stats = fig9_stats(&results);
+        // In FLOPs mode GMC is optimal, hence always fastest.
+        assert_eq!(stats.gmc_fastest_fraction, 1.0);
+        assert!(stats.worst_gmc_to_best_ratio <= 1.0 + 1e-9);
+        let rows = fig9_rows(&results);
+        assert_eq!(rows.len(), 15);
+        assert!(rows.windows(2).all(|w| w[0].gmc() <= w[1].gmc()));
+    }
+}

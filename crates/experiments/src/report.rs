@@ -1,0 +1,103 @@
+//! Plain-text report rendering for the experiment drivers.
+
+use crate::harness::{ChainMeasurement, Fig9Stats};
+
+/// Formats a cost for display: seconds with engineering units when
+/// small, scientific notation for FLOPs.
+pub fn fmt_cost(c: f64) -> String {
+    if c == 0.0 {
+        return "0".to_owned();
+    }
+    if c < 1.0 {
+        if c < 1e-3 {
+            format!("{:.1}us", c * 1e6)
+        } else {
+            format!("{:.2}ms", c * 1e3)
+        }
+    } else if c < 1e4 {
+        format!("{c:.3}")
+    } else {
+        format!("{c:.3e}")
+    }
+}
+
+/// Renders the Fig. 8 bar data as an aligned two-column table.
+pub fn fig8_table(speedups: &[(String, f64)]) -> String {
+    let mut out = String::from("baseline  avg speedup of GMC\n");
+    for (label, s) in speedups {
+        out.push_str(&format!("{label:<9} {s:>8.2}x\n"));
+    }
+    if !speedups.is_empty() {
+        let overall = speedups.iter().map(|(_, s)| s).sum::<f64>() / speedups.len() as f64;
+        out.push_str(&format!("{:<9} {overall:>8.2}x\n", "overall"));
+    }
+    out
+}
+
+/// Renders the Fig. 9 series: one row per problem (sorted by GMC cost),
+/// one column per implementation, tab separated.
+pub fn fig9_table(rows: &[&ChainMeasurement]) -> String {
+    let mut out = String::new();
+    if let Some(first) = rows.first() {
+        out.push_str("problem");
+        for (label, _) in &first.costs {
+            out.push('\t');
+            out.push_str(label);
+        }
+        out.push('\n');
+    }
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!("{i}"));
+        for (_, c) in &row.costs {
+            out.push('\t');
+            out.push_str(&fmt_cost(*c));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Fig. 9 summary statistics with the paper's reference
+/// values alongside.
+pub fn fig9_stats_table(stats: &Fig9Stats) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "GMC fastest:                 {:>5.1}%   (paper: 86%)\n",
+        stats.gmc_fastest_fraction * 100.0
+    ));
+    out.push_str(&format!(
+        "worst GMC/best ratio:        {:>5.2}    (paper: 1.66)\n",
+        stats.worst_gmc_to_best_ratio
+    ));
+    out.push_str(&format!(
+        "others >1.1x faster than GMC: {:>4.1}%   (paper: 4%)\n",
+        stats.other_beats_gmc_by_10pct * 100.0
+    ));
+    out.push_str("baseline >10x slower than GMC (paper: 10%..25%):\n");
+    for (label, frac) in &stats.baseline_10x_slower {
+        out.push_str(&format!("  {label:<8} {:>5.1}%\n", frac * 100.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_formatting() {
+        assert_eq!(fmt_cost(0.0), "0");
+        assert_eq!(fmt_cost(0.5e-6 * 3.0), "1.5us");
+        assert_eq!(fmt_cost(0.0123), "12.30ms");
+        assert_eq!(fmt_cost(2.0), "2.000");
+        assert!(fmt_cost(3.16e8).contains('e'));
+    }
+
+    #[test]
+    fn fig8_table_renders() {
+        let t = fig8_table(&[("Jl n".into(), 10.5), ("Mat r".into(), 6.2)]);
+        assert!(t.contains("Jl n"));
+        assert!(t.contains("10.50x"));
+        assert!(t.contains("overall"));
+    }
+}

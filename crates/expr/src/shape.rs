@@ -1,0 +1,198 @@
+//! Matrix shapes.
+
+use std::fmt;
+
+/// The dimensions of a matrix.
+///
+/// Vectors are represented as matrices of size `n×1` (column vectors) or
+/// `1×n` (row vectors), exactly as in Sec. 1.1 of the paper. Scalars
+/// (`1×1`) are representable but the GMC algorithm does not treat them
+/// specially, since scalars commute and are excluded from chains.
+///
+/// # Example
+///
+/// ```
+/// use gmc_expr::Shape;
+///
+/// let s = Shape::new(100, 50);
+/// assert_eq!(s.rows(), 100);
+/// assert_eq!(s.cols(), 50);
+/// assert!(!s.is_square());
+/// assert_eq!(s.transposed(), Shape::new(50, 100));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Shape {
+    rows: usize,
+    cols: usize,
+}
+
+impl Shape {
+    /// Creates a shape with the given number of rows and columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero; empty matrices are not
+    /// meaningful operands for the matrix chain problem.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Shape { rows, cols }
+    }
+
+    /// Creates the shape of a square `n×n` matrix.
+    pub fn square(n: usize) -> Self {
+        Shape::new(n, n)
+    }
+
+    /// Creates the shape of a column vector of length `n` (`n×1`).
+    pub fn col_vector(n: usize) -> Self {
+        Shape::new(n, 1)
+    }
+
+    /// Creates the shape of a row vector of length `n` (`1×n`).
+    pub fn row_vector(n: usize) -> Self {
+        Shape::new(1, n)
+    }
+
+    /// The number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the shape is square (`rows == cols`).
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Whether the shape is a column vector (`n×1`, n > 1).
+    pub fn is_col_vector(&self) -> bool {
+        self.cols == 1 && self.rows > 1
+    }
+
+    /// Whether the shape is a row vector (`1×n`, n > 1).
+    pub fn is_row_vector(&self) -> bool {
+        self.rows == 1 && self.cols > 1
+    }
+
+    /// Whether the shape is a vector of either orientation.
+    pub fn is_vector(&self) -> bool {
+        self.is_col_vector() || self.is_row_vector()
+    }
+
+    /// Whether the shape is a `1×1` scalar.
+    pub fn is_scalar(&self) -> bool {
+        self.rows == 1 && self.cols == 1
+    }
+
+    /// The shape of the transpose.
+    pub fn transposed(&self) -> Shape {
+        Shape {
+            rows: self.cols,
+            cols: self.rows,
+        }
+    }
+
+    /// The number of entries (`rows · cols`).
+    ///
+    /// This is the "size" measure used by Armadillo's chain heuristic
+    /// (paper Sec. 4) when comparing candidate intermediate results.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Always false: shapes have positive dimensions.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The shape of the product `self · rhs`, if the inner dimensions
+    /// agree.
+    pub fn times(&self, rhs: Shape) -> Option<Shape> {
+        (self.cols == rhs.rows).then(|| Shape::new(self.rows, rhs.cols))
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+impl From<(usize, usize)> for Shape {
+    fn from((rows, cols): (usize, usize)) -> Self {
+        Shape::new(rows, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let s = Shape::new(3, 4);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 4);
+        assert_eq!(Shape::square(5), Shape::new(5, 5));
+        assert_eq!(Shape::col_vector(7), Shape::new(7, 1));
+        assert_eq!(Shape::row_vector(7), Shape::new(1, 7));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Shape::square(4).is_square());
+        assert!(!Shape::new(4, 3).is_square());
+        assert!(Shape::col_vector(4).is_col_vector());
+        assert!(!Shape::col_vector(4).is_row_vector());
+        assert!(Shape::row_vector(4).is_row_vector());
+        assert!(Shape::row_vector(4).is_vector());
+        assert!(Shape::col_vector(4).is_vector());
+        assert!(!Shape::new(2, 2).is_vector());
+        assert!(Shape::new(1, 1).is_scalar());
+        // A 1x1 matrix is scalar, not a vector.
+        assert!(!Shape::new(1, 1).is_vector());
+    }
+
+    #[test]
+    fn transpose_and_product() {
+        assert_eq!(Shape::new(2, 9).transposed(), Shape::new(9, 2));
+        assert_eq!(
+            Shape::new(2, 3).times(Shape::new(3, 5)),
+            Some(Shape::new(2, 5))
+        );
+        assert_eq!(Shape::new(2, 3).times(Shape::new(4, 5)), None);
+    }
+
+    #[test]
+    fn len_is_entry_count() {
+        assert_eq!(Shape::new(6, 7).len(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        let _ = Shape::new(0, 3);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(10, 20).to_string(), "10x20");
+        assert_eq!(format!("{:?}", Shape::new(1, 2)), "1x2");
+    }
+
+    #[test]
+    fn from_tuple() {
+        let s: Shape = (4, 5).into();
+        assert_eq!(s, Shape::new(4, 5));
+    }
+}

@@ -1,0 +1,234 @@
+//! Algebraic simplification of expressions.
+//!
+//! The GMC algorithm itself does not rewrite expressions (that is the
+//! job of the surrounding Linnea compiler, paper Sec. 1); this module
+//! provides the standard algebraic cleanups a frontend wants to run
+//! before chain extraction:
+//!
+//! * identity elimination: `I·A → A`, `A·I → A`, `Iᵀ = I⁻¹ = I`
+//! * zero propagation: `Z·A → Z'`, `A + Z → A`, `Zᵀ → Z'`
+//! * symmetric transpose erasure: `Sᵀ → S` for symmetric `S`
+//! * orthogonal inverse rewriting: `Q⁻¹ → Qᵀ` and `Q⁻ᵀ → Q` for
+//!   orthogonal `Q` — turning solves into (much cheaper) multiplies.
+//!
+//! Simplification preserves the denoted value and the shape.
+
+use crate::{Expr, ExprError, Operand, Property, Shape};
+
+/// Simplifies an expression (see the module documentation for the rule
+/// set). The input is validated and normalized first, so unary
+/// operators sit on the leaves.
+///
+/// # Errors
+///
+/// Returns the same well-formedness errors as [`Expr::normalized`].
+pub fn simplify(expr: &Expr) -> Result<Expr, ExprError> {
+    let normalized = expr.normalized()?;
+    let shape = normalized.shape()?;
+    Ok(simplify_inner(&normalized, shape))
+}
+
+/// A fresh zero operand of the given shape (used when a product
+/// collapses to zero).
+fn zero_operand(shape: Shape) -> Expr {
+    let mut op = Operand::with_shape(format!("0_{}x{}", shape.rows(), shape.cols()), shape);
+    op = op.with_property(Property::Zero);
+    op.expr()
+}
+
+fn is_identity_leaf(e: &Expr) -> bool {
+    match e {
+        Expr::Symbol(op) => op.properties().contains(Property::Identity),
+        Expr::Transpose(i) | Expr::Inverse(i) | Expr::InverseTranspose(i) => is_identity_leaf(i),
+        _ => false,
+    }
+}
+
+fn is_zero_leaf(e: &Expr) -> bool {
+    match e {
+        Expr::Symbol(op) => op.properties().contains(Property::Zero),
+        Expr::Transpose(i) => is_zero_leaf(i),
+        _ => false,
+    }
+}
+
+fn simplify_inner(expr: &Expr, shape: Shape) -> Expr {
+    match expr {
+        Expr::Symbol(_) => expr.clone(),
+        Expr::Times(factors) => {
+            // Zero annihilates the product.
+            if factors.iter().any(is_zero_leaf) {
+                return zero_operand(shape);
+            }
+            // Drop identity factors (they are square, so shapes are
+            // unaffected); keep at least one factor.
+            let kept: Vec<Expr> = factors
+                .iter()
+                .filter(|f| !is_identity_leaf(f))
+                .map(|f| {
+                    let s = f.shape().expect("validated");
+                    simplify_inner(f, s)
+                })
+                .collect();
+            if kept.is_empty() {
+                // A product of identities is the identity.
+                return factors[0].clone();
+            }
+            Expr::times(kept)
+        }
+        Expr::Plus(terms) => {
+            let kept: Vec<Expr> = terms
+                .iter()
+                .filter(|t| !is_zero_leaf(t))
+                .map(|t| simplify_inner(t, shape))
+                .collect();
+            if kept.is_empty() {
+                return zero_operand(shape);
+            }
+            Expr::plus(kept)
+        }
+        Expr::Transpose(inner) => match &**inner {
+            Expr::Symbol(op) if op.properties().contains(Property::Symmetric) => op.expr(),
+            Expr::Symbol(op) if op.properties().contains(Property::Zero) => {
+                zero_operand(op.shape().transposed())
+            }
+            _ => expr.clone(),
+        },
+        Expr::Inverse(inner) => match &**inner {
+            Expr::Symbol(op) if op.properties().contains(Property::Identity) => op.expr(),
+            // Q⁻¹ = Qᵀ for orthogonal Q: a solve becomes a multiply.
+            Expr::Symbol(op) if op.properties().contains(Property::Orthogonal) => {
+                if op.properties().contains(Property::Symmetric) {
+                    op.expr()
+                } else {
+                    op.transpose()
+                }
+            }
+            _ => expr.clone(),
+        },
+        Expr::InverseTranspose(inner) => match &**inner {
+            Expr::Symbol(op) if op.properties().contains(Property::Identity) => op.expr(),
+            // Q⁻ᵀ = (Qᵀ)ᵀ = Q for orthogonal Q.
+            Expr::Symbol(op) if op.properties().contains(Property::Orthogonal) => op.expr(),
+            Expr::Symbol(op) if op.properties().contains(Property::Symmetric) => op.inverse(),
+            _ => expr.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity(n: usize) -> Operand {
+        Operand::square("I", n).with_property(Property::Identity)
+    }
+
+    fn zero(r: usize, c: usize) -> Operand {
+        Operand::matrix("Z", r, c).with_property(Property::Zero)
+    }
+
+    #[test]
+    fn identity_elimination_in_products() {
+        let i = identity(4);
+        let a = Operand::matrix("A", 4, 4);
+        let b = Operand::matrix("B", 4, 7);
+        let e = simplify(&(i.expr() * a.expr() * i.expr() * b.expr())).unwrap();
+        assert_eq!(e.to_string(), "A B");
+        // All-identity product stays the identity.
+        let e = simplify(&(i.expr() * i.expr())).unwrap();
+        assert_eq!(e, i.expr());
+    }
+
+    #[test]
+    fn zero_annihilates_products() {
+        let z = zero(4, 4);
+        let b = Operand::matrix("B", 4, 7);
+        let e = simplify(&(z.expr() * b.expr())).unwrap();
+        assert_eq!(e.shape().unwrap(), Shape::new(4, 7));
+        match &e {
+            Expr::Symbol(op) => assert!(op.properties().contains(Property::Zero)),
+            other => panic!("expected zero symbol, got {other}"),
+        }
+    }
+
+    #[test]
+    fn zero_dropped_from_sums() {
+        let z = zero(4, 7);
+        let a = Operand::matrix("A", 4, 7);
+        let b = Operand::matrix("B", 4, 7);
+        let e = simplify(&(a.expr() + z.expr() + b.expr())).unwrap();
+        assert_eq!(e.to_string(), "A + B");
+        // All-zero sum is zero.
+        let e = simplify(&(z.expr() + z.expr())).unwrap();
+        assert!(matches!(&e, Expr::Symbol(op) if op.properties().contains(Property::Zero)));
+    }
+
+    #[test]
+    fn symmetric_transpose_erased() {
+        let s = Operand::square("S", 5).with_property(Property::Symmetric);
+        let b = Operand::matrix("B", 5, 3);
+        let e = simplify(&(s.transpose() * b.expr())).unwrap();
+        assert_eq!(e.to_string(), "S B");
+    }
+
+    #[test]
+    fn orthogonal_inverse_becomes_transpose() {
+        let q = Operand::square("Q", 5).with_property(Property::Orthogonal);
+        let b = Operand::matrix("B", 5, 3);
+        let e = simplify(&(q.inverse() * b.expr())).unwrap();
+        assert_eq!(e.to_string(), "Q^T B");
+        let e = simplify(&(q.inverse_transpose() * b.expr())).unwrap();
+        assert_eq!(e.to_string(), "Q B");
+    }
+
+    #[test]
+    fn identity_inverse_and_transpose() {
+        let i = identity(4);
+        let b = Operand::matrix("B", 4, 3);
+        let e = simplify(&(i.inverse() * b.expr())).unwrap();
+        // I⁻¹ = I; the identity is then dropped from the product.
+        assert_eq!(e.to_string(), "B");
+    }
+
+    #[test]
+    fn plain_expressions_unchanged() {
+        let a = Operand::matrix("A", 4, 5);
+        let b = Operand::matrix("B", 5, 3);
+        let e = a.expr() * b.expr();
+        assert_eq!(simplify(&e).unwrap(), e);
+    }
+
+    #[test]
+    fn simplification_preserves_shape() {
+        let i = identity(4);
+        let z = zero(4, 4);
+        let a = Operand::matrix("A", 4, 6);
+        for e in [
+            i.expr() * a.expr(),
+            z.expr() * a.expr(),
+            Expr::transpose(z.expr() * a.expr()),
+        ] {
+            let s = simplify(&e).unwrap();
+            assert_eq!(e.shape().unwrap(), s.shape().unwrap(), "expr {e}");
+        }
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let i = identity(4);
+        let q = Operand::square("Q", 4).with_property(Property::Orthogonal);
+        let a = Operand::matrix("A", 4, 6);
+        let e = i.expr() * q.inverse() * a.expr();
+        let s1 = simplify(&e).unwrap();
+        let s2 = simplify(&s1).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn rejects_ill_formed() {
+        let a = Operand::matrix("A", 2, 3);
+        let b = Operand::matrix("B", 2, 3);
+        assert!(simplify(&(a.expr() * b.expr())).is_err());
+    }
+}

@@ -1,0 +1,346 @@
+//! Lexer for the Linnea-style input language (paper Fig. 1–2).
+
+use std::fmt;
+
+/// A token kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// `Matrix` keyword.
+    Matrix,
+    /// `Vector` keyword (sugar for `n×1` matrices).
+    Vector,
+    /// An identifier (operand or property name).
+    Ident(String),
+    /// An integer literal.
+    Int(usize),
+    /// `:=`.
+    Assign,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `<`.
+    LAngle,
+    /// `>`.
+    RAngle,
+    /// `,`.
+    Comma,
+    /// `+`.
+    Plus,
+    /// `*`.
+    Star,
+    /// `^T`.
+    Transpose,
+    /// `^-1`.
+    Inverse,
+    /// `^-T`.
+    InverseTranspose,
+    /// `'` (transpose shorthand, Matlab/Julia style).
+    Tick,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Matrix => write!(f, "`Matrix`"),
+            Tok::Vector => write!(f, "`Vector`"),
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Assign => write!(f, "`:=`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LAngle => write!(f, "`<`"),
+            Tok::RAngle => write!(f, "`>`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Transpose => write!(f, "`^T`"),
+            Tok::Inverse => write!(f, "`^-1`"),
+            Tok::InverseTranspose => write!(f, "`^-T`"),
+            Tok::Tick => write!(f, "`'`"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// A lexing error with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes the input. `#` starts a line comment.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = input.chars().peekable();
+
+    macro_rules! push {
+        ($tok:expr, $c:expr) => {
+            out.push(Token {
+                tok: $tok,
+                line,
+                col: $c,
+            })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let start_col = col;
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        col = 1;
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                col += 1;
+                push!(Tok::LParen, start_col);
+            }
+            ')' => {
+                chars.next();
+                col += 1;
+                push!(Tok::RParen, start_col);
+            }
+            '<' => {
+                chars.next();
+                col += 1;
+                push!(Tok::LAngle, start_col);
+            }
+            '>' => {
+                chars.next();
+                col += 1;
+                push!(Tok::RAngle, start_col);
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Comma, start_col);
+            }
+            '+' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Plus, start_col);
+            }
+            '*' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Star, start_col);
+            }
+            '\'' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Tick, start_col);
+            }
+            ':' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    push!(Tok::Assign, start_col);
+                } else {
+                    return Err(LexError {
+                        message: "expected `=` after `:`".into(),
+                        line,
+                        col,
+                    });
+                }
+            }
+            '^' => {
+                chars.next();
+                col += 1;
+                match chars.peek() {
+                    Some('T') => {
+                        chars.next();
+                        col += 1;
+                        push!(Tok::Transpose, start_col);
+                    }
+                    Some('-') => {
+                        chars.next();
+                        col += 1;
+                        match chars.peek() {
+                            Some('1') => {
+                                chars.next();
+                                col += 1;
+                                push!(Tok::Inverse, start_col);
+                            }
+                            Some('T') => {
+                                chars.next();
+                                col += 1;
+                                push!(Tok::InverseTranspose, start_col);
+                            }
+                            _ => {
+                                return Err(LexError {
+                                    message: "expected `1` or `T` after `^-`".into(),
+                                    line,
+                                    col,
+                                })
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(LexError {
+                            message: "expected `T`, `-1` or `-T` after `^`".into(),
+                            line,
+                            col,
+                        })
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut value = 0usize;
+                while let Some(&d) = chars.peek() {
+                    if let Some(dv) = d.to_digit(10) {
+                        value = value
+                            .checked_mul(10)
+                            .and_then(|v| v.checked_add(dv as usize))
+                            .ok_or_else(|| LexError {
+                                message: "integer literal too large".into(),
+                                line,
+                                col,
+                            })?;
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Int(value), start_col);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        name.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let tok = match name.as_str() {
+                    "Matrix" => Tok::Matrix,
+                    "Vector" => Tok::Vector,
+                    _ => Tok::Ident(name),
+                };
+                push!(tok, start_col);
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line,
+                    col,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Tok> {
+        lex(input).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_definition() {
+        let toks = kinds("Matrix A (100, 200) <LowerTriangular, SPD>");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Matrix,
+                Tok::Ident("A".into()),
+                Tok::LParen,
+                Tok::Int(100),
+                Tok::Comma,
+                Tok::Int(200),
+                Tok::RParen,
+                Tok::LAngle,
+                Tok::Ident("LowerTriangular".into()),
+                Tok::Comma,
+                Tok::Ident("SPD".into()),
+                Tok::RAngle,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_assignment_with_operators() {
+        let toks = kinds("X := A^-1 * B * C^T + D^-T");
+        assert!(toks.contains(&Tok::Assign));
+        assert!(toks.contains(&Tok::Inverse));
+        assert!(toks.contains(&Tok::Transpose));
+        assert!(toks.contains(&Tok::InverseTranspose));
+        assert!(toks.contains(&Tok::Plus));
+    }
+
+    #[test]
+    fn tick_shorthand() {
+        assert_eq!(
+            kinds("A'"),
+            vec![Tok::Ident("A".into()), Tok::Tick]
+        );
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let toks = lex("A # comment\nB").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].col, 1);
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = lex("A ^x").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("after `^`"));
+        let err = lex("A : B").unwrap_err();
+        assert!(err.message.contains("after `:`"));
+        let err = lex("A $ B").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+}

@@ -1,0 +1,437 @@
+//! Recursive-descent parser and lowering for the input language.
+//!
+//! Grammar (paper Fig. 1–2, with explicit `*` for products and a
+//! Matlab-style `'` transpose shorthand):
+//!
+//! ```text
+//! problem     → definition+ assignment+
+//! definition  → ("Matrix" | "Vector") name "(" int ("," int)? ")" properties?
+//! properties  → "<" name ("," name)* ">"
+//! assignment  → name ":=" expr
+//! expr        → term ("+" term)*
+//! term        → factor ("*" factor)*
+//! factor      → primary ("^T" | "^-1" | "^-T" | "'")*
+//! primary     → name | "(" expr ")"
+//! ```
+
+use crate::lexer::{lex, LexError, Tok, Token};
+use gmc_expr::{Expr, Operand, Property, Shape};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed problem: operand definitions plus assignments.
+#[derive(Clone, Debug)]
+pub struct Problem {
+    /// Defined operands, in definition order.
+    pub operands: Vec<Operand>,
+    /// `(target name, right-hand side)` pairs, in order.
+    pub assignments: Vec<(String, Expr)>,
+}
+
+impl Problem {
+    /// Looks up a defined operand by name.
+    pub fn operand(&self, name: &str) -> Option<&Operand> {
+        self.operands.iter().find(|o| o.name() == name)
+    }
+}
+
+/// A parse (or lowering) error with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line (0 for end-of-input).
+    pub line: usize,
+    /// 1-based column (0 for end-of-input).
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "end of input: {}", self.message)
+        } else {
+            write!(f, "{}:{}: {}", self.line, self.col, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// Parses a complete problem description.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the source position of the first
+/// offending token; lowering errors (unknown operand, duplicate
+/// definition, unknown property, property on a non-square matrix) are
+/// reported the same way.
+pub fn parse(input: &str) -> Result<Problem, ParseError> {
+    let tokens = lex(input)?;
+    Parser {
+        tokens,
+        pos: 0,
+        operands: HashMap::new(),
+        order: Vec::new(),
+    }
+    .problem()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    operands: HashMap<String, Operand>,
+    order: Vec<String>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_at(&self, message: impl Into<String>) -> ParseError {
+        match self.peek() {
+            Some(t) => ParseError {
+                message: message.into(),
+                line: t.line,
+                col: t.col,
+            },
+            None => ParseError {
+                message: message.into(),
+                line: 0,
+                col: 0,
+            },
+        }
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<Token, ParseError> {
+        match self.peek() {
+            Some(t) if t.tok == *want => Ok(self.next().expect("peeked")),
+            Some(t) => Err(ParseError {
+                message: format!("expected {want}, found {}", t.tok),
+                line: t.line,
+                col: t.col,
+            }),
+            None => Err(self.error_at(format!("expected {want}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, usize, usize), ParseError> {
+        match self.peek().cloned() {
+            Some(Token {
+                tok: Tok::Ident(name),
+                line,
+                col,
+            }) => {
+                self.next();
+                Ok((name, line, col))
+            }
+            Some(t) => Err(ParseError {
+                message: format!("expected identifier, found {}", t.tok),
+                line: t.line,
+                col: t.col,
+            }),
+            None => Err(self.error_at("expected identifier")),
+        }
+    }
+
+    fn int(&mut self) -> Result<usize, ParseError> {
+        match self.peek().cloned() {
+            Some(Token {
+                tok: Tok::Int(v), ..
+            }) => {
+                self.next();
+                Ok(v)
+            }
+            _ => Err(self.error_at("expected integer")),
+        }
+    }
+
+    fn problem(mut self) -> Result<Problem, ParseError> {
+        let mut assignments = Vec::new();
+        while self.peek().is_some() {
+            match self.peek().map(|t| t.tok.clone()) {
+                Some(Tok::Matrix) | Some(Tok::Vector) => self.definition()?,
+                Some(Tok::Ident(_)) => {
+                    let (target, expr) = self.assignment()?;
+                    assignments.push((target, expr));
+                }
+                _ => return Err(self.error_at("expected a definition or an assignment")),
+            }
+        }
+        if assignments.is_empty() {
+            return Err(ParseError {
+                message: "problem contains no assignment".into(),
+                line: 0,
+                col: 0,
+            });
+        }
+        let operands = self
+            .order
+            .iter()
+            .map(|n| self.operands[n].clone())
+            .collect();
+        Ok(Problem {
+            operands,
+            assignments,
+        })
+    }
+
+    fn definition(&mut self) -> Result<(), ParseError> {
+        let is_vector = match self.next().expect("peeked definition keyword").tok {
+            Tok::Vector => true,
+            Tok::Matrix => false,
+            _ => unreachable!("caller checked keyword"),
+        };
+        let (name, line, col) = self.ident()?;
+        if self.operands.contains_key(&name) {
+            return Err(ParseError {
+                message: format!("operand `{name}` defined twice"),
+                line,
+                col,
+            });
+        }
+        self.expect(&Tok::LParen)?;
+        let rows = self.int()?;
+        let shape = if is_vector {
+            self.expect(&Tok::RParen)?;
+            Shape::col_vector(rows)
+        } else {
+            self.expect(&Tok::Comma)?;
+            let cols = self.int()?;
+            self.expect(&Tok::RParen)?;
+            Shape::new(rows, cols)
+        };
+        let mut operand = Operand::with_shape(&name, shape);
+        if self.peek().map(|t| &t.tok) == Some(&Tok::LAngle) {
+            self.next();
+            loop {
+                let (pname, pline, pcol) = self.ident()?;
+                let property: Property = pname.parse().map_err(|_| ParseError {
+                    message: format!("unknown property `{pname}`"),
+                    line: pline,
+                    col: pcol,
+                })?;
+                if property.requires_square() && !shape.is_square() {
+                    return Err(ParseError {
+                        message: format!(
+                            "property {property} requires a square matrix, but `{name}` is {shape}"
+                        ),
+                        line: pline,
+                        col: pcol,
+                    });
+                }
+                operand = operand.with_property(property);
+                match self.peek().map(|t| t.tok.clone()) {
+                    Some(Tok::Comma) => {
+                        self.next();
+                    }
+                    Some(Tok::RAngle) => {
+                        self.next();
+                        break;
+                    }
+                    _ => return Err(self.error_at("expected `,` or `>` in property list")),
+                }
+            }
+        }
+        self.operands.insert(name.clone(), operand);
+        self.order.push(name);
+        Ok(())
+    }
+
+    fn assignment(&mut self) -> Result<(String, Expr), ParseError> {
+        let (target, _, _) = self.ident()?;
+        self.expect(&Tok::Assign)?;
+        let expr = self.expr()?;
+        Ok((target, expr))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut terms = vec![self.term()?];
+        while self.peek().map(|t| &t.tok) == Some(&Tok::Plus) {
+            self.next();
+            terms.push(self.term()?);
+        }
+        Ok(Expr::plus(terms))
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut factors = vec![self.factor()?];
+        while self.peek().map(|t| &t.tok) == Some(&Tok::Star) {
+            self.next();
+            factors.push(self.factor()?);
+        }
+        Ok(Expr::times(factors))
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek().map(|t| t.tok.clone()) {
+                Some(Tok::Transpose) | Some(Tok::Tick) => {
+                    self.next();
+                    e = Expr::transpose(e);
+                }
+                Some(Tok::Inverse) => {
+                    self.next();
+                    e = Expr::inverse(e);
+                }
+                Some(Tok::InverseTranspose) => {
+                    self.next();
+                    e = Expr::inverse_transpose(e);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().map(|t| t.tok.clone()) {
+            Some(Tok::LParen) => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(_)) => {
+                let (name, line, col) = self.ident()?;
+                match self.operands.get(&name) {
+                    Some(op) => Ok(op.expr()),
+                    None => Err(ParseError {
+                        message: format!("operand `{name}` is not defined"),
+                        line,
+                        col,
+                    }),
+                }
+            }
+            _ => Err(self.error_at("expected an operand or `(`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmc_expr::Chain;
+
+    const TABLE2: &str = "\
+Matrix A (2000, 2000) <SPD>
+Matrix B (2000, 200)
+Matrix C (200, 200) <LowerTriangular>
+X := A^-1 * B * C^T
+";
+
+    #[test]
+    fn parses_paper_table2_problem() {
+        let p = parse(TABLE2).unwrap();
+        assert_eq!(p.operands.len(), 3);
+        assert_eq!(p.assignments.len(), 1);
+        let (target, expr) = &p.assignments[0];
+        assert_eq!(target, "X");
+        assert_eq!(expr.to_string(), "A^-1 B C^T");
+        let chain = Chain::from_expr(expr).unwrap();
+        assert_eq!(chain.len(), 3);
+        assert!(p
+            .operand("A")
+            .unwrap()
+            .properties()
+            .contains(Property::SymmetricPositiveDefinite));
+    }
+
+    #[test]
+    fn vector_definitions() {
+        let p = parse("Vector v (100)\nMatrix A (50, 100)\ny := A * v").unwrap();
+        assert_eq!(p.operand("v").unwrap().shape(), Shape::col_vector(100));
+        let chain = Chain::from_expr(&p.assignments[0].1).unwrap();
+        assert_eq!(chain.shape(), Shape::col_vector(50));
+    }
+
+    #[test]
+    fn tick_transpose_and_parens() {
+        let p = parse("Matrix A (10, 20)\nMatrix B (10, 20)\nX := (A * B')'").unwrap();
+        let expr = &p.assignments[0].1;
+        // (A·Bᵀ)ᵀ — normalization happens at Chain construction.
+        let chain = Chain::from_expr(expr).unwrap();
+        assert_eq!(chain.to_string(), "B A^T");
+    }
+
+    #[test]
+    fn sums_are_parsed() {
+        let p = parse("Matrix A (5, 5)\nMatrix B (5, 5)\nX := A + B * B").unwrap();
+        let expr = &p.assignments[0].1;
+        assert_eq!(expr.to_string(), "A + B B");
+    }
+
+    #[test]
+    fn multiple_assignments() {
+        let p = parse(
+            "Matrix A (5, 5)\nMatrix B (5, 5)\nX := A * B\nY := B * A",
+        )
+        .unwrap();
+        assert_eq!(p.assignments.len(), 2);
+    }
+
+    #[test]
+    fn error_unknown_operand() {
+        let err = parse("Matrix A (5, 5)\nX := A * Q").unwrap_err();
+        assert!(err.message.contains("`Q` is not defined"));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn error_duplicate_definition() {
+        let err = parse("Matrix A (5, 5)\nMatrix A (6, 6)\nX := A * A").unwrap_err();
+        assert!(err.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn error_unknown_property() {
+        let err = parse("Matrix A (5, 5) <Sparse>\nX := A * A").unwrap_err();
+        assert!(err.message.contains("unknown property `Sparse`"));
+    }
+
+    #[test]
+    fn error_square_property_on_rectangular() {
+        let err = parse("Matrix A (5, 6) <Symmetric>\nX := A * A").unwrap_err();
+        assert!(err.message.contains("requires a square matrix"));
+    }
+
+    #[test]
+    fn error_missing_assignment() {
+        let err = parse("Matrix A (5, 5)").unwrap_err();
+        assert!(err.message.contains("no assignment"));
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse("Matrix A (5, 5)\nX := * A").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.col > 0);
+    }
+
+    #[test]
+    fn inverse_of_parenthesized_product() {
+        let p = parse("Matrix A (5, 5)\nMatrix B (5, 5)\nX := (A * B)^-1").unwrap();
+        let chain = Chain::from_expr(&p.assignments[0].1).unwrap();
+        assert_eq!(chain.to_string(), "B^-1 A^-1");
+    }
+}

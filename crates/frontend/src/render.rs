@@ -1,0 +1,69 @@
+//! Caret-style rendering of frontend errors against the source text.
+
+use crate::parser::ParseError;
+
+/// Renders a parse error with the offending source line and a caret:
+///
+/// ```text
+/// error: operand `Q` is not defined
+///   --> 2:10
+///    |
+///  2 | X := A * Q
+///    |          ^
+/// ```
+pub fn render_error(source: &str, error: &ParseError) -> String {
+    let mut out = format!("error: {}\n", error.message);
+    if error.line == 0 {
+        out.push_str("  --> end of input\n");
+        return out;
+    }
+    out.push_str(&format!("  --> {}:{}\n", error.line, error.col));
+    if let Some(line) = source.lines().nth(error.line - 1) {
+        let gutter = error.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        out.push_str(&format!(" {pad} |\n"));
+        out.push_str(&format!(" {gutter} | {line}\n"));
+        let caret_pad = " ".repeat(error.col.saturating_sub(1));
+        out.push_str(&format!(" {pad} | {caret_pad}^\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn renders_line_and_caret() {
+        let source = "Matrix A (5, 5)\nX := A * Q\n";
+        let err = parse(source).unwrap_err();
+        let text = render_error(source, &err);
+        assert!(text.contains("error: operand `Q` is not defined"));
+        assert!(text.contains("--> 2:10"));
+        assert!(text.contains("2 | X := A * Q"));
+        // The caret lines up under the Q: the gutter " 2 | " is five
+        // characters, and Q is at column 10 (index 9 in the line).
+        let caret_line = text.lines().last().unwrap();
+        assert_eq!(caret_line.find('^'), Some(5 + 9));
+        let source_line = text.lines().nth(text.lines().count() - 2).unwrap();
+        assert_eq!(source_line.chars().nth(5 + 9), Some('Q'));
+    }
+
+    #[test]
+    fn renders_end_of_input() {
+        let source = "Matrix A (5, 5)";
+        let err = parse(source).unwrap_err();
+        let text = render_error(source, &err);
+        assert!(text.contains("end of input"));
+    }
+
+    #[test]
+    fn renders_lex_errors() {
+        let source = "Matrix A (5, 5)\nX := A $ B\n";
+        let err = parse(source).unwrap_err();
+        let text = render_error(source, &err);
+        assert!(text.contains("unexpected character"));
+        assert!(text.contains("2 | X := A $ B"));
+    }
+}

@@ -1,0 +1,740 @@
+//! Fully-instantiated kernel operations: the payload of generated code.
+
+use gmc_expr::{Operand, Shape};
+use std::fmt;
+
+/// Which side the structured operand multiplies from (BLAS `SIDE`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The structured operand is on the left.
+    Left,
+    /// The structured operand is on the right.
+    Right,
+}
+
+/// Which triangle of a triangular operand is populated (BLAS `UPLO`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Uplo {
+    /// Lower triangular.
+    Lower,
+    /// Upper triangular.
+    Upper,
+}
+
+/// How an explicit inverse is computed (which structure is exploited).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InvKind {
+    /// LU-based inverse of a general matrix (`2n³` FLOPs).
+    General,
+    /// Cholesky-based inverse of an SPD matrix (`n³`).
+    Spd,
+    /// Triangular inverse (`n³/3`).
+    Triangular(Uplo),
+    /// Reciprocal diagonal (`n`).
+    Diagonal,
+}
+
+/// The kernel family, i.e. which routine of the substrate is invoked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelFamily {
+    /// General matrix-matrix multiply.
+    Gemm,
+    /// Triangular matrix-matrix multiply.
+    Trmm,
+    /// Symmetric matrix-matrix multiply.
+    Symm,
+    /// Triangular solve with multiple right-hand sides.
+    Trsm,
+    /// Symmetric rank-k update (`XᵀX` / `XXᵀ`).
+    Syrk,
+    /// General solve (LU-based), `op(A)⁻¹B` or `B·op(A)⁻¹`.
+    Gesv,
+    /// SPD solve (Cholesky-based).
+    Posv,
+    /// Diagonal multiply or solve.
+    Diag,
+    /// General matrix-vector multiply.
+    Gemv,
+    /// Triangular matrix-vector multiply.
+    Trmv,
+    /// Symmetric matrix-vector multiply.
+    Symv,
+    /// Triangular solve with a single right-hand side.
+    Trsv,
+    /// Outer product `x·yᵀ`.
+    Ger,
+    /// Inner product `xᵀ·y`.
+    Dot,
+    /// Copy (identity multiply).
+    Copy,
+    /// Explicit matrix inversion (GETRI / POTRI / TRTRI / reciprocal
+    /// diagonal). Not part of the GMC kernel registry — the optimizer
+    /// always prefers solves — but required to model the *naive*
+    /// baseline implementations (`inv(A)*B`, paper Sec. 4).
+    Inv,
+    /// Composite kernel for `op(A)⁻¹·op(B)⁻¹` (explicit inverse + solve);
+    /// see paper Sec. 5 — such kernels do not exist in BLAS/LAPACK and
+    /// are assembled from `GETRI` + `GESV`.
+    InvPair,
+}
+
+impl KernelFamily {
+    /// The conventional routine name, lower case (as used in the Julia
+    /// emitter, e.g. `gemm!`).
+    pub fn routine(&self) -> &'static str {
+        match self {
+            KernelFamily::Gemm => "gemm",
+            KernelFamily::Trmm => "trmm",
+            KernelFamily::Symm => "symm",
+            KernelFamily::Trsm => "trsm",
+            KernelFamily::Syrk => "syrk",
+            KernelFamily::Gesv => "gesv",
+            KernelFamily::Posv => "posv",
+            KernelFamily::Diag => "dgmm",
+            KernelFamily::Gemv => "gemv",
+            KernelFamily::Trmv => "trmv",
+            KernelFamily::Symv => "symv",
+            KernelFamily::Trsv => "trsv",
+            KernelFamily::Ger => "ger",
+            KernelFamily::Dot => "dot",
+            KernelFamily::Copy => "copy",
+            KernelFamily::Inv => "inv",
+            KernelFamily::InvPair => "invpair",
+        }
+    }
+}
+
+impl fmt::Display for KernelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.routine())
+    }
+}
+
+/// A kernel operation with concrete operands — one step of a generated
+/// program. Produced by matching a kernel against an expression; consumed
+/// by the code emitters of `gmc-codegen` and the interpreter of
+/// `gmc-runtime`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KernelOp {
+    /// `C := op(A)·op(B)` (GEMM).
+    Gemm {
+        /// Transpose A.
+        ta: bool,
+        /// Transpose B.
+        tb: bool,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `C := op(A)·B` or `B·op(A)` with `A` triangular (TRMM).
+    Trmm {
+        /// Side of the triangular operand.
+        side: Side,
+        /// Which triangle of `A` is stored.
+        uplo: Uplo,
+        /// Transpose A.
+        trans: bool,
+        /// The triangular operand.
+        a: Operand,
+        /// The general operand.
+        b: Operand,
+    },
+    /// `C := A·B` or `B·A` with `A` symmetric (SYMM).
+    Symm {
+        /// Side of the symmetric operand.
+        side: Side,
+        /// The symmetric operand.
+        a: Operand,
+        /// The general operand.
+        b: Operand,
+    },
+    /// `X := op(A)⁻¹·op(B)` or `op(B)·op(A)⁻¹` with `A` triangular
+    /// (TRSM; a transposed right-hand side is handled with a transpose
+    /// copy before the solve).
+    Trsm {
+        /// Side of the triangular operand.
+        side: Side,
+        /// Which triangle of `A` is stored.
+        uplo: Uplo,
+        /// Transpose A.
+        trans: bool,
+        /// Transpose the right-hand side first.
+        tb: bool,
+        /// The triangular operand.
+        a: Operand,
+        /// The right-hand side.
+        b: Operand,
+    },
+    /// `C := AᵀA` (`trans`) or `A·Aᵀ` (SYRK).
+    Syrk {
+        /// Whether the transposed operand comes first (`AᵀA`).
+        trans: bool,
+        /// The operand.
+        a: Operand,
+    },
+    /// `X := op(A)⁻¹·op(B)` or `op(B)·op(A)⁻¹` for general `A`
+    /// (GETRF+GETRS).
+    Gesv {
+        /// Side of the inverted operand.
+        side: Side,
+        /// Transpose A (solve with `Aᵀ`).
+        trans: bool,
+        /// Transpose the right-hand side first.
+        tb: bool,
+        /// The inverted operand.
+        a: Operand,
+        /// The right-hand side.
+        b: Operand,
+    },
+    /// `X := A⁻¹·op(B)` or `op(B)·A⁻¹` for SPD `A` (POTRF+POTRS).
+    Posv {
+        /// Side of the inverted operand.
+        side: Side,
+        /// Transpose the right-hand side first.
+        tb: bool,
+        /// The SPD operand.
+        a: Operand,
+        /// The right-hand side.
+        b: Operand,
+    },
+    /// `C := D·op(B)`, `op(B)·D`, `D⁻¹·op(B)` or `op(B)·D⁻¹` with `D`
+    /// diagonal.
+    Diag {
+        /// Side of the diagonal operand.
+        side: Side,
+        /// Whether to solve (`D⁻¹`) rather than multiply.
+        inv: bool,
+        /// Transpose the general operand first.
+        tb: bool,
+        /// The diagonal operand.
+        d: Operand,
+        /// The general operand.
+        b: Operand,
+    },
+    /// `y := op(A)·x` (GEMV).
+    Gemv {
+        /// Transpose A.
+        trans: bool,
+        /// The matrix.
+        a: Operand,
+        /// The vector.
+        x: Operand,
+    },
+    /// `y := op(A)·x` with `A` triangular (TRMV).
+    Trmv {
+        /// Which triangle of `A` is stored.
+        uplo: Uplo,
+        /// Transpose A.
+        trans: bool,
+        /// The triangular matrix.
+        a: Operand,
+        /// The vector.
+        x: Operand,
+    },
+    /// `y := A·x` with `A` symmetric (SYMV).
+    Symv {
+        /// The symmetric matrix.
+        a: Operand,
+        /// The vector.
+        x: Operand,
+    },
+    /// `y := op(A)⁻¹·x` with `A` triangular (TRSV).
+    Trsv {
+        /// Which triangle of `A` is stored.
+        uplo: Uplo,
+        /// Transpose A.
+        trans: bool,
+        /// The triangular matrix.
+        a: Operand,
+        /// The vector.
+        x: Operand,
+    },
+    /// `C := x·yᵀ` (GER-style outer product).
+    Ger {
+        /// Column vector.
+        x: Operand,
+        /// Column vector (transposed in the product).
+        y: Operand,
+    },
+    /// `s := xᵀ·y` (DOT).
+    Dot {
+        /// Left vector.
+        x: Operand,
+        /// Right vector.
+        y: Operand,
+    },
+    /// `C := B` where the identity operand is eliminated.
+    Copy {
+        /// The surviving operand.
+        b: Operand,
+    },
+    /// `C := op(A)⁻¹` — explicit inversion, specialized by structure.
+    Inv {
+        /// How the inverse is computed (which factorization).
+        kind: InvKind,
+        /// Transpose the result (`A⁻ᵀ`).
+        trans: bool,
+        /// The operand to invert.
+        a: Operand,
+    },
+    /// `X := op(A)⁻¹·op(B)⁻¹`: composite inverse-pair kernel
+    /// (`GETRI` on `op(B)` followed by `GESV` with `op(A)`).
+    InvPair {
+        /// Transpose A.
+        ta: bool,
+        /// Transpose B.
+        tb: bool,
+        /// The left inverted operand.
+        a: Operand,
+        /// The right inverted operand.
+        b: Operand,
+    },
+}
+
+impl KernelOp {
+    /// The family of the operation.
+    pub fn family(&self) -> KernelFamily {
+        match self {
+            KernelOp::Gemm { .. } => KernelFamily::Gemm,
+            KernelOp::Trmm { .. } => KernelFamily::Trmm,
+            KernelOp::Symm { .. } => KernelFamily::Symm,
+            KernelOp::Trsm { .. } => KernelFamily::Trsm,
+            KernelOp::Syrk { .. } => KernelFamily::Syrk,
+            KernelOp::Gesv { .. } => KernelFamily::Gesv,
+            KernelOp::Posv { .. } => KernelFamily::Posv,
+            KernelOp::Diag { .. } => KernelFamily::Diag,
+            KernelOp::Gemv { .. } => KernelFamily::Gemv,
+            KernelOp::Trmv { .. } => KernelFamily::Trmv,
+            KernelOp::Symv { .. } => KernelFamily::Symv,
+            KernelOp::Trsv { .. } => KernelFamily::Trsv,
+            KernelOp::Ger { .. } => KernelFamily::Ger,
+            KernelOp::Dot { .. } => KernelFamily::Dot,
+            KernelOp::Copy { .. } => KernelFamily::Copy,
+            KernelOp::Inv { .. } => KernelFamily::Inv,
+            KernelOp::InvPair { .. } => KernelFamily::InvPair,
+        }
+    }
+
+    /// The shape of the operation's result.
+    pub fn result_shape(&self) -> Shape {
+        match self {
+            KernelOp::Gemm { ta, tb, a, b } => {
+                let sa = apply_t(*ta, a.shape());
+                let sb = apply_t(*tb, b.shape());
+                Shape::new(sa.rows(), sb.cols())
+            }
+            KernelOp::Trmm { b, .. } => b.shape(),
+            KernelOp::Trsm { tb, b, .. } => apply_t(*tb, b.shape()),
+            KernelOp::Symm { b, .. } => b.shape(),
+            KernelOp::Posv { tb, b, .. }
+            | KernelOp::Diag { tb, b, .. }
+            | KernelOp::Gesv { tb, b, .. } => apply_t(*tb, b.shape()),
+            KernelOp::Syrk { trans, a } => {
+                let n = if *trans { a.shape().cols() } else { a.shape().rows() };
+                Shape::square(n)
+            }
+            KernelOp::Gemv { trans, a, .. } => {
+                let sa = apply_t(*trans, a.shape());
+                Shape::col_vector(sa.rows())
+            }
+            KernelOp::Trmv { a, .. } | KernelOp::Symv { a, .. } | KernelOp::Trsv { a, .. } => {
+                Shape::col_vector(a.shape().rows())
+            }
+            KernelOp::Ger { x, y } => Shape::new(x.shape().rows(), y.shape().rows()),
+            KernelOp::Dot { .. } => Shape::new(1, 1),
+            KernelOp::Copy { b } => b.shape(),
+            KernelOp::Inv { a, .. } => Shape::square(a.shape().rows()),
+            KernelOp::InvPair { a, .. } => Shape::square(a.shape().rows()),
+        }
+    }
+
+    /// The number of floating point operations, following the paper's
+    /// conventions (Table 1 and Sec. 2 footnote): `GEMM` costs `2mnk`,
+    /// the structured level-3 kernels (`TRMM`, `SYMM`, `TRSM`) cost
+    /// `m²n`, `SYRK` costs `m²k`, solvers add their factorization cost
+    /// (`2/3·m³` for LU, `1/3·m³` for Cholesky), and explicit general
+    /// inversion costs `2·m³`.
+    pub fn flops(&self) -> f64 {
+        match self {
+            KernelOp::Gemm { ta, tb, a, b } => {
+                let sa = apply_t(*ta, a.shape());
+                let sb = apply_t(*tb, b.shape());
+                let (m, k, n) = (sa.rows() as f64, sa.cols() as f64, sb.cols() as f64);
+                2.0 * m * n * k
+            }
+            KernelOp::Trmm { a, b, .. } | KernelOp::Symm { a, b, .. } => {
+                let m = a.shape().rows() as f64;
+                let n = other_dim(a, b) as f64;
+                m * m * n
+            }
+            KernelOp::Trsm { a, b, .. } => {
+                let m = a.shape().rows() as f64;
+                let n = other_dim(a, b) as f64;
+                m * m * n
+            }
+            KernelOp::Syrk { trans, a } => {
+                let s = a.shape();
+                let (m, k) = if *trans {
+                    (s.cols() as f64, s.rows() as f64)
+                } else {
+                    (s.rows() as f64, s.cols() as f64)
+                };
+                m * m * k
+            }
+            KernelOp::Gesv { a, b, .. } => {
+                let m = a.shape().rows() as f64;
+                let n = other_dim(a, b) as f64;
+                2.0 / 3.0 * m * m * m + 2.0 * m * m * n
+            }
+            KernelOp::Posv { a, b, .. } => {
+                let m = a.shape().rows() as f64;
+                let n = other_dim(a, b) as f64;
+                1.0 / 3.0 * m * m * m + 2.0 * m * m * n
+            }
+            KernelOp::Diag { b, .. } => (b.shape().rows() * b.shape().cols()) as f64,
+            KernelOp::Gemv { a, .. } => {
+                let s = a.shape();
+                2.0 * (s.rows() * s.cols()) as f64
+            }
+            KernelOp::Trmv { a, .. } | KernelOp::Trsv { a, .. } => {
+                let n = a.shape().rows() as f64;
+                n * n
+            }
+            KernelOp::Symv { a, .. } => {
+                let n = a.shape().rows() as f64;
+                2.0 * n * n
+            }
+            KernelOp::Ger { x, y } => 2.0 * (x.shape().rows() * y.shape().rows()) as f64,
+            KernelOp::Dot { x, .. } => 2.0 * x.shape().rows() as f64,
+            KernelOp::Copy { .. } => 0.0,
+            KernelOp::Inv { kind, a, .. } => {
+                let n = a.shape().rows() as f64;
+                match kind {
+                    // GETRF + GETRI.
+                    InvKind::General => 2.0 * n * n * n,
+                    // POTRF + POTRI.
+                    InvKind::Spd => n * n * n,
+                    // TRTRI.
+                    InvKind::Triangular(_) => n * n * n / 3.0,
+                    // Reciprocal of the diagonal.
+                    InvKind::Diagonal => n,
+                }
+            }
+            KernelOp::InvPair { a, .. } => {
+                // GETRI on one operand (2m³) + GESV with the other
+                // (2/3·m³ + 2·m³).
+                let m = a.shape().rows() as f64;
+                (2.0 + 2.0 / 3.0 + 2.0) * m * m * m
+            }
+        }
+    }
+
+    /// The operands referenced by this operation, in argument order.
+    pub fn operands(&self) -> Vec<&Operand> {
+        match self {
+            KernelOp::Gemm { a, b, .. }
+            | KernelOp::Trmm { a, b, .. }
+            | KernelOp::Symm { a, b, .. }
+            | KernelOp::Trsm { a, b, .. }
+            | KernelOp::Gesv { a, b, .. }
+            | KernelOp::Posv { a, b, .. }
+            | KernelOp::InvPair { a, b, .. } => vec![a, b],
+            KernelOp::Diag { d, b, .. } => vec![d, b],
+            KernelOp::Syrk { a, .. } => vec![a],
+            KernelOp::Gemv { a, x, .. }
+            | KernelOp::Trmv { a, x, .. }
+            | KernelOp::Symv { a, x }
+            | KernelOp::Trsv { a, x, .. } => vec![a, x],
+            KernelOp::Ger { x, y } | KernelOp::Dot { x, y } => vec![x, y],
+            KernelOp::Copy { b } => vec![b],
+            KernelOp::Inv { a, .. } => vec![a],
+        }
+    }
+}
+
+fn apply_t(t: bool, s: Shape) -> Shape {
+    if t {
+        s.transposed()
+    } else {
+        s
+    }
+}
+
+/// The free dimension of `B` (the one not shared with the square
+/// structured operand `A`).
+fn other_dim(a: &Operand, b: &Operand) -> usize {
+    let m = a.shape().rows();
+    let s = b.shape();
+    if s.rows() == m {
+        s.cols()
+    } else {
+        s.rows()
+    }
+}
+
+impl fmt::Display for KernelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn t(flag: bool) -> &'static str {
+            if flag {
+                "T"
+            } else {
+                "N"
+            }
+        }
+        fn side(s: Side) -> &'static str {
+            match s {
+                Side::Left => "L",
+                Side::Right => "R",
+            }
+        }
+        fn uplo(u: Uplo) -> &'static str {
+            match u {
+                Uplo::Lower => "L",
+                Uplo::Upper => "U",
+            }
+        }
+        match self {
+            KernelOp::Gemm { ta, tb, a, b } => {
+                write!(f, "gemm('{}', '{}', {}, {})", t(*ta), t(*tb), a, b)
+            }
+            KernelOp::Trmm {
+                side: s,
+                uplo: u,
+                trans,
+                a,
+                b,
+            } => write!(
+                f,
+                "trmm('{}', '{}', '{}', {}, {})",
+                side(*s),
+                uplo(*u),
+                t(*trans),
+                a,
+                b
+            ),
+            KernelOp::Symm { side: s, a, b } => {
+                write!(f, "symm('{}', {}, {})", side(*s), a, b)
+            }
+            KernelOp::Trsm {
+                side: s,
+                uplo: u,
+                trans,
+                tb,
+                a,
+                b,
+            } => write!(
+                f,
+                "trsm('{}', '{}', '{}', {}, {}{})",
+                side(*s),
+                uplo(*u),
+                t(*trans),
+                a,
+                b,
+                if *tb { "'" } else { "" }
+            ),
+            KernelOp::Syrk { trans, a } => write!(f, "syrk('{}', {})", t(*trans), a),
+            KernelOp::Gesv {
+                side: s,
+                trans,
+                tb,
+                a,
+                b,
+            } => write!(
+                f,
+                "gesv('{}', '{}', {}, {}{})",
+                side(*s),
+                t(*trans),
+                a,
+                b,
+                if *tb { "'" } else { "" }
+            ),
+            KernelOp::Posv { side: s, tb, a, b } => write!(
+                f,
+                "posv('{}', {}, {}{})",
+                side(*s),
+                a,
+                b,
+                if *tb { "'" } else { "" }
+            ),
+            KernelOp::Diag { side: s, inv, tb, d, b } => {
+                let op = if *inv { "dgsv" } else { "dgmm" };
+                write!(f, "{}('{}', {}, {}{})", op, side(*s), d, b, if *tb { "'" } else { "" })
+            }
+            KernelOp::Gemv { trans, a, x } => write!(f, "gemv('{}', {}, {})", t(*trans), a, x),
+            KernelOp::Trmv { uplo: u, trans, a, x } => {
+                write!(f, "trmv('{}', '{}', {}, {})", uplo(*u), t(*trans), a, x)
+            }
+            KernelOp::Symv { a, x } => write!(f, "symv({a}, {x})"),
+            KernelOp::Trsv { uplo: u, trans, a, x } => {
+                write!(f, "trsv('{}', '{}', {}, {})", uplo(*u), t(*trans), a, x)
+            }
+            KernelOp::Ger { x, y } => write!(f, "ger({x}, {y})"),
+            KernelOp::Dot { x, y } => write!(f, "dot({x}, {y})"),
+            KernelOp::Copy { b } => write!(f, "copy({b})"),
+            KernelOp::Inv { kind, trans, a } => {
+                let k = match kind {
+                    InvKind::General => "ge",
+                    InvKind::Spd => "po",
+                    InvKind::Triangular(Uplo::Lower) => "trl",
+                    InvKind::Triangular(Uplo::Upper) => "tru",
+                    InvKind::Diagonal => "di",
+                };
+                write!(f, "inv_{}('{}', {})", k, t(*trans), a)
+            }
+            KernelOp::InvPair { ta, tb, a, b } => {
+                write!(f, "invpair('{}', '{}', {}, {})", t(*ta), t(*tb), a, b)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(name: &str, r: usize, c: usize) -> Operand {
+        Operand::matrix(name, r, c)
+    }
+
+    #[test]
+    fn gemm_flops_paper_convention() {
+        // A: n×k, B: k×m → 2mnk (Sec. 2 footnote).
+        let k = KernelOp::Gemm {
+            ta: false,
+            tb: false,
+            a: op("A", 20, 30),
+            b: op("B", 30, 40),
+        };
+        assert_eq!(k.flops(), 2.0 * 20.0 * 40.0 * 30.0);
+        assert_eq!(k.result_shape(), Shape::new(20, 40));
+    }
+
+    #[test]
+    fn gemm_transposed_shapes() {
+        let k = KernelOp::Gemm {
+            ta: true,
+            tb: false,
+            a: op("A", 30, 20),
+            b: op("B", 30, 40),
+        };
+        assert_eq!(k.result_shape(), Shape::new(20, 40));
+        assert_eq!(k.flops(), 2.0 * 20.0 * 40.0 * 30.0);
+    }
+
+    #[test]
+    fn trmm_half_of_gemm() {
+        let tri = Operand::square("L", 20);
+        let k = KernelOp::Trmm {
+            side: Side::Left,
+            uplo: Uplo::Lower,
+            trans: false,
+            a: tri,
+            b: op("B", 20, 40),
+        };
+        assert_eq!(k.flops(), 20.0 * 20.0 * 40.0);
+    }
+
+    #[test]
+    fn trmm_right_side_dims() {
+        let tri = Operand::square("L", 40);
+        let k = KernelOp::Trmm {
+            side: Side::Right,
+            uplo: Uplo::Lower,
+            trans: false,
+            a: tri,
+            b: op("B", 20, 40),
+        };
+        // m = 40 (triangular dim), n = 20.
+        assert_eq!(k.flops(), 40.0 * 40.0 * 20.0);
+        assert_eq!(k.result_shape(), Shape::new(20, 40));
+    }
+
+    #[test]
+    fn syrk_paper_cost() {
+        // SYRK on AᵀA with A k×m: m²k (Table 1).
+        let a = op("A", 30, 20);
+        let k = KernelOp::Syrk { trans: true, a };
+        assert_eq!(k.flops(), 20.0 * 20.0 * 30.0);
+        assert_eq!(k.result_shape(), Shape::square(20));
+    }
+
+    #[test]
+    fn solver_costs() {
+        let a = Operand::square("A", 10);
+        let b = op("B", 10, 4);
+        let gesv = KernelOp::Gesv {
+            side: Side::Left,
+            trans: false,
+            tb: false,
+            a: a.clone(),
+            b: b.clone(),
+        };
+        let posv = KernelOp::Posv {
+            side: Side::Left,
+            tb: false,
+            a: a.clone(),
+            b: b.clone(),
+        };
+        assert!(gesv.flops() > posv.flops());
+        assert_eq!(gesv.flops(), 2.0 / 3.0 * 1000.0 + 2.0 * 100.0 * 4.0);
+        assert_eq!(posv.flops(), 1.0 / 3.0 * 1000.0 + 2.0 * 100.0 * 4.0);
+    }
+
+    #[test]
+    fn vector_kernel_costs() {
+        let a = op("A", 10, 20);
+        let x = Operand::col_vector("x", 20);
+        let gemv = KernelOp::Gemv {
+            trans: false,
+            a,
+            x: x.clone(),
+        };
+        assert_eq!(gemv.flops(), 2.0 * 10.0 * 20.0);
+        assert_eq!(gemv.result_shape(), Shape::col_vector(10));
+
+        let y = Operand::col_vector("y", 10);
+        let ger = KernelOp::Ger {
+            x: Operand::col_vector("x", 20),
+            y,
+        };
+        assert_eq!(ger.flops(), 2.0 * 20.0 * 10.0);
+        assert_eq!(ger.result_shape(), Shape::new(20, 10));
+
+        let dot = KernelOp::Dot {
+            x: Operand::col_vector("x", 20),
+            y: Operand::col_vector("y", 20),
+        };
+        assert_eq!(dot.flops(), 40.0);
+        assert_eq!(dot.result_shape(), Shape::new(1, 1));
+    }
+
+    #[test]
+    fn display_forms() {
+        let k = KernelOp::Trsm {
+            side: Side::Left,
+            uplo: Uplo::Lower,
+            trans: true,
+            tb: false,
+            a: Operand::square("L", 4),
+            b: op("B", 4, 2),
+        };
+        assert_eq!(k.to_string(), "trsm('L', 'L', 'T', L, B)");
+        let k = KernelOp::Dot {
+            x: Operand::col_vector("x", 3),
+            y: Operand::col_vector("y", 3),
+        };
+        assert_eq!(k.to_string(), "dot(x, y)");
+    }
+
+    #[test]
+    fn operands_listed() {
+        let k = KernelOp::Symm {
+            side: Side::Left,
+            a: Operand::square("S", 4),
+            b: op("B", 4, 2),
+        };
+        let names: Vec<_> = k.operands().iter().map(|o| o.name()).collect();
+        assert_eq!(names, vec!["S", "B"]);
+    }
+}

@@ -1,0 +1,856 @@
+//! The kernel registry `K`: the set of available kernels, compiled into
+//! a discrimination net for many-to-one matching.
+
+use crate::kernel::{Constraint, Kernel, KernelMatch};
+use crate::op::{KernelFamily, KernelOp, Side, Uplo};
+use gmc_expr::{Expr, Operand, Property, UnaryOp};
+use gmc_pattern::{Bindings, DiscriminationNet, Pattern, Var};
+use std::collections::BTreeSet;
+
+/// The first (usually structured) pattern variable.
+const X: Var = Var::new(0);
+/// The second pattern variable.
+const Y: Var = Var::new(1);
+
+/// The set of available kernels, with a discrimination net for matching
+/// expressions against all of them at once.
+///
+/// # Example
+///
+/// ```
+/// use gmc_expr::{Operand, Property};
+/// use gmc_kernels::KernelRegistry;
+///
+/// let registry = KernelRegistry::blas_lapack();
+/// let l = Operand::square("L", 10).with_property(Property::LowerTriangular);
+/// let b = Operand::matrix("B", 10, 4);
+/// let matches = registry.match_expr(&(l.inverse() * b.expr()));
+/// // TRSM (m²n) and GESV (2/3·m³ + 2m²n) both apply; TRSM is cheaper.
+/// let best = matches
+///     .iter()
+///     .min_by(|p, q| p.flops().total_cmp(&q.flops()))
+///     .unwrap();
+/// assert_eq!(best.kernel.name(), "TRSM_LLN");
+/// ```
+#[derive(Debug)]
+pub struct KernelRegistry {
+    kernels: Vec<Kernel>,
+    net: DiscriminationNet<usize>,
+}
+
+impl KernelRegistry {
+    /// The full BLAS/LAPACK-style registry used by the paper's
+    /// evaluation: GEMM, TRMM, SYMM, TRSM, SYRK, solvers (GESV/POSV),
+    /// diagonal kernels, the BLAS-2 vector kernels, identity elimination
+    /// and the composite inverse-pair kernel (paper Sec. 5 assumes one
+    /// exists).
+    pub fn blas_lapack() -> Self {
+        RegistryBuilder::default().build()
+    }
+
+    /// A registry containing only the plain `GEMM_NN` kernel — the
+    /// classic matrix chain problem setting (paper Sec. 2).
+    pub fn mcp_only() -> Self {
+        RegistryBuilder::default().only_families([KernelFamily::Gemm]).without_transposed_gemm().build()
+    }
+
+    /// Starts building a customized registry.
+    pub fn builder() -> RegistryBuilder {
+        RegistryBuilder::default()
+    }
+
+    /// All kernels, in registration order.
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// Number of kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Matches `expr` against every kernel; returns all matches whose
+    /// constraints are satisfied, with instantiated operations.
+    pub fn match_expr(&self, expr: &Expr) -> Vec<KernelMatch<'_>> {
+        self.net
+            .matches(expr)
+            .into_iter()
+            .filter_map(|m| {
+                let kernel = &self.kernels[*m.payload];
+                if kernel.constraints().iter().all(|c| c.check(&m.bindings)) {
+                    Some(KernelMatch {
+                        op: kernel.instantiate(&m.bindings),
+                        kernel,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the full registry as a Markdown table (name, pattern,
+    /// constraints) — the generalized version of the paper's Table 1,
+    /// in registration order.
+    pub fn describe(&self) -> String {
+        let mut out = String::from("| kernel | pattern | constraints |\n|---|---|---|\n");
+        for k in &self.kernels {
+            let constraints = if k.constraints().is_empty() {
+                "—".to_owned()
+            } else {
+                k.constraints()
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            out.push_str(&format!(
+                "| {} | `{}` | {} |\n",
+                k.name(),
+                k.pattern(),
+                constraints
+            ));
+        }
+        out
+    }
+
+    /// The match minimizing FLOPs, breaking ties in favor of higher
+    /// kernel specificity (so `GEMV` beats `GEMM` on matrix-vector
+    /// products of equal cost).
+    pub fn best_by_flops(&self, expr: &Expr) -> Option<KernelMatch<'_>> {
+        self.match_expr(expr).into_iter().min_by(|p, q| {
+            p.flops()
+                .total_cmp(&q.flops())
+                .then_with(|| q.kernel.specificity().cmp(&p.kernel.specificity()))
+        })
+    }
+}
+
+/// Configures which kernels go into a [`KernelRegistry`].
+///
+/// Used for ablations (e.g. reproducing the paper's Sec. 3.2 example,
+/// which prices `AᵀA` as a general product, requires excluding `SYRK`)
+/// and for the completeness experiment of Sec. 3.4 (no composite
+/// inverse-pair kernel).
+#[derive(Debug, Clone, Default)]
+pub struct RegistryBuilder {
+    excluded: BTreeSet<KernelFamily>,
+    only: Option<BTreeSet<KernelFamily>>,
+    no_composite_inverse: bool,
+    no_transposed_gemm: bool,
+}
+
+impl RegistryBuilder {
+    /// Excludes a kernel family.
+    #[must_use]
+    pub fn without_family(mut self, family: KernelFamily) -> Self {
+        self.excluded.insert(family);
+        self
+    }
+
+    /// Keeps only the given families.
+    #[must_use]
+    pub fn only_families(mut self, families: impl IntoIterator<Item = KernelFamily>) -> Self {
+        self.only = Some(families.into_iter().collect());
+        self
+    }
+
+    /// Excludes the composite `op(A)⁻¹·op(B)⁻¹` kernel, reproducing the
+    /// completeness scenario of paper Sec. 3.4.
+    #[must_use]
+    pub fn without_composite_inverse(mut self) -> Self {
+        self.no_composite_inverse = true;
+        self
+    }
+
+    /// Excludes the transposed GEMM variants, leaving only `GEMM_NN`
+    /// (classic MCP setting).
+    #[must_use]
+    pub fn without_transposed_gemm(mut self) -> Self {
+        self.no_transposed_gemm = true;
+        self
+    }
+
+    fn wants(&self, family: KernelFamily) -> bool {
+        if let Some(only) = &self.only {
+            if !only.contains(&family) {
+                return false;
+            }
+        }
+        if self.excluded.contains(&family) {
+            return false;
+        }
+        if family == KernelFamily::InvPair && self.no_composite_inverse {
+            return false;
+        }
+        true
+    }
+
+    /// Builds the registry.
+    pub fn build(self) -> KernelRegistry {
+        let mut kernels: Vec<Kernel> = Vec::new();
+
+        // Factor pattern with a unary operator applied to a variable.
+        fn fp(v: Var, op: UnaryOp) -> Pattern {
+            match op {
+                UnaryOp::None => Pattern::var(v),
+                UnaryOp::Transpose => Pattern::transpose(Pattern::var(v)),
+                UnaryOp::Inverse => Pattern::inverse(Pattern::var(v)),
+                UnaryOp::InverseTranspose => Pattern::inverse_transpose(Pattern::var(v)),
+            }
+        }
+        fn bound(b: &Bindings, v: Var) -> Operand {
+            b.get(v).expect("pattern binds its variables").clone()
+        }
+        fn tname(t: bool) -> &'static str {
+            if t {
+                "T"
+            } else {
+                "N"
+            }
+        }
+
+        // ---- GEMM: the four transpose variants. -----------------------
+        if self.wants(KernelFamily::Gemm) {
+            let variants: &[(bool, bool)] = if self.no_transposed_gemm {
+                &[(false, false)]
+            } else {
+                &[(false, false), (true, false), (false, true), (true, true)]
+            };
+            for &(ta, tb) in variants {
+                let lp = fp(X, if ta { UnaryOp::Transpose } else { UnaryOp::None });
+                let rp = fp(Y, if tb { UnaryOp::Transpose } else { UnaryOp::None });
+                kernels.push(Kernel::new(
+                    format!("GEMM_{}{}", tname(ta), tname(tb)),
+                    KernelFamily::Gemm,
+                    Pattern::times2(lp, rp),
+                    vec![],
+                    0,
+                    Box::new(move |b| KernelOp::Gemm {
+                        ta,
+                        tb,
+                        a: bound(b, X),
+                        b: bound(b, Y),
+                    }),
+                ));
+            }
+        }
+
+        // ---- TRMM: side × uplo × trans. --------------------------------
+        if self.wants(KernelFamily::Trmm) {
+            for side in [Side::Left, Side::Right] {
+                for (uplo, prop) in [
+                    (Uplo::Lower, Property::LowerTriangular),
+                    (Uplo::Upper, Property::UpperTriangular),
+                ] {
+                    for trans in [false, true] {
+                        let xop = if trans { UnaryOp::Transpose } else { UnaryOp::None };
+                        let pattern = match side {
+                            Side::Left => Pattern::times2(fp(X, xop), fp(Y, UnaryOp::None)),
+                            Side::Right => Pattern::times2(fp(Y, UnaryOp::None), fp(X, xop)),
+                        };
+                        let s = if side == Side::Left { "L" } else { "R" };
+                        let u = if uplo == Uplo::Lower { "L" } else { "U" };
+                        kernels.push(Kernel::new(
+                            format!("TRMM_{}{}{}", s, u, tname(trans)),
+                            KernelFamily::Trmm,
+                            pattern,
+                            vec![Constraint::Has(X, prop)],
+                            2,
+                            Box::new(move |b| KernelOp::Trmm {
+                                side,
+                                uplo,
+                                trans,
+                                a: bound(b, X),
+                                b: bound(b, Y),
+                            }),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // ---- SYMM: side × (plain or transposed symmetric operand). ----
+        if self.wants(KernelFamily::Symm) {
+            for side in [Side::Left, Side::Right] {
+                for trans in [false, true] {
+                    let xop = if trans { UnaryOp::Transpose } else { UnaryOp::None };
+                    let pattern = match side {
+                        Side::Left => Pattern::times2(fp(X, xop), fp(Y, UnaryOp::None)),
+                        Side::Right => Pattern::times2(fp(Y, UnaryOp::None), fp(X, xop)),
+                    };
+                    let s = if side == Side::Left { "L" } else { "R" };
+                    kernels.push(Kernel::new(
+                        format!("SYMM_{}{}", s, tname(trans)),
+                        KernelFamily::Symm,
+                        pattern,
+                        vec![Constraint::Has(X, Property::Symmetric)],
+                        2,
+                        Box::new(move |b| KernelOp::Symm {
+                            side,
+                            a: bound(b, X),
+                            b: bound(b, Y),
+                        }),
+                    ));
+                }
+            }
+        }
+
+        // ---- TRSM: side × uplo × trans (inverted triangular operand). -
+        if self.wants(KernelFamily::Trsm) {
+            for side in [Side::Left, Side::Right] {
+                for (uplo, prop) in [
+                    (Uplo::Lower, Property::LowerTriangular),
+                    (Uplo::Upper, Property::UpperTriangular),
+                ] {
+                    for trans in [false, true] {
+                        for tb in [false, true] {
+                            let xop = if trans {
+                                UnaryOp::InverseTranspose
+                            } else {
+                                UnaryOp::Inverse
+                            };
+                            let yop = if tb { UnaryOp::Transpose } else { UnaryOp::None };
+                            let pattern = match side {
+                                Side::Left => Pattern::times2(fp(X, xop), fp(Y, yop)),
+                                Side::Right => Pattern::times2(fp(Y, yop), fp(X, xop)),
+                            };
+                            let s = if side == Side::Left { "L" } else { "R" };
+                            let u = if uplo == Uplo::Lower { "L" } else { "U" };
+                            let suffix = if tb { "_TB" } else { "" };
+                            kernels.push(Kernel::new(
+                                format!("TRSM_{}{}{}{}", s, u, tname(trans), suffix),
+                                KernelFamily::Trsm,
+                                pattern,
+                                vec![Constraint::Has(X, prop)],
+                                2,
+                                Box::new(move |b| KernelOp::Trsm {
+                                    side,
+                                    uplo,
+                                    trans,
+                                    tb,
+                                    a: bound(b, X),
+                                    b: bound(b, Y),
+                                }),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- SYRK: XᵀX and XXᵀ (non-linear patterns). ------------------
+        if self.wants(KernelFamily::Syrk) {
+            kernels.push(Kernel::new(
+                "SYRK_T",
+                KernelFamily::Syrk,
+                Pattern::times2(fp(X, UnaryOp::Transpose), fp(X, UnaryOp::None)),
+                vec![],
+                3,
+                Box::new(move |b| KernelOp::Syrk {
+                    trans: true,
+                    a: bound(b, X),
+                }),
+            ));
+            kernels.push(Kernel::new(
+                "SYRK_N",
+                KernelFamily::Syrk,
+                Pattern::times2(fp(X, UnaryOp::None), fp(X, UnaryOp::Transpose)),
+                vec![],
+                3,
+                Box::new(move |b| KernelOp::Syrk {
+                    trans: false,
+                    a: bound(b, X),
+                }),
+            ));
+        }
+
+        // ---- GESV: general solves, both sides, optional transpose. ----
+        if self.wants(KernelFamily::Gesv) {
+            for side in [Side::Left, Side::Right] {
+                for trans in [false, true] {
+                    for tb in [false, true] {
+                        let xop = if trans {
+                            UnaryOp::InverseTranspose
+                        } else {
+                            UnaryOp::Inverse
+                        };
+                        let yop = if tb { UnaryOp::Transpose } else { UnaryOp::None };
+                        let pattern = match side {
+                            Side::Left => Pattern::times2(fp(X, xop), fp(Y, yop)),
+                            Side::Right => Pattern::times2(fp(Y, yop), fp(X, xop)),
+                        };
+                        let s = if side == Side::Left { "L" } else { "R" };
+                        let suffix = if tb { "_TB" } else { "" };
+                        kernels.push(Kernel::new(
+                            format!("GESV_{}{}{}", s, tname(trans), suffix),
+                            KernelFamily::Gesv,
+                            pattern,
+                            vec![],
+                            1,
+                            Box::new(move |b| KernelOp::Gesv {
+                                side,
+                                trans,
+                                tb,
+                                a: bound(b, X),
+                                b: bound(b, Y),
+                            }),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // ---- POSV: SPD solves (transpose of SPD is itself). ------------
+        if self.wants(KernelFamily::Posv) {
+            for side in [Side::Left, Side::Right] {
+                for trans in [false, true] {
+                    for tb in [false, true] {
+                        let xop = if trans {
+                            UnaryOp::InverseTranspose
+                        } else {
+                            UnaryOp::Inverse
+                        };
+                        let yop = if tb { UnaryOp::Transpose } else { UnaryOp::None };
+                        let pattern = match side {
+                            Side::Left => Pattern::times2(fp(X, xop), fp(Y, yop)),
+                            Side::Right => Pattern::times2(fp(Y, yop), fp(X, xop)),
+                        };
+                        let s = if side == Side::Left { "L" } else { "R" };
+                        let suffix = if tb { "_TB" } else { "" };
+                        kernels.push(Kernel::new(
+                            format!("POSV_{}{}{}", s, tname(trans), suffix),
+                            KernelFamily::Posv,
+                            pattern,
+                            vec![Constraint::Has(X, Property::SymmetricPositiveDefinite)],
+                            2,
+                            Box::new(move |b| KernelOp::Posv {
+                                side,
+                                tb,
+                                a: bound(b, X),
+                                b: bound(b, Y),
+                            }),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // ---- Diagonal multiplies and solves. ---------------------------
+        if self.wants(KernelFamily::Diag) {
+            for side in [Side::Left, Side::Right] {
+                for (inv, ops) in [
+                    (false, [UnaryOp::None, UnaryOp::Transpose]),
+                    (true, [UnaryOp::Inverse, UnaryOp::InverseTranspose]),
+                ] {
+                    for xop in ops {
+                        for tb in [false, true] {
+                            let yop = if tb { UnaryOp::Transpose } else { UnaryOp::None };
+                            let pattern = match side {
+                                Side::Left => Pattern::times2(fp(X, xop), fp(Y, yop)),
+                                Side::Right => Pattern::times2(fp(Y, yop), fp(X, xop)),
+                            };
+                            let s = if side == Side::Left { "L" } else { "R" };
+                            let name = if inv { "DGSV" } else { "DGMM" };
+                            let suffix = if tb { "_TB" } else { "" };
+                            kernels.push(Kernel::new(
+                                format!("{}_{}{}{}", name, s, tname(xop.is_transposed()), suffix),
+                                KernelFamily::Diag,
+                                pattern,
+                                vec![Constraint::Has(X, Property::Diagonal)],
+                                4,
+                                Box::new(move |b| KernelOp::Diag {
+                                    side,
+                                    inv,
+                                    tb,
+                                    d: bound(b, X),
+                                    b: bound(b, Y),
+                                }),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- BLAS 2: matrix-vector kernels. ----------------------------
+        if self.wants(KernelFamily::Gemv) {
+            for trans in [false, true] {
+                let xop = if trans { UnaryOp::Transpose } else { UnaryOp::None };
+                kernels.push(Kernel::new(
+                    format!("GEMV_{}", tname(trans)),
+                    KernelFamily::Gemv,
+                    Pattern::times2(fp(X, xop), fp(Y, UnaryOp::None)),
+                    vec![Constraint::IsNotVector(X), Constraint::IsColVector(Y)],
+                    5,
+                    Box::new(move |b| KernelOp::Gemv {
+                        trans,
+                        a: bound(b, X),
+                        x: bound(b, Y),
+                    }),
+                ));
+            }
+        }
+        if self.wants(KernelFamily::Trmv) {
+            for (uplo, prop) in [
+                (Uplo::Lower, Property::LowerTriangular),
+                (Uplo::Upper, Property::UpperTriangular),
+            ] {
+                for trans in [false, true] {
+                    let xop = if trans { UnaryOp::Transpose } else { UnaryOp::None };
+                    let u = if uplo == Uplo::Lower { "L" } else { "U" };
+                    kernels.push(Kernel::new(
+                        format!("TRMV_{}{}", u, tname(trans)),
+                        KernelFamily::Trmv,
+                        Pattern::times2(fp(X, xop), fp(Y, UnaryOp::None)),
+                        vec![Constraint::Has(X, prop), Constraint::IsColVector(Y)],
+                        6,
+                        Box::new(move |b| KernelOp::Trmv {
+                            uplo,
+                            trans,
+                            a: bound(b, X),
+                            x: bound(b, Y),
+                        }),
+                    ));
+                }
+            }
+        }
+        if self.wants(KernelFamily::Symv) {
+            for trans in [false, true] {
+                let xop = if trans { UnaryOp::Transpose } else { UnaryOp::None };
+                kernels.push(Kernel::new(
+                    format!("SYMV_{}", tname(trans)),
+                    KernelFamily::Symv,
+                    Pattern::times2(fp(X, xop), fp(Y, UnaryOp::None)),
+                    vec![
+                        Constraint::Has(X, Property::Symmetric),
+                        Constraint::IsColVector(Y),
+                    ],
+                    6,
+                    Box::new(move |b| KernelOp::Symv {
+                        a: bound(b, X),
+                        x: bound(b, Y),
+                    }),
+                ));
+            }
+        }
+        if self.wants(KernelFamily::Trsv) {
+            for (uplo, prop) in [
+                (Uplo::Lower, Property::LowerTriangular),
+                (Uplo::Upper, Property::UpperTriangular),
+            ] {
+                for trans in [false, true] {
+                    let xop = if trans {
+                        UnaryOp::InverseTranspose
+                    } else {
+                        UnaryOp::Inverse
+                    };
+                    let u = if uplo == Uplo::Lower { "L" } else { "U" };
+                    kernels.push(Kernel::new(
+                        format!("TRSV_{}{}", u, tname(trans)),
+                        KernelFamily::Trsv,
+                        Pattern::times2(fp(X, xop), fp(Y, UnaryOp::None)),
+                        vec![Constraint::Has(X, prop), Constraint::IsColVector(Y)],
+                        6,
+                        Box::new(move |b| KernelOp::Trsv {
+                            uplo,
+                            trans,
+                            a: bound(b, X),
+                            x: bound(b, Y),
+                        }),
+                    ));
+                }
+            }
+        }
+
+        // ---- GER (outer product) and DOT (inner product). --------------
+        if self.wants(KernelFamily::Ger) {
+            kernels.push(Kernel::new(
+                "GER",
+                KernelFamily::Ger,
+                Pattern::times2(fp(X, UnaryOp::None), fp(Y, UnaryOp::Transpose)),
+                vec![Constraint::IsColVector(X), Constraint::IsColVector(Y)],
+                6,
+                Box::new(move |b| KernelOp::Ger {
+                    x: bound(b, X),
+                    y: bound(b, Y),
+                }),
+            ));
+        }
+        if self.wants(KernelFamily::Dot) {
+            kernels.push(Kernel::new(
+                "DOT",
+                KernelFamily::Dot,
+                Pattern::times2(fp(X, UnaryOp::Transpose), fp(Y, UnaryOp::None)),
+                vec![Constraint::IsColVector(X), Constraint::IsColVector(Y)],
+                6,
+                Box::new(move |b| KernelOp::Dot {
+                    x: bound(b, X),
+                    y: bound(b, Y),
+                }),
+            ));
+        }
+
+        // ---- Identity elimination (extension). -------------------------
+        if self.wants(KernelFamily::Copy) {
+            for side in [Side::Left, Side::Right] {
+                for xop in [
+                    UnaryOp::None,
+                    UnaryOp::Transpose,
+                    UnaryOp::Inverse,
+                    UnaryOp::InverseTranspose,
+                ] {
+                    let pattern = match side {
+                        Side::Left => Pattern::times2(fp(X, xop), fp(Y, UnaryOp::None)),
+                        Side::Right => Pattern::times2(fp(Y, UnaryOp::None), fp(X, xop)),
+                    };
+                    let s = if side == Side::Left { "L" } else { "R" };
+                    kernels.push(Kernel::new(
+                        format!("COPY_{}{}", s, xop.suffix().trim_start_matches('^')),
+                        KernelFamily::Copy,
+                        pattern,
+                        vec![Constraint::Has(X, Property::Identity)],
+                        7,
+                        Box::new(move |b| KernelOp::Copy { b: bound(b, Y) }),
+                    ));
+                }
+            }
+        }
+
+        // ---- Composite inverse-pair kernel (paper Sec. 5). --------------
+        if self.wants(KernelFamily::InvPair) {
+            for ta in [false, true] {
+                for tb in [false, true] {
+                    let lop = if ta {
+                        UnaryOp::InverseTranspose
+                    } else {
+                        UnaryOp::Inverse
+                    };
+                    let rop = if tb {
+                        UnaryOp::InverseTranspose
+                    } else {
+                        UnaryOp::Inverse
+                    };
+                    kernels.push(Kernel::new(
+                        format!("INVPAIR_{}{}", tname(ta), tname(tb)),
+                        KernelFamily::InvPair,
+                        Pattern::times2(fp(X, lop), fp(Y, rop)),
+                        vec![],
+                        0,
+                        Box::new(move |b| KernelOp::InvPair {
+                            ta,
+                            tb,
+                            a: bound(b, X),
+                            b: bound(b, Y),
+                        }),
+                    ));
+                }
+            }
+        }
+
+        let mut net = DiscriminationNet::new();
+        for (i, k) in kernels.iter().enumerate() {
+            net.insert(k.pattern().clone(), i);
+        }
+        KernelRegistry { kernels, net }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> KernelRegistry {
+        KernelRegistry::blas_lapack()
+    }
+
+    #[test]
+    fn registry_is_substantial() {
+        let r = registry();
+        assert!(r.len() >= 60, "expected a full registry, got {}", r.len());
+    }
+
+    #[test]
+    fn plain_product_matches_only_gemm_for_general_operands() {
+        let r = registry();
+        let a = Operand::matrix("A", 4, 5);
+        let b = Operand::matrix("B", 5, 6);
+        let ms = r.match_expr(&(a.expr() * b.expr()));
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].kernel.name(), "GEMM_NN");
+    }
+
+    #[test]
+    fn triangular_product_prefers_trmm() {
+        let r = registry();
+        let l = Operand::square("L", 10).with_property(Property::LowerTriangular);
+        let b = Operand::matrix("B", 10, 4);
+        let best = r.best_by_flops(&(l.expr() * b.expr())).unwrap();
+        assert_eq!(best.kernel.name(), "TRMM_LLN");
+        // GEMM also matches, with double the cost.
+        let ms = r.match_expr(&(l.expr() * b.expr()));
+        assert!(ms.iter().any(|m| m.kernel.name() == "GEMM_NN"));
+    }
+
+    #[test]
+    fn transposed_triangular_flips_nothing_but_trans_flag() {
+        let r = registry();
+        let u = Operand::square("U", 10).with_property(Property::UpperTriangular);
+        let b = Operand::matrix("B", 10, 4);
+        let best = r.best_by_flops(&(u.transpose() * b.expr())).unwrap();
+        assert_eq!(best.kernel.name(), "TRMM_LUT");
+    }
+
+    #[test]
+    fn spd_solve_prefers_posv_over_gesv() {
+        let r = registry();
+        let a = Operand::square("A", 10).with_property(Property::SymmetricPositiveDefinite);
+        let b = Operand::matrix("B", 10, 4);
+        let best = r.best_by_flops(&(a.inverse() * b.expr())).unwrap();
+        assert_eq!(best.kernel.name(), "POSV_LN");
+    }
+
+    #[test]
+    fn general_solve_falls_back_to_gesv() {
+        let r = registry();
+        let a = Operand::square("A", 10);
+        let b = Operand::matrix("B", 10, 4);
+        let best = r.best_by_flops(&(a.inverse() * b.expr())).unwrap();
+        assert_eq!(best.kernel.name(), "GESV_LN");
+        // A transposed right-hand side selects the _TB variant.
+        let best = r.best_by_flops(&(b.transpose() * a.inverse_transpose())).unwrap();
+        assert_eq!(best.kernel.name(), "GESV_RT_TB");
+    }
+
+    #[test]
+    fn diagonal_wins_over_everything() {
+        let r = registry();
+        let d = Operand::square("D", 10).with_property(Property::Diagonal);
+        let b = Operand::matrix("B", 10, 4);
+        let best = r.best_by_flops(&(d.expr() * b.expr())).unwrap();
+        assert_eq!(best.kernel.family(), KernelFamily::Diag);
+        let best = r.best_by_flops(&(d.inverse() * b.expr())).unwrap();
+        assert_eq!(best.kernel.name(), "DGSV_LN");
+    }
+
+    #[test]
+    fn syrk_beats_gemm_on_gram_products() {
+        let r = registry();
+        let a = Operand::matrix("A", 20, 15);
+        let best = r.best_by_flops(&(a.transpose() * a.expr())).unwrap();
+        assert_eq!(best.kernel.name(), "SYRK_T");
+        let best = r.best_by_flops(&(a.expr() * a.transpose())).unwrap();
+        assert_eq!(best.kernel.name(), "SYRK_N");
+        // Different operands: no SYRK.
+        let b = Operand::matrix("B", 20, 15);
+        let ms = r.match_expr(&(a.transpose() * b.expr()));
+        assert!(ms.iter().all(|m| m.kernel.family() != KernelFamily::Syrk));
+    }
+
+    #[test]
+    fn matrix_vector_prefers_gemv_on_tie() {
+        let r = registry();
+        let a = Operand::matrix("A", 10, 20);
+        let x = Operand::col_vector("x", 20);
+        let best = r.best_by_flops(&(a.expr() * x.expr())).unwrap();
+        assert_eq!(best.kernel.name(), "GEMV_N");
+    }
+
+    #[test]
+    fn triangular_vector_uses_trmv() {
+        let r = registry();
+        let l = Operand::square("L", 10).with_property(Property::LowerTriangular);
+        let x = Operand::col_vector("x", 10);
+        let best = r.best_by_flops(&(l.expr() * x.expr())).unwrap();
+        assert_eq!(best.kernel.name(), "TRMV_LN");
+        let best = r.best_by_flops(&(l.inverse() * x.expr())).unwrap();
+        assert_eq!(best.kernel.name(), "TRSV_LN");
+    }
+
+    #[test]
+    fn outer_and_inner_products() {
+        let r = registry();
+        let x = Operand::col_vector("x", 10);
+        let y = Operand::col_vector("y", 20);
+        let best = r.best_by_flops(&(x.expr() * y.transpose())).unwrap();
+        assert_eq!(best.kernel.name(), "GER");
+        let z = Operand::col_vector("z", 10);
+        let best = r.best_by_flops(&(x.transpose() * z.expr())).unwrap();
+        assert_eq!(best.kernel.name(), "DOT");
+    }
+
+    #[test]
+    fn identity_elimination() {
+        let r = registry();
+        let i = Operand::square("I", 10).with_property(Property::Identity);
+        let b = Operand::matrix("B", 10, 4);
+        let best = r.best_by_flops(&(i.expr() * b.expr())).unwrap();
+        assert_eq!(best.kernel.family(), KernelFamily::Copy);
+        assert_eq!(best.flops(), 0.0);
+    }
+
+    #[test]
+    fn inverse_pair_requires_composite_kernel() {
+        let full = registry();
+        let a = Operand::square("A", 10);
+        let b = Operand::square("B", 10);
+        let e = a.inverse() * b.inverse();
+        assert!(!full.match_expr(&e).is_empty());
+
+        let strict = KernelRegistry::builder().without_composite_inverse().build();
+        assert!(strict.match_expr(&e).is_empty());
+    }
+
+    #[test]
+    fn mcp_only_registry() {
+        let r = KernelRegistry::mcp_only();
+        let a = Operand::matrix("A", 4, 5);
+        let b = Operand::matrix("B", 5, 6);
+        assert_eq!(r.match_expr(&(a.expr() * b.expr())).len(), 1);
+        assert!(r.match_expr(&(a.transpose() * b.expr())).is_empty());
+    }
+
+    #[test]
+    fn without_family_ablation() {
+        let r = KernelRegistry::builder()
+            .without_family(KernelFamily::Syrk)
+            .build();
+        let a = Operand::matrix("A", 20, 15);
+        let ms = r.match_expr(&(a.transpose() * a.expr()));
+        assert!(ms.iter().all(|m| m.kernel.family() != KernelFamily::Syrk));
+        assert!(ms.iter().any(|m| m.kernel.name() == "GEMM_TN"));
+    }
+
+    #[test]
+    fn symm_matches_transposed_symmetric() {
+        let r = registry();
+        let s = Operand::square("S", 10).with_property(Property::Symmetric);
+        let b = Operand::matrix("B", 10, 4);
+        let best = r.best_by_flops(&(s.transpose() * b.expr())).unwrap();
+        assert_eq!(best.kernel.name(), "SYMM_LT");
+        let b2 = Operand::matrix("B", 4, 10);
+        let best = r.best_by_flops(&(b2.expr() * s.expr())).unwrap();
+        assert_eq!(best.kernel.name(), "SYMM_RN");
+    }
+
+    #[test]
+    fn describe_covers_every_kernel() {
+        let r = registry();
+        let text = r.describe();
+        assert_eq!(text.lines().count(), r.len() + 2); // header + separator
+        assert!(text.contains("TRSM_LLN"));
+        assert!(text.contains("is LowerTriangular(?0)"));
+    }
+
+    #[test]
+    fn no_match_for_unary_only_expression() {
+        let r = registry();
+        let a = Operand::square("A", 4);
+        assert!(r.match_expr(&a.inverse()).is_empty());
+    }
+}

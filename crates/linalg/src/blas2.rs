@@ -1,0 +1,324 @@
+//! BLAS level 2: matrix-vector operations.
+
+use crate::{Matrix, Triangle};
+
+/// `y := alpha · op(A) · x` where `op(A)` is `A` or `Aᵀ`.
+///
+/// # Panics
+///
+/// Panics if dimensions do not conform.
+pub fn gemv(alpha: f64, a: &Matrix, trans: bool, x: &[f64]) -> Vec<f64> {
+    let (m, n) = a.shape();
+    if trans {
+        assert_eq!(x.len(), m, "gemv: x length must equal rows(A) for Aᵀx");
+        // y_j = alpha * dot(A[:,j], x): column-wise, cache friendly.
+        (0..n)
+            .map(|j| alpha * crate::blas1::dot(a.col(j), x))
+            .collect()
+    } else {
+        assert_eq!(x.len(), n, "gemv: x length must equal cols(A)");
+        let mut y = vec![0.0; m];
+        for (j, &xj) in x.iter().enumerate() {
+            crate::blas1::axpy(alpha * xj, a.col(j), &mut y);
+        }
+        y
+    }
+}
+
+/// The rank-1 update `A := A + alpha · x yᵀ`.
+///
+/// # Panics
+///
+/// Panics if dimensions do not conform.
+pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) {
+    let (m, n) = a.shape();
+    assert_eq!(x.len(), m, "ger: x length must equal rows(A)");
+    assert_eq!(y.len(), n, "ger: y length must equal cols(A)");
+    for (j, &yj) in y.iter().enumerate() {
+        crate::blas1::axpy(alpha * yj, x, a.col_mut(j));
+    }
+}
+
+/// The outer product `alpha · x yᵀ` as a fresh matrix.
+pub fn outer(alpha: f64, x: &[f64], y: &[f64]) -> Matrix {
+    let mut a = Matrix::zeros(x.len(), y.len());
+    ger(alpha, x, y, &mut a);
+    a
+}
+
+/// `x := op(A) · x` with `A` triangular (in place).
+///
+/// Only the `tri` triangle of `A` is referenced; if `unit` is true the
+/// diagonal is taken to be all ones. Performs about half the scalar
+/// operations of a general `gemv`.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or `x` has the wrong length.
+pub fn trmv(tri: Triangle, a: &Matrix, trans: bool, unit: bool, x: &mut [f64]) {
+    let n = a.rows();
+    assert!(a.is_square(), "trmv: matrix must be square");
+    assert_eq!(x.len(), n, "trmv: vector length mismatch");
+    // Column-oriented for cache friendliness: when not transposed,
+    // accumulate x_j · A[tri-part of column j] into a fresh buffer; when
+    // transposed, entry i is a dot product with the (contiguous) part of
+    // column i.
+    let eff = if trans { tri.flip() } else { tri };
+    if !trans {
+        let mut y = vec![0.0; n];
+        match eff {
+            Triangle::Lower => {
+                for j in 0..n {
+                    let xj = x[j];
+                    if xj != 0.0 {
+                        let col = &a.col(j)[j..];
+                        let out = &mut y[j..];
+                        if unit {
+                            out[0] += xj;
+                            for (o, &v) in out.iter_mut().zip(col).skip(1) {
+                                *o += xj * v;
+                            }
+                        } else {
+                            for (o, &v) in out.iter_mut().zip(col) {
+                                *o += xj * v;
+                            }
+                        }
+                    }
+                }
+            }
+            Triangle::Upper => {
+                for j in 0..n {
+                    let xj = x[j];
+                    if xj != 0.0 {
+                        let col = &a.col(j)[..=j];
+                        let out = &mut y[..=j];
+                        if unit {
+                            out[j] += xj;
+                            for (o, &v) in out.iter_mut().zip(col).take(j) {
+                                *o += xj * v;
+                            }
+                        } else {
+                            for (o, &v) in out.iter_mut().zip(col) {
+                                *o += xj * v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        x.copy_from_slice(&y);
+    } else {
+        // op(A) = Aᵀ with storage triangle `tri`: y_i = dot of column i's
+        // triangle with x.
+        let mut y = vec![0.0; n];
+        match tri {
+            Triangle::Lower => {
+                // (Aᵀ)_ij = A_ji, j ≥ i: y_i = Σ_{j≥i} A[j,i] x[j].
+                for (i, yi) in y.iter_mut().enumerate() {
+                    let col = &a.col(i)[i..];
+                    let xs = &x[i..];
+                    *yi = if unit {
+                        xs[0] + crate::blas1::dot(&col[1..], &xs[1..])
+                    } else {
+                        crate::blas1::dot(col, xs)
+                    };
+                }
+            }
+            Triangle::Upper => {
+                // y_i = Σ_{j≤i} A[j,i] x[j].
+                for (i, yi) in y.iter_mut().enumerate() {
+                    let col = &a.col(i)[..=i];
+                    let xs = &x[..=i];
+                    *yi = if unit {
+                        xs[i] + crate::blas1::dot(&col[..i], &xs[..i])
+                    } else {
+                        crate::blas1::dot(col, xs)
+                    };
+                }
+            }
+        }
+        x.copy_from_slice(&y);
+    }
+}
+
+/// `x := op(A)⁻¹ · x` with `A` triangular (in place): forward or backward
+/// substitution.
+///
+/// # Panics
+///
+/// Panics if `A` is not square, `x` has the wrong length, or (in debug
+/// builds) a diagonal entry is zero.
+pub fn trsv(tri: Triangle, a: &Matrix, trans: bool, unit: bool, x: &mut [f64]) {
+    let n = a.rows();
+    assert!(a.is_square(), "trsv: matrix must be square");
+    assert_eq!(x.len(), n, "trsv: vector length mismatch");
+    if !trans {
+        // Column sweep: after fixing x_j, eliminate it from the
+        // remaining entries using the contiguous column tail.
+        match tri {
+            Triangle::Lower => {
+                for j in 0..n {
+                    let col = a.col(j);
+                    if !unit {
+                        x[j] /= col[j];
+                    }
+                    let xj = x[j];
+                    if xj != 0.0 {
+                        for (xi, &v) in x[j + 1..].iter_mut().zip(&col[j + 1..]) {
+                            *xi -= xj * v;
+                        }
+                    }
+                }
+            }
+            Triangle::Upper => {
+                for j in (0..n).rev() {
+                    let col = a.col(j);
+                    if !unit {
+                        x[j] /= col[j];
+                    }
+                    let xj = x[j];
+                    if xj != 0.0 {
+                        for (xi, &v) in x[..j].iter_mut().zip(&col[..j]) {
+                            *xi -= xj * v;
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        // Solve op(A)x = b with op(A) = Aᵀ: dot-product form over the
+        // contiguous stored columns.
+        match tri {
+            Triangle::Lower => {
+                // Aᵀ is upper: back substitution; row i of Aᵀ is column
+                // i of A (entries j ≥ i).
+                for i in (0..n).rev() {
+                    let col = a.col(i);
+                    let acc = crate::blas1::dot(&col[i + 1..], &x[i + 1..]);
+                    let v = x[i] - acc;
+                    x[i] = if unit { v } else { v / col[i] };
+                }
+            }
+            Triangle::Upper => {
+                // Aᵀ is lower: forward substitution.
+                for i in 0..n {
+                    let col = a.col(i);
+                    let acc = crate::blas1::dot(&col[..i], &x[..i]);
+                    let v = x[i] - acc;
+                    x[i] = if unit { v } else { v / col[i] };
+                }
+            }
+        }
+    }
+}
+
+/// `y := alpha · A · x` with `A` symmetric (full storage referenced).
+///
+/// # Panics
+///
+/// Panics if `A` is not square or `x` has the wrong length.
+pub fn symv(alpha: f64, a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert!(a.is_square(), "symv: matrix must be square");
+    gemv(alpha, a, false, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a23() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn gemv_no_trans() {
+        let y = gemv(1.0, &a23(), false, &[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn gemv_trans() {
+        let y = gemv(1.0, &a23(), true, &[1.0, 1.0]);
+        assert_eq!(y, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn gemv_alpha() {
+        let y = gemv(2.0, &a23(), false, &[1.0, 0.0, 0.0]);
+        assert_eq!(y, vec![2.0, 8.0]);
+    }
+
+    #[test]
+    fn ger_and_outer() {
+        let m = outer(1.0, &[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(m[(0, 0)], 3.0);
+        assert_eq!(m[(1, 2)], 10.0);
+        let mut a = Matrix::identity(2);
+        ger(1.0, &[1.0, 0.0], &[0.0, 1.0], &mut a);
+        assert_eq!(a[(0, 1)], 1.0);
+        assert_eq!(a[(0, 0)], 1.0);
+    }
+
+    fn lower3() -> Matrix {
+        Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[1.0, 3.0, 0.0], &[4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn trmv_lower() {
+        let mut x = vec![1.0, 1.0, 1.0];
+        trmv(Triangle::Lower, &lower3(), false, false, &mut x);
+        assert_eq!(x, vec![2.0, 4.0, 15.0]);
+    }
+
+    #[test]
+    fn trmv_lower_trans() {
+        // Lᵀ is upper triangular.
+        let mut x = vec![1.0, 1.0, 1.0];
+        trmv(Triangle::Lower, &lower3(), true, false, &mut x);
+        assert_eq!(x, vec![7.0, 8.0, 6.0]);
+    }
+
+    #[test]
+    fn trmv_unit_ignores_diagonal() {
+        let mut x = vec![1.0, 1.0, 1.0];
+        trmv(Triangle::Lower, &lower3(), false, true, &mut x);
+        // Unit diagonal: row i sums strictly-lower entries plus x_i.
+        assert_eq!(x, vec![1.0, 2.0, 10.0]);
+    }
+
+    #[test]
+    fn trsv_round_trips_trmv() {
+        let a = lower3();
+        for (trans, unit) in [(false, false), (true, false), (false, true), (true, true)] {
+            let x0 = vec![1.0, -2.0, 0.5];
+            let mut x = x0.clone();
+            trmv(Triangle::Lower, &a, trans, unit, &mut x);
+            trsv(Triangle::Lower, &a, trans, unit, &mut x);
+            for (a, b) in x.iter().zip(&x0) {
+                assert!((a - b).abs() < 1e-12, "trans={trans} unit={unit}");
+            }
+        }
+    }
+
+    #[test]
+    fn trsv_upper() {
+        let u = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 4.0]]);
+        let mut x = vec![4.0, 8.0];
+        trsv(Triangle::Upper, &u, false, false, &mut x);
+        // Solve: 4x1 = 8 → x1 = 2; 2x0 + 1·2 = 4 → x0 = 1.
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn symv_matches_gemv() {
+        let s = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        assert_eq!(symv(1.0, &s, &[1.0, 1.0]), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn trmv_requires_square() {
+        let mut x = vec![1.0, 1.0, 1.0];
+        trmv(Triangle::Lower, &a23(), false, false, &mut x);
+    }
+}

@@ -1,0 +1,406 @@
+//! BLAS level 3: matrix-matrix operations.
+
+use crate::{Matrix, Triangle};
+
+/// Which side a triangular/symmetric operand multiplies from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// `C := op(A) · B`.
+    Left,
+    /// `C := B · op(A)`.
+    Right,
+}
+
+/// General matrix-matrix product `alpha · op(A) · op(B)`.
+///
+/// `ta`/`tb` select transposition of the respective operand, mirroring
+/// the BLAS `GEMM` transpose flags. Cost: `2·m·n·k` FLOPs.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions of `op(A)` and `op(B)` differ.
+pub fn gemm(alpha: f64, a: &Matrix, ta: bool, b: &Matrix, tb: bool) -> Matrix {
+    match (ta, tb) {
+        (false, false) => gemm_nn(alpha, a, b),
+        (true, false) => gemm_tn(alpha, a, b),
+        (false, true) => gemm_nt(alpha, a, b),
+        // AᵀBᵀ = (B·A)ᵀ: one result transpose instead of two operand
+        // copies.
+        (true, true) => gemm_nn(alpha, b, a).transposed(),
+    }
+}
+
+/// `C := alpha·Aᵀ·B`: every output entry is a dot product of two
+/// contiguous columns — no transpose copy needed.
+fn gemm_tn(alpha: f64, a: &Matrix, b: &Matrix) -> Matrix {
+    let (k, m) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "gemm: inner dimensions must agree");
+    let mut c = Matrix::zeros(m, n);
+    for j in 0..n {
+        let b_col = b.col(j);
+        let c_col = c.col_mut(j);
+        for (i, ci) in c_col.iter_mut().enumerate() {
+            *ci = alpha * crate::blas1::dot(a.col(i), b_col);
+        }
+    }
+    c
+}
+
+/// `C := alpha·A·Bᵀ`: rank-1 accumulation over the shared dimension;
+/// `Bᵀ`'s row `l` is `B`'s (contiguous) column `l`.
+fn gemm_nt(alpha: f64, a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (n, k2) = b.shape();
+    assert_eq!(k, k2, "gemm: inner dimensions must agree");
+    if m == 1 {
+        // Row-vector times Bᵀ: equals (B·aᵀ)ᵀ, a single contiguous
+        // matrix-vector product.
+        let y = crate::blas2::gemv(alpha, b, false, a.as_slice());
+        return Matrix::from_col_major(1, n, y);
+    }
+    let mut c = Matrix::zeros(m, n);
+    for l in 0..k {
+        let a_col = a.col(l);
+        let b_col = b.col(l);
+        for (j, &blj) in b_col.iter().enumerate().take(n) {
+            let f = alpha * blj;
+            if f != 0.0 {
+                crate::blas1::axpy(f, a_col, c.col_mut(j));
+            }
+        }
+    }
+    c
+}
+
+/// The `C := alpha·A·B` kernel (no transposes), using the cache-friendly
+/// `j-l-i` loop order over contiguous columns.
+fn gemm_nn(alpha: f64, a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "gemm: inner dimensions must agree");
+    let mut c = Matrix::zeros(m, n);
+    if m == 1 {
+        // Row-vector times matrix: A's single row is contiguous in
+        // column-major storage, so each output entry is one dot product.
+        let a_row = a.as_slice();
+        for j in 0..n {
+            c.col_mut(j)[0] = alpha * crate::blas1::dot(a_row, b.col(j));
+        }
+        return c;
+    }
+    for j in 0..n {
+        let b_col = b.col(j);
+        let c_col = c.col_mut(j);
+        for (l, &blj) in b_col.iter().enumerate().take(k) {
+            let f = alpha * blj;
+            if f != 0.0 {
+                let a_col = a.col(l);
+                for i in 0..m {
+                    c_col[i] += f * a_col[i];
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Reference (naive triple-loop) product used as a test oracle.
+pub fn gemm_ref(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "gemm_ref: inner dimensions must agree");
+    Matrix::from_fn(m, n, |i, j| (0..k).map(|l| a[(i, l)] * b[(l, j)]).sum())
+}
+
+/// Triangular matrix-matrix product, `C := alpha·op(A)·B` (left) or
+/// `C := alpha·B·op(A)` (right), with `A` triangular.
+///
+/// Only the `tri` triangle of `A` is referenced (`unit` replaces the
+/// diagonal with ones). Performs about half the scalar operations of
+/// [`gemm`] — `m²n` FLOPs — which is where property-aware kernel
+/// selection gets its real speedups.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or dimensions do not conform.
+pub fn trmm(
+    side: Side,
+    tri: Triangle,
+    trans: bool,
+    unit: bool,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+) -> Matrix {
+    assert!(a.is_square(), "trmm: triangular operand must be square");
+    match side {
+        Side::Left => {
+            assert_eq!(a.cols(), b.rows(), "trmm: inner dimensions must agree");
+            let mut c = b.clone();
+            for j in 0..c.cols() {
+                crate::blas2::trmv(tri, a, trans, unit, c.col_mut(j));
+            }
+            if alpha != 1.0 {
+                crate::blas1::scal(alpha, c.as_mut_slice());
+            }
+            c
+        }
+        Side::Right => {
+            assert_eq!(b.cols(), a.rows(), "trmm: inner dimensions must agree");
+            // B·op(A) = (op(A)ᵀ · Bᵀ)ᵀ.
+            let bt = b.transposed();
+            let ct = trmm(Side::Left, tri, !trans, unit, alpha, a, &bt);
+            ct.transposed()
+        }
+    }
+}
+
+/// Triangular solve with multiple right-hand sides:
+/// `X := alpha·op(A)⁻¹·B` (left) or `X := alpha·B·op(A)⁻¹` (right).
+///
+/// Cost: `m²n` FLOPs, like [`trmm`].
+///
+/// # Panics
+///
+/// Panics if `A` is not square or dimensions do not conform.
+pub fn trsm(
+    side: Side,
+    tri: Triangle,
+    trans: bool,
+    unit: bool,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+) -> Matrix {
+    assert!(a.is_square(), "trsm: triangular operand must be square");
+    match side {
+        Side::Left => {
+            assert_eq!(a.cols(), b.rows(), "trsm: inner dimensions must agree");
+            let mut x = b.clone();
+            for j in 0..x.cols() {
+                crate::blas2::trsv(tri, a, trans, unit, x.col_mut(j));
+            }
+            if alpha != 1.0 {
+                crate::blas1::scal(alpha, x.as_mut_slice());
+            }
+            x
+        }
+        Side::Right => {
+            assert_eq!(b.cols(), a.rows(), "trsm: inner dimensions must agree");
+            let bt = b.transposed();
+            let xt = trsm(Side::Left, tri, !trans, unit, alpha, a, &bt);
+            xt.transposed()
+        }
+    }
+}
+
+/// Symmetric matrix-matrix product `C := alpha·A·B` (left) or
+/// `C := alpha·B·A` (right) with `A` symmetric.
+///
+/// The computation references the full (redundant) storage of `A`; the
+/// arithmetic volume matches `gemm`, as in reference BLAS. The *cost
+/// model* in `gmc-kernels` prices `SYMM` at half a `GEMM` following the
+/// paper's Table 1.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or dimensions do not conform.
+pub fn symm(side: Side, alpha: f64, a: &Matrix, b: &Matrix) -> Matrix {
+    assert!(a.is_square(), "symm: symmetric operand must be square");
+    match side {
+        Side::Left => gemm(alpha, a, false, b, false),
+        Side::Right => gemm(alpha, b, false, a, false),
+    }
+}
+
+/// Symmetric rank-k update: `C := alpha·AᵀA` (if `trans`) or
+/// `C := alpha·A·Aᵀ`.
+///
+/// Only one triangle is computed and then mirrored, so the arithmetic
+/// volume is about half of the equivalent `gemm` — `m²k` FLOPs (paper
+/// Table 1). The returned matrix is full (both triangles populated).
+pub fn syrk(alpha: f64, a: &Matrix, trans: bool) -> Matrix {
+    let (rows, cols) = a.shape();
+    let (n, k) = if trans { (cols, rows) } else { (rows, cols) };
+    let mut c = Matrix::zeros(n, n);
+    if trans {
+        // C[i][j] = dot(A[:,i], A[:,j]) for the lower triangle j <= i.
+        for j in 0..n {
+            for i in j..n {
+                let v = alpha * crate::blas1::dot(a.col(i), a.col(j));
+                c[(i, j)] = v;
+            }
+        }
+    } else {
+        // C += a_l · a_lᵀ accumulated over columns l, lower triangle only.
+        for l in 0..k {
+            let a_col = a.col(l);
+            for j in 0..n {
+                let f = alpha * a_col[j];
+                if f != 0.0 {
+                    for i in j..n {
+                        c[(i, j)] += f * a_col[i];
+                    }
+                }
+            }
+        }
+    }
+    // Mirror the lower triangle to the upper.
+    for j in 0..n {
+        for i in (j + 1)..n {
+            c[(j, i)] = c[(i, j)];
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn gemm_matches_reference_all_transpose_combos() {
+        let mut r = rng();
+        let a = random::general(&mut r, 5, 7);
+        let b = random::general(&mut r, 7, 4);
+        for (ta, tb) in [(false, false), (true, false), (false, true), (true, true)] {
+            let a_use = if ta { a.transposed() } else { a.clone() };
+            let b_use = if tb { b.transposed() } else { b.clone() };
+            let got = gemm(1.0, &a_use, ta, &b_use, tb);
+            let want = gemm_ref(&a, &b);
+            assert!(got.approx_eq(&want, 1e-12), "ta={ta} tb={tb}");
+        }
+    }
+
+    #[test]
+    fn gemm_alpha_scaling() {
+        let a = Matrix::identity(3);
+        let b = Matrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        let c = gemm(2.5, &a, false, &b, false);
+        assert!(c.approx_eq(&Matrix::from_fn(3, 2, |i, j| 2.5 * (i + j) as f64), 1e-14));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn gemm_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = gemm(1.0, &a, false, &b, false);
+    }
+
+    #[test]
+    fn trmm_left_lower_matches_gemm_on_triangle() {
+        let mut r = rng();
+        let a = random::lower_triangular(&mut r, 6);
+        let b = random::general(&mut r, 6, 3);
+        let got = trmm(Side::Left, Triangle::Lower, false, false, 1.0, &a, &b);
+        let want = gemm_ref(&a, &b);
+        assert!(got.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn trmm_right_and_transposed() {
+        let mut r = rng();
+        let a = random::upper_triangular(&mut r, 4);
+        let b = random::general(&mut r, 3, 4);
+        // B·Aᵀ.
+        let got = trmm(Side::Right, Triangle::Upper, true, false, 1.0, &a, &b);
+        let want = gemm_ref(&b, &a.transposed());
+        assert!(got.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn trmm_only_references_selected_triangle() {
+        let mut r = rng();
+        let mut a = random::lower_triangular(&mut r, 4);
+        // Garbage in the upper triangle must not affect the result.
+        let clean = trmm(
+            Side::Left,
+            Triangle::Lower,
+            false,
+            false,
+            1.0,
+            &a,
+            &Matrix::identity(4),
+        );
+        a[(0, 3)] = 1234.0;
+        let dirty = trmm(
+            Side::Left,
+            Triangle::Lower,
+            false,
+            false,
+            1.0,
+            &a,
+            &Matrix::identity(4),
+        );
+        assert!(clean.approx_eq(&dirty, 0.0));
+    }
+
+    #[test]
+    fn trsm_inverts_trmm() {
+        let mut r = rng();
+        for side in [Side::Left, Side::Right] {
+            for tri in [Triangle::Lower, Triangle::Upper] {
+                for trans in [false, true] {
+                    for unit in [false, true] {
+                        let a = match tri {
+                            Triangle::Lower => random::lower_triangular(&mut r, 5),
+                            Triangle::Upper => random::upper_triangular(&mut r, 5),
+                        };
+                        let b = match side {
+                            Side::Left => random::general(&mut r, 5, 3),
+                            Side::Right => random::general(&mut r, 3, 5),
+                        };
+                        let prod = trmm(side, tri, trans, unit, 1.0, &a, &b);
+                        let back = trsm(side, tri, trans, unit, 1.0, &a, &prod);
+                        assert!(
+                            back.approx_eq(&b, 1e-9),
+                            "side={side:?} tri={tri:?} trans={trans} unit={unit}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symm_matches_gemm() {
+        let mut r = rng();
+        let s = random::symmetric(&mut r, 5);
+        let b = random::general(&mut r, 5, 3);
+        let got = symm(Side::Left, 1.0, &s, &b);
+        assert!(got.approx_eq(&gemm_ref(&s, &b), 1e-12));
+        let b2 = random::general(&mut r, 3, 5);
+        let got = symm(Side::Right, 1.0, &s, &b2);
+        assert!(got.approx_eq(&gemm_ref(&b2, &s), 1e-12));
+    }
+
+    #[test]
+    fn syrk_matches_gemm() {
+        let mut r = rng();
+        let a = random::general(&mut r, 6, 4);
+        // AᵀA.
+        let got = syrk(1.0, &a, true);
+        assert!(got.approx_eq(&gemm_ref(&a.transposed(), &a), 1e-12));
+        assert!(got.is_symmetric(1e-12));
+        // A·Aᵀ.
+        let got = syrk(1.0, &a, false);
+        assert!(got.approx_eq(&gemm_ref(&a, &a.transposed()), 1e-12));
+        assert!(got.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn syrk_alpha() {
+        let a = Matrix::identity(3);
+        let c = syrk(3.0, &a, true);
+        assert!(c.approx_eq(&Matrix::from_diagonal(&[3.0, 3.0, 3.0]), 1e-14));
+    }
+}

@@ -1,0 +1,124 @@
+//! Kernels specialized for diagonal operands.
+//!
+//! A diagonal matrix is stored (for these routines) as its diagonal
+//! vector; multiplying or solving costs only `m·n` FLOPs, which is what
+//! makes `Diagonal` such a valuable property for the GMC cost model.
+
+use crate::{LinalgError, Matrix};
+
+/// `C := D·B` where `D = diag(d)` — scales row `i` of `B` by `d[i]`.
+///
+/// # Panics
+///
+/// Panics if `d.len() != B.rows()`.
+pub fn dgmm_left(d: &[f64], b: &Matrix) -> Matrix {
+    assert_eq!(d.len(), b.rows(), "dgmm_left: dimension mismatch");
+    let mut c = b.clone();
+    for j in 0..c.cols() {
+        let col = c.col_mut(j);
+        for (i, v) in col.iter_mut().enumerate() {
+            *v *= d[i];
+        }
+    }
+    c
+}
+
+/// `C := B·D` where `D = diag(d)` — scales column `j` of `B` by `d[j]`.
+///
+/// # Panics
+///
+/// Panics if `d.len() != B.cols()`.
+pub fn dgmm_right(b: &Matrix, d: &[f64]) -> Matrix {
+    assert_eq!(d.len(), b.cols(), "dgmm_right: dimension mismatch");
+    let mut c = b.clone();
+    for (j, &dj) in d.iter().enumerate() {
+        crate::blas1::scal(dj, c.col_mut(j));
+    }
+    c
+}
+
+/// Inverts a diagonal (given as a vector).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] if any entry is zero.
+pub fn diag_inv(d: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    d.iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            if v == 0.0 {
+                Err(LinalgError::Singular { pivot: i })
+            } else {
+                Ok(1.0 / v)
+            }
+        })
+        .collect()
+}
+
+/// `X := D⁻¹·B` — the diagonal left solve.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] if any diagonal entry is zero.
+///
+/// # Panics
+///
+/// Panics if `d.len() != B.rows()`.
+pub fn dgsv_left(d: &[f64], b: &Matrix) -> Result<Matrix, LinalgError> {
+    Ok(dgmm_left(&diag_inv(d)?, b))
+}
+
+/// `X := B·D⁻¹` — the diagonal right solve.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] if any diagonal entry is zero.
+///
+/// # Panics
+///
+/// Panics if `d.len() != B.cols()`.
+pub fn dgsv_right(b: &Matrix, d: &[f64]) -> Result<Matrix, LinalgError> {
+    Ok(dgmm_right(b, &diag_inv(d)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::gemm_ref;
+
+    #[test]
+    fn dgmm_left_matches_gemm() {
+        let d = [2.0, 3.0];
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let got = dgmm_left(&d, &b);
+        let want = gemm_ref(&Matrix::from_diagonal(&d), &b);
+        assert!(got.approx_eq(&want, 0.0));
+    }
+
+    #[test]
+    fn dgmm_right_matches_gemm() {
+        let d = [2.0, 3.0];
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let got = dgmm_right(&b, &d);
+        let want = gemm_ref(&b, &Matrix::from_diagonal(&d));
+        assert!(got.approx_eq(&want, 0.0));
+    }
+
+    #[test]
+    fn diag_solve_round_trips() {
+        let d = [2.0, -4.0];
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let x = dgsv_left(&d, &b).unwrap();
+        assert!(dgmm_left(&d, &x).approx_eq(&b, 1e-15));
+        let x = dgsv_right(&b, &d).unwrap();
+        assert!(dgmm_right(&x, &d).approx_eq(&b, 1e-15));
+    }
+
+    #[test]
+    fn diag_inv_detects_zero() {
+        assert!(matches!(
+            diag_inv(&[1.0, 0.0]),
+            Err(LinalgError::Singular { pivot: 1 })
+        ));
+    }
+}

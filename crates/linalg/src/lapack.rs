@@ -1,0 +1,420 @@
+//! LAPACK-style factorizations and solvers.
+
+use crate::blas3::{trsm, Side};
+use crate::{LinalgError, Matrix, Triangle};
+
+/// LU factorization with partial pivoting, in place (`GETRF`).
+///
+/// On success, `a` holds `L` (unit lower, below the diagonal) and `U`
+/// (upper, including the diagonal), and the returned `ipiv` records the
+/// row swapped with row `i` at step `i`. Cost: `2/3·n³` FLOPs.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] if a pivot column is entirely zero.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn getrf(a: &mut Matrix) -> Result<Vec<usize>, LinalgError> {
+    assert!(a.is_square(), "getrf: matrix must be square");
+    let n = a.rows();
+    let mut ipiv = Vec::with_capacity(n);
+    for k in 0..n {
+        // Pivot search in column k, rows k..n.
+        let mut p = k;
+        let mut best = a[(k, k)].abs();
+        for i in (k + 1)..n {
+            if a[(i, k)].abs() > best {
+                best = a[(i, k)].abs();
+                p = i;
+            }
+        }
+        if best == 0.0 {
+            return Err(LinalgError::Singular { pivot: k });
+        }
+        ipiv.push(p);
+        a.swap_rows(k, p);
+        let pivot = a[(k, k)];
+        // Scale multipliers and update the trailing submatrix.
+        for i in (k + 1)..n {
+            a[(i, k)] /= pivot;
+        }
+        for j in (k + 1)..n {
+            let akj = a[(k, j)];
+            if akj != 0.0 {
+                for i in (k + 1)..n {
+                    let l_ik = a[(i, k)];
+                    a[(i, j)] -= l_ik * akj;
+                }
+            }
+        }
+    }
+    Ok(ipiv)
+}
+
+/// Solves `op(A)·X = B` given the factorization from [`getrf`] (`GETRS`).
+///
+/// # Panics
+///
+/// Panics if the dimensions do not conform.
+pub fn getrs(lu: &Matrix, ipiv: &[usize], b: &Matrix, trans: bool) -> Matrix {
+    assert!(lu.is_square(), "getrs: factor must be square");
+    assert_eq!(lu.rows(), b.rows(), "getrs: dimension mismatch");
+    assert_eq!(ipiv.len(), lu.rows(), "getrs: pivot vector length mismatch");
+    let mut x = b.clone();
+    if !trans {
+        // A = P⁻¹LU with row swaps recorded in ipiv: apply swaps, then
+        // L y = Pb (unit lower), then U x = y.
+        for (k, &p) in ipiv.iter().enumerate() {
+            x.swap_rows(k, p);
+        }
+        x = trsm(Side::Left, Triangle::Lower, false, true, 1.0, lu, &x);
+        trsm(Side::Left, Triangle::Upper, false, false, 1.0, lu, &x)
+    } else {
+        // Aᵀ x = b ⇒ Uᵀ y = b, Lᵀ z = y, x = Pᵀ z (undo swaps in reverse).
+        x = trsm(Side::Left, Triangle::Upper, true, false, 1.0, lu, &x);
+        x = trsm(Side::Left, Triangle::Lower, true, true, 1.0, lu, &x);
+        for (k, &p) in ipiv.iter().enumerate().rev() {
+            x.swap_rows(k, p);
+        }
+        x
+    }
+}
+
+/// Solves `A·X = B` for general square `A` (`GESV`): LU + two triangular
+/// solves. Cost: `2/3·n³ + 2·n²·m` FLOPs.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] if `A` is singular.
+///
+/// # Panics
+///
+/// Panics if dimensions do not conform.
+pub fn gesv(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    let mut lu = a.clone();
+    let ipiv = getrf(&mut lu)?;
+    Ok(getrs(&lu, &ipiv, b, false))
+}
+
+/// Solves `Aᵀ·X = B` for general square `A`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] if `A` is singular.
+pub fn gesv_trans(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    let mut lu = a.clone();
+    let ipiv = getrf(&mut lu)?;
+    Ok(getrs(&lu, &ipiv, b, true))
+}
+
+/// Solves `X·A = B` (right-sided general solve) via `Aᵀ·Xᵀ = Bᵀ`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] if `A` is singular.
+pub fn gesv_right(b: &Matrix, a: &Matrix) -> Result<Matrix, LinalgError> {
+    Ok(gesv_trans(a, &b.transposed())?.transposed())
+}
+
+/// Explicit inverse of a general square matrix (`GETRF` + solve with the
+/// identity). Cost modeled as `2·n³` FLOPs.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] if `A` is singular.
+pub fn getri(a: &Matrix) -> Result<Matrix, LinalgError> {
+    gesv(a, &Matrix::identity(a.rows()))
+}
+
+/// Cholesky factorization `A = L·Lᵀ` of an SPD matrix, in place
+/// (`POTRF`, lower variant). On success the lower triangle holds `L` and
+/// the strict upper triangle is zeroed. Cost: `1/3·n³` FLOPs.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotPositiveDefinite`] if a leading minor is
+/// not positive.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn potrf(a: &mut Matrix) -> Result<(), LinalgError> {
+    assert!(a.is_square(), "potrf: matrix must be square");
+    let n = a.rows();
+    // Left-looking column Cholesky: update column j with all previous
+    // columns (contiguous axpy operations), then scale.
+    for j in 0..n {
+        for k in 0..j {
+            let l_jk = a[(j, k)];
+            if l_jk != 0.0 {
+                let (col_k, col_j) = a.cols_mut2(k, j);
+                for (x, &v) in col_j[j..].iter_mut().zip(&col_k[j..]) {
+                    *x -= l_jk * v;
+                }
+            }
+        }
+        let d = a[(j, j)];
+        if d <= 0.0 {
+            return Err(LinalgError::NotPositiveDefinite { minor: j });
+        }
+        let l_jj = d.sqrt();
+        a[(j, j)] = l_jj;
+        let col_j = a.col_mut(j);
+        for x in &mut col_j[j + 1..] {
+            *x /= l_jj;
+        }
+    }
+    // Zero the strict upper triangle so the result is a clean L.
+    for j in 1..n {
+        for i in 0..j {
+            a[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Solves `A·X = B` given the Cholesky factor `L` from [`potrf`]
+/// (`POTRS`): two triangular solves.
+///
+/// # Panics
+///
+/// Panics if dimensions do not conform.
+pub fn potrs(l: &Matrix, b: &Matrix) -> Matrix {
+    let y = trsm(Side::Left, Triangle::Lower, false, false, 1.0, l, b);
+    trsm(Side::Left, Triangle::Lower, true, false, 1.0, l, &y)
+}
+
+/// Solves `A·X = B` for SPD `A` (`POSV`): Cholesky + two triangular
+/// solves. Cost: `1/3·n³ + 2·n²·m` FLOPs.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotPositiveDefinite`] if `A` is not SPD.
+pub fn posv(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    let mut l = a.clone();
+    potrf(&mut l)?;
+    Ok(potrs(&l, b))
+}
+
+/// Solves `X·A = B` for SPD `A`: by symmetry `A·Xᵀ = Bᵀ`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotPositiveDefinite`] if `A` is not SPD.
+pub fn posv_right(b: &Matrix, a: &Matrix) -> Result<Matrix, LinalgError> {
+    Ok(posv(a, &b.transposed())?.transposed())
+}
+
+/// Explicit inverse of an SPD matrix via Cholesky. Cost modeled as `n³`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotPositiveDefinite`] if `A` is not SPD.
+pub fn poinv(a: &Matrix) -> Result<Matrix, LinalgError> {
+    posv(a, &Matrix::identity(a.rows()))
+}
+
+/// Inverse of a triangular matrix (`TRTRI`-style), exploiting structure.
+/// Cost: about `n³/3` FLOPs.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] on a zero diagonal entry (unless
+/// `unit`).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn trtri(a: &Matrix, tri: Triangle, unit: bool) -> Result<Matrix, LinalgError> {
+    assert!(a.is_square(), "trtri: matrix must be square");
+    let n = a.rows();
+    if !unit {
+        for i in 0..n {
+            if a[(i, i)] == 0.0 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+        }
+    }
+    let mut inv = Matrix::zeros(n, n);
+    match tri {
+        Triangle::Lower => {
+            // Solve L·X = I column by column; column j of X is zero above j.
+            for j in 0..n {
+                inv[(j, j)] = if unit { 1.0 } else { 1.0 / a[(j, j)] };
+                for i in (j + 1)..n {
+                    let mut acc = 0.0;
+                    for k in j..i {
+                        acc += a[(i, k)] * inv[(k, j)];
+                    }
+                    let d = if unit { 1.0 } else { a[(i, i)] };
+                    inv[(i, j)] = -acc / d;
+                }
+            }
+        }
+        Triangle::Upper => {
+            for j in (0..n).rev() {
+                inv[(j, j)] = if unit { 1.0 } else { 1.0 / a[(j, j)] };
+                for i in (0..j).rev() {
+                    let mut acc = 0.0;
+                    for k in (i + 1)..=j {
+                        acc += a[(i, k)] * inv[(k, j)];
+                    }
+                    let d = if unit { 1.0 } else { a[(i, i)] };
+                    inv[(i, j)] = -acc / d;
+                }
+            }
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::gemm_ref;
+    use crate::random;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn getrf_getrs_solves() {
+        let mut r = rng();
+        let a = random::invertible(&mut r, 8);
+        let b = random::general(&mut r, 8, 3);
+        let x = gesv(&a, &b).unwrap();
+        let back = gemm_ref(&a, &x);
+        assert!(back.approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn gesv_trans_solves_transposed_system() {
+        let mut r = rng();
+        let a = random::invertible(&mut r, 6);
+        let b = random::general(&mut r, 6, 2);
+        let x = gesv_trans(&a, &b).unwrap();
+        assert!(gemm_ref(&a.transposed(), &x).approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn gesv_right_solves_xa_eq_b() {
+        let mut r = rng();
+        let a = random::invertible(&mut r, 5);
+        let b = random::general(&mut r, 3, 5);
+        let x = gesv_right(&b, &a).unwrap();
+        assert!(gemm_ref(&x, &a).approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn getrf_detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let mut lu = a.clone();
+        assert!(matches!(getrf(&mut lu), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn getri_inverts() {
+        let mut r = rng();
+        let a = random::invertible(&mut r, 7);
+        let inv = getri(&a).unwrap();
+        assert!(gemm_ref(&a, &inv).approx_eq(&Matrix::identity(7), 1e-8));
+    }
+
+    #[test]
+    fn getrf_requires_pivoting() {
+        // Zero in the (0,0) position: only works with pivoting.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = gesv(&a, &Matrix::identity(2)).unwrap();
+        assert!(gemm_ref(&a, &x).approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn potrf_factorizes_spd() {
+        let mut r = rng();
+        let a = random::spd(&mut r, 6);
+        let mut l = a.clone();
+        potrf(&mut l).unwrap();
+        assert!(l.is_lower_triangular(0.0));
+        let llt = gemm_ref(&l, &l.transposed());
+        assert!(llt.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn potrf_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        let mut l = a.clone();
+        assert!(matches!(
+            potrf(&mut l),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn posv_solves() {
+        let mut r = rng();
+        let a = random::spd(&mut r, 6);
+        let b = random::general(&mut r, 6, 4);
+        let x = posv(&a, &b).unwrap();
+        assert!(gemm_ref(&a, &x).approx_eq(&b, 1e-8));
+    }
+
+    #[test]
+    fn posv_right_solves() {
+        let mut r = rng();
+        let a = random::spd(&mut r, 5);
+        let b = random::general(&mut r, 2, 5);
+        let x = posv_right(&b, &a).unwrap();
+        assert!(gemm_ref(&x, &a).approx_eq(&b, 1e-8));
+    }
+
+    #[test]
+    fn poinv_inverts() {
+        let mut r = rng();
+        let a = random::spd(&mut r, 5);
+        let inv = poinv(&a).unwrap();
+        assert!(gemm_ref(&a, &inv).approx_eq(&Matrix::identity(5), 1e-8));
+    }
+
+    #[test]
+    fn trtri_lower_and_upper() {
+        let mut r = rng();
+        let l = random::lower_triangular(&mut r, 6);
+        let li = trtri(&l, Triangle::Lower, false).unwrap();
+        assert!(li.is_lower_triangular(1e-12));
+        assert!(gemm_ref(&l, &li).approx_eq(&Matrix::identity(6), 1e-9));
+
+        let u = random::upper_triangular(&mut r, 6);
+        let ui = trtri(&u, Triangle::Upper, false).unwrap();
+        assert!(ui.is_upper_triangular(1e-12));
+        assert!(gemm_ref(&u, &ui).approx_eq(&Matrix::identity(6), 1e-9));
+    }
+
+    #[test]
+    fn trtri_unit_diagonal() {
+        let mut r = rng();
+        let mut l = random::lower_triangular(&mut r, 5);
+        for i in 0..5 {
+            l[(i, i)] = 1.0;
+        }
+        let li = trtri(&l, Triangle::Lower, true).unwrap();
+        assert!(gemm_ref(&l, &li).approx_eq(&Matrix::identity(5), 1e-10));
+        for i in 0..5 {
+            assert!((li[(i, i)] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trtri_detects_singular() {
+        let mut l = Matrix::identity(3);
+        l[(1, 1)] = 0.0;
+        assert!(matches!(
+            trtri(&l, Triangle::Lower, false),
+            Err(LinalgError::Singular { pivot: 1 })
+        ));
+    }
+}

@@ -1,0 +1,452 @@
+//! The dense column-major matrix type.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Selects the triangular half of a matrix for triangular routines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Triangle {
+    /// The lower triangle (including the diagonal).
+    Lower,
+    /// The upper triangle (including the diagonal).
+    Upper,
+}
+
+impl Triangle {
+    /// The opposite triangle.
+    #[must_use]
+    pub fn flip(self) -> Triangle {
+        match self {
+            Triangle::Lower => Triangle::Upper,
+            Triangle::Upper => Triangle::Lower,
+        }
+    }
+}
+
+/// A dense, column-major matrix of `f64` values.
+///
+/// Column-major storage matches BLAS/LAPACK conventions: entry `(i, j)`
+/// lives at `data[i + j·rows]`, and a column is a contiguous slice.
+///
+/// # Example
+///
+/// ```
+/// use gmc_linalg::Matrix;
+///
+/// let mut m = Matrix::zeros(2, 3);
+/// m[(0, 1)] = 5.0;
+/// assert_eq!(m[(0, 1)], 5.0);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a column-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "data length must match shape");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices (each row must have equal length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the row lengths differ.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "at least one row required");
+        let ncols = rows[0].len();
+        assert!(ncols > 0, "rows must be non-empty");
+        let mut m = Matrix::zeros(rows.len(), ncols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), ncols, "all rows must have the same length");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(i, j)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a column vector from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is empty.
+    pub fn col_vector(v: &[f64]) -> Self {
+        Matrix::from_col_major(v.len(), 1, v.to_vec())
+    }
+
+    /// Creates a square diagonal matrix from the given diagonal entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is empty.
+    pub fn from_diagonal(d: &[f64]) -> Self {
+        let mut m = Matrix::zeros(d.len(), d.len());
+        for (i, &v) in d.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// The raw column-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the raw column-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Column `j` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn col(&self, j: usize) -> &[f64] {
+        assert!(j < self.cols, "column index out of bounds");
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Column `j` as a mutable contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        assert!(j < self.cols, "column index out of bounds");
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Two distinct columns as mutable slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are equal or out of bounds.
+    pub fn cols_mut2(&mut self, j1: usize, j2: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(j1 != j2, "column indices must differ");
+        assert!(j1 < self.cols && j2 < self.cols, "column index out of bounds");
+        let r = self.rows;
+        if j1 < j2 {
+            let (a, b) = self.data.split_at_mut(j2 * r);
+            (&mut a[j1 * r..(j1 + 1) * r], &mut b[..r])
+        } else {
+            let (a, b) = self.data.split_at_mut(j1 * r);
+            let (x, y) = (&mut b[..r], &mut a[j2 * r..(j2 + 1) * r]);
+            (x, y)
+        }
+    }
+
+    /// Returns the transposed matrix (an explicit copy).
+    #[must_use]
+    pub fn transposed(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Swaps rows `r1` and `r2` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn swap_rows(&mut self, r1: usize, r2: usize) {
+        assert!(r1 < self.rows && r2 < self.rows, "row index out of bounds");
+        if r1 == r2 {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(r1 + j * self.rows, r2 + j * self.rows);
+        }
+    }
+
+    /// The Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// The largest absolute entry-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether all entries are within `tol` of `other`, relative to the
+    /// magnitude of the entries (mixed absolute/relative test).
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        if self.shape() != other.shape() {
+            return false;
+        }
+        self.data.iter().zip(&other.data).all(|(a, b)| {
+            let scale = 1.0_f64.max(a.abs()).max(b.abs());
+            (a - b).abs() <= tol * scale
+        })
+    }
+
+    /// Numerically checks lower-triangularity (entries above the
+    /// diagonal are at most `tol` in magnitude).
+    pub fn is_lower_triangular(&self, tol: f64) -> bool {
+        for j in 0..self.cols {
+            for i in 0..j.min(self.rows) {
+                if self[(i, j)].abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Numerically checks upper-triangularity.
+    pub fn is_upper_triangular(&self, tol: f64) -> bool {
+        for j in 0..self.cols {
+            for i in (j + 1)..self.rows {
+                if self[(i, j)].abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Numerically checks symmetry.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for j in 0..self.cols {
+            for i in 0..j {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Numerically checks diagonality.
+    pub fn is_diagonal(&self, tol: f64) -> bool {
+        self.is_lower_triangular(tol) && self.is_upper_triangular(tol)
+    }
+
+    /// Extracts the main diagonal.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_show = 8;
+        for i in 0..self.rows.min(max_show) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(max_show) {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            if self.cols > max_show {
+                write!(f, "…")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_show {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert!(i.is_diagonal(0.0));
+    }
+
+    #[test]
+    fn from_rows_layout() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        // Column-major: first column is [1, 4].
+        assert_eq!(m.col(0), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn transposed() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let t = m.transposed();
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t[(0, 2)], 5.0);
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn swap_rows() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.swap_rows(0, 1);
+        assert_eq!(m, Matrix::from_rows(&[&[3.0, 4.0], &[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn norms_and_diffs() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        let n = Matrix::from_rows(&[&[3.0, 0.5], &[0.0, 4.0]]);
+        assert!((m.max_abs_diff(&n) - 0.5).abs() < 1e-12);
+        assert!(m.approx_eq(&m, 1e-15));
+        assert!(!m.approx_eq(&n, 1e-3));
+    }
+
+    #[test]
+    fn structure_checks() {
+        let l = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 3.0]]);
+        assert!(l.is_lower_triangular(0.0));
+        assert!(!l.is_upper_triangular(0.0));
+        assert!(!l.is_symmetric(0.0));
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 3.0]]);
+        assert!(s.is_symmetric(0.0));
+        let d = Matrix::from_diagonal(&[1.0, 2.0]);
+        assert!(d.is_diagonal(0.0));
+        assert_eq!(d.diagonal(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn cols_mut2_both_orders() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        {
+            let (c0, c2) = m.cols_mut2(0, 2);
+            c0[0] = 10.0;
+            c2[1] = 60.0;
+        }
+        assert_eq!(m[(0, 0)], 10.0);
+        assert_eq!(m[(1, 2)], 60.0);
+        {
+            let (c2, c0) = m.cols_mut2(2, 0);
+            c2[0] = 30.0;
+            c0[1] = 40.0;
+        }
+        assert_eq!(m[(0, 2)], 30.0);
+        assert_eq!(m[(1, 0)], 40.0);
+    }
+
+    #[test]
+    fn from_fn_and_col_vector() {
+        let m = Matrix::from_fn(2, 2, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m[(1, 0)], 10.0);
+        let v = Matrix::col_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.shape(), (3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_panic() {
+        let _ = Matrix::zeros(0, 1);
+    }
+
+    #[test]
+    fn triangle_flip() {
+        assert_eq!(Triangle::Lower.flip(), Triangle::Upper);
+        assert_eq!(Triangle::Upper.flip(), Triangle::Lower);
+    }
+}

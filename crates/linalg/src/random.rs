@@ -1,0 +1,192 @@
+//! Random matrix generators for tests, experiments and benchmarks.
+//!
+//! Structured generators return matrices that actually have the claimed
+//! property (numerically, not just symbolically), with conditioning good
+//! enough for the solve kernels: inverted operands in the paper's random
+//! chains (Sec. 4) must be safely invertible.
+
+use crate::Matrix;
+use rand::Rng;
+
+/// A general dense matrix with entries uniform in `[-1, 1]`.
+pub fn general(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+/// A square matrix that is comfortably invertible: random entries plus a
+/// diagonal shift of `n` (diagonally dominant in expectation).
+pub fn invertible(rng: &mut impl Rng, n: usize) -> Matrix {
+    let mut a = general(rng, n, n);
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    a
+}
+
+/// A lower triangular matrix with a well-conditioned diagonal
+/// (entries in `±[1, 2]`).
+pub fn lower_triangular(rng: &mut impl Rng, n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        if i > j {
+            rng.gen_range(-1.0..1.0)
+        } else if i == j {
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            sign * rng.gen_range(1.0..2.0)
+        } else {
+            0.0
+        }
+    })
+}
+
+/// An upper triangular matrix with a well-conditioned diagonal.
+pub fn upper_triangular(rng: &mut impl Rng, n: usize) -> Matrix {
+    lower_triangular(rng, n).transposed()
+}
+
+/// A unit lower triangular matrix (ones on the diagonal).
+pub fn unit_lower_triangular(rng: &mut impl Rng, n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        if i > j {
+            rng.gen_range(-1.0..1.0)
+        } else if i == j {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// A symmetric matrix (`(A + Aᵀ)/2` of a random `A`).
+pub fn symmetric(rng: &mut impl Rng, n: usize) -> Matrix {
+    let a = general(rng, n, n);
+    Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]))
+}
+
+/// A symmetric positive definite matrix (`AᵀA/n + I`).
+pub fn spd(rng: &mut impl Rng, n: usize) -> Matrix {
+    let a = general(rng, n, n);
+    let mut s = crate::blas3::syrk(1.0 / n as f64, &a, true);
+    for i in 0..n {
+        s[(i, i)] += 1.0;
+    }
+    s
+}
+
+/// A diagonal matrix, safely invertible (entries in `±[0.5, 1.5]`).
+pub fn diagonal(rng: &mut impl Rng, n: usize) -> Matrix {
+    let d: Vec<f64> = (0..n)
+        .map(|_| {
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            sign * rng.gen_range(0.5..1.5)
+        })
+        .collect();
+    Matrix::from_diagonal(&d)
+}
+
+/// An orthogonal matrix: the product of `n` random Householder
+/// reflections applied to the identity.
+pub fn orthogonal(rng: &mut impl Rng, n: usize) -> Matrix {
+    let mut q = Matrix::identity(n);
+    for _ in 0..n {
+        // Householder vector v, normalized.
+        let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let norm = crate::blas1::nrm2(&v);
+        if norm < 1e-12 {
+            continue;
+        }
+        for x in &mut v {
+            *x /= norm;
+        }
+        // Q := (I - 2vvᵀ)·Q, i.e. subtract 2·v·(vᵀQ).
+        let vt_q = crate::blas2::gemv(1.0, &q, true, &v);
+        for j in 0..n {
+            let f = 2.0 * vt_q[j];
+            crate::blas1::axpy(-f, &v, q.col_mut(j));
+        }
+    }
+    q
+}
+
+/// A random permutation matrix.
+pub fn permutation(rng: &mut impl Rng, n: usize) -> Matrix {
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Fisher-Yates shuffle.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut p = Matrix::zeros(n, n);
+    for (i, &pi) in perm.iter().enumerate() {
+        p[(i, pi)] = 1.0;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::gemm_ref;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(123)
+    }
+
+    #[test]
+    fn structured_generators_have_their_property() {
+        let mut r = rng();
+        assert!(lower_triangular(&mut r, 8).is_lower_triangular(0.0));
+        assert!(upper_triangular(&mut r, 8).is_upper_triangular(0.0));
+        assert!(symmetric(&mut r, 8).is_symmetric(0.0));
+        assert!(diagonal(&mut r, 8).is_diagonal(0.0));
+        let ul = unit_lower_triangular(&mut r, 8);
+        assert!(ul.is_lower_triangular(0.0));
+        assert!(ul.diagonal().iter().all(|&d| d == 1.0));
+    }
+
+    #[test]
+    fn spd_is_positive_definite() {
+        let mut r = rng();
+        let a = spd(&mut r, 10);
+        assert!(a.is_symmetric(1e-12));
+        let mut chol = a.clone();
+        assert!(crate::lapack::potrf(&mut chol).is_ok());
+    }
+
+    #[test]
+    fn invertible_is_invertible() {
+        let mut r = rng();
+        let a = invertible(&mut r, 10);
+        assert!(crate::lapack::getri(&a).is_ok());
+    }
+
+    #[test]
+    fn orthogonal_satisfies_qtq_eq_i() {
+        let mut r = rng();
+        let q = orthogonal(&mut r, 8);
+        let qtq = gemm_ref(&q.transposed(), &q);
+        assert!(qtq.approx_eq(&Matrix::identity(8), 1e-10));
+    }
+
+    #[test]
+    fn permutation_rows_and_cols_sum_to_one() {
+        let mut r = rng();
+        let p = permutation(&mut r, 9);
+        for i in 0..9 {
+            let row_sum: f64 = (0..9).map(|j| p[(i, j)]).sum();
+            let col_sum: f64 = (0..9).map(|j| p[(j, i)]).sum();
+            assert_eq!(row_sum, 1.0);
+            assert_eq!(col_sum, 1.0);
+        }
+        let ptp = gemm_ref(&p.transposed(), &p);
+        assert!(ptp.approx_eq(&Matrix::identity(9), 0.0));
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a1 = general(&mut StdRng::seed_from_u64(5), 4, 4);
+        let a2 = general(&mut StdRng::seed_from_u64(5), 4, 4);
+        assert_eq!(a1, a2);
+    }
+}

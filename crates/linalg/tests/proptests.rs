@@ -1,0 +1,228 @@
+//! Property-based tests for the dense linear algebra substrate: every
+//! structured routine must agree with the naive reference on random
+//! inputs, solves must round-trip, and factorizations must reconstruct.
+
+use gmc_linalg::blas3::{gemm, gemm_ref, symm, syrk, trmm, trsm, Side};
+use gmc_linalg::{blas1, blas2, diag, lapack, random, Matrix, Triangle};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..12, 1usize..12, 1usize..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// GEMM with every transpose combination equals the reference
+    /// product of explicitly transposed operands.
+    #[test]
+    fn gemm_matches_reference((m, k, n) in dims(), ta in any::<bool>(), tb in any::<bool>(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = if ta {
+            random::general(&mut rng, k, m)
+        } else {
+            random::general(&mut rng, m, k)
+        };
+        let b = if tb {
+            random::general(&mut rng, n, k)
+        } else {
+            random::general(&mut rng, k, n)
+        };
+        let got = gemm(1.0, &a, ta, &b, tb);
+        let a_eff = if ta { a.transposed() } else { a.clone() };
+        let b_eff = if tb { b.transposed() } else { b.clone() };
+        let want = gemm_ref(&a_eff, &b_eff);
+        prop_assert!(got.approx_eq(&want, 1e-10));
+    }
+
+    /// `(A·B)ᵀ = Bᵀ·Aᵀ` numerically.
+    #[test]
+    fn gemm_transpose_identity((m, k, n) in dims(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random::general(&mut rng, m, k);
+        let b = random::general(&mut rng, k, n);
+        let left = gemm(1.0, &a, false, &b, false).transposed();
+        let right = gemm(1.0, &b, true, &a, true);
+        prop_assert!(left.approx_eq(&right, 1e-10));
+    }
+
+    /// TRMM equals GEMM with the (cleaned) triangular operand.
+    #[test]
+    fn trmm_matches_gemm(n in 1usize..12, m in 1usize..12, lower in any::<bool>(), trans in any::<bool>(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = if lower {
+            random::lower_triangular(&mut rng, n)
+        } else {
+            random::upper_triangular(&mut rng, n)
+        };
+        let tri = if lower { Triangle::Lower } else { Triangle::Upper };
+        let b = random::general(&mut rng, n, m);
+        let got = trmm(Side::Left, tri, trans, false, 1.0, &t, &b);
+        let t_eff = if trans { t.transposed() } else { t.clone() };
+        prop_assert!(got.approx_eq(&gemm_ref(&t_eff, &b), 1e-10));
+        // Right side.
+        let c = random::general(&mut rng, m, n);
+        let got = trmm(Side::Right, tri, trans, false, 1.0, &t, &c);
+        prop_assert!(got.approx_eq(&gemm_ref(&c, &t_eff), 1e-10));
+    }
+
+    /// TRSM inverts TRMM for every flag combination.
+    #[test]
+    fn trsm_round_trips(n in 1usize..12, m in 1usize..10, lower in any::<bool>(), trans in any::<bool>(), unit in any::<bool>(), left in any::<bool>(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = if lower {
+            random::lower_triangular(&mut rng, n)
+        } else {
+            random::upper_triangular(&mut rng, n)
+        };
+        if unit {
+            for i in 0..n {
+                t[(i, i)] = 1.0;
+            }
+        }
+        let tri = if lower { Triangle::Lower } else { Triangle::Upper };
+        let side = if left { Side::Left } else { Side::Right };
+        let b = if left {
+            random::general(&mut rng, n, m)
+        } else {
+            random::general(&mut rng, m, n)
+        };
+        let prod = trmm(side, tri, trans, unit, 1.0, &t, &b);
+        let back = trsm(side, tri, trans, unit, 1.0, &t, &prod);
+        prop_assert!(back.approx_eq(&b, 1e-7), "max diff {}", back.max_abs_diff(&b));
+    }
+
+    /// SYRK agrees with the explicit Gram product and is symmetric.
+    #[test]
+    fn syrk_gram(m in 1usize..12, k in 1usize..12, trans in any::<bool>(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = if trans {
+            random::general(&mut rng, k, m)
+        } else {
+            random::general(&mut rng, m, k)
+        };
+        let got = syrk(1.0, &a, trans);
+        let want = if trans {
+            gemm_ref(&a.transposed(), &a)
+        } else {
+            gemm_ref(&a, &a.transposed())
+        };
+        prop_assert!(got.approx_eq(&want, 1e-10));
+        prop_assert!(got.is_symmetric(1e-12));
+    }
+
+    /// GESV solves: `A · gesv(A, B) = B`.
+    #[test]
+    fn gesv_solves(n in 1usize..12, m in 1usize..8, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random::invertible(&mut rng, n);
+        let b = random::general(&mut rng, n, m);
+        let x = lapack::gesv(&a, &b).expect("invertible");
+        prop_assert!(gemm_ref(&a, &x).approx_eq(&b, 1e-7));
+        // And the transposed variant.
+        let x = lapack::gesv_trans(&a, &b).expect("invertible");
+        prop_assert!(gemm_ref(&a.transposed(), &x).approx_eq(&b, 1e-7));
+    }
+
+    /// POSV solves SPD systems and POTRF reconstructs.
+    #[test]
+    fn posv_and_potrf(n in 1usize..12, m in 1usize..8, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random::spd(&mut rng, n);
+        let b = random::general(&mut rng, n, m);
+        let x = lapack::posv(&a, &b).expect("SPD");
+        prop_assert!(gemm_ref(&a, &x).approx_eq(&b, 1e-7));
+        let mut l = a.clone();
+        lapack::potrf(&mut l).expect("SPD");
+        prop_assert!(l.is_lower_triangular(0.0));
+        prop_assert!(gemm_ref(&l, &l.transposed()).approx_eq(&a, 1e-8));
+    }
+
+    /// Explicit inverses really invert, for every structure kind.
+    #[test]
+    fn inverses_invert(n in 1usize..10, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random::invertible(&mut rng, n);
+        prop_assert!(gemm_ref(&a, &lapack::getri(&a).unwrap())
+            .approx_eq(&Matrix::identity(n), 1e-6));
+        let s = random::spd(&mut rng, n);
+        prop_assert!(gemm_ref(&s, &lapack::poinv(&s).unwrap())
+            .approx_eq(&Matrix::identity(n), 1e-6));
+        let l = random::lower_triangular(&mut rng, n);
+        prop_assert!(gemm_ref(&l, &lapack::trtri(&l, Triangle::Lower, false).unwrap())
+            .approx_eq(&Matrix::identity(n), 1e-6));
+    }
+
+    /// Diagonal kernels agree with full products and solves.
+    #[test]
+    fn diag_kernels(n in 1usize..12, m in 1usize..12, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = random::diagonal(&mut rng, n);
+        let dv = d.diagonal();
+        let b = random::general(&mut rng, n, m);
+        prop_assert!(diag::dgmm_left(&dv, &b).approx_eq(&gemm_ref(&d, &b), 1e-12));
+        let x = diag::dgsv_left(&dv, &b).expect("invertible diagonal");
+        prop_assert!(gemm_ref(&d, &x).approx_eq(&b, 1e-10));
+        let c = random::general(&mut rng, m, n);
+        prop_assert!(diag::dgmm_right(&c, &dv).approx_eq(&gemm_ref(&c, &d), 1e-12));
+    }
+
+    /// SYMM is exactly a GEMM with the symmetric operand.
+    #[test]
+    fn symm_matches_gemm(n in 1usize..12, m in 1usize..12, left in any::<bool>(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = random::symmetric(&mut rng, n);
+        if left {
+            let b = random::general(&mut rng, n, m);
+            prop_assert!(symm(Side::Left, 1.0, &s, &b).approx_eq(&gemm_ref(&s, &b), 1e-12));
+        } else {
+            let b = random::general(&mut rng, m, n);
+            prop_assert!(symm(Side::Right, 1.0, &s, &b).approx_eq(&gemm_ref(&b, &s), 1e-12));
+        }
+    }
+
+    /// BLAS-2 kernels agree with their BLAS-3 equivalents on vectors.
+    #[test]
+    fn blas2_consistent_with_blas3(n in 1usize..14, m in 1usize..14, trans in any::<bool>(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random::general(&mut rng, m, n);
+        let xlen = if trans { m } else { n };
+        let x = random::general(&mut rng, xlen, 1);
+        let y = blas2::gemv(1.0, &a, trans, x.col(0));
+        let a_eff = if trans { a.transposed() } else { a.clone() };
+        let want = gemm_ref(&a_eff, &x);
+        let got = Matrix::from_col_major(y.len(), 1, y);
+        prop_assert!(got.approx_eq(&want, 1e-10));
+    }
+
+    /// dot/axpy/nrm2 basics: Cauchy-Schwarz and the Pythagorean check.
+    #[test]
+    fn blas1_inequalities(v in prop::collection::vec(-100.0f64..100.0, 1..20), w_seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(w_seed);
+        let w: Vec<f64> = (0..v.len()).map(|_| rng.gen_range(-100.0..100.0)) .collect();
+        let d = blas1::dot(&v, &w).abs();
+        let bound = blas1::nrm2(&v) * blas1::nrm2(&w);
+        prop_assert!(d <= bound * (1.0 + 1e-10) + 1e-10);
+        prop_assert!(blas1::nrm2(&v) <= blas1::asum(&v) + 1e-12);
+    }
+}
+
+#[test]
+fn getrs_transposed_consistency() {
+    // getrs(trans) equals solving against the explicitly transposed
+    // matrix, exercising the pivot application order.
+    let mut rng = StdRng::seed_from_u64(5);
+    for n in [1usize, 2, 3, 5, 9, 16] {
+        let a = random::invertible(&mut rng, n);
+        let b = random::general(&mut rng, n, 3);
+        let mut lu = a.clone();
+        let ipiv = lapack::getrf(&mut lu).unwrap();
+        let x1 = lapack::getrs(&lu, &ipiv, &b, true);
+        let x2 = lapack::gesv(&a.transposed(), &b).unwrap();
+        assert!(x1.approx_eq(&x2, 1e-7), "n={n}");
+    }
+}
+
+use rand::Rng;

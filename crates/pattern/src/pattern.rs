@@ -1,0 +1,248 @@
+//! Pattern syntax and variable bindings.
+
+use gmc_expr::Operand;
+use std::fmt;
+
+/// A pattern variable, identified by a small index.
+///
+/// Variables bind leaf operands of the subject expression. Using the
+/// same variable twice makes the pattern non-linear (both occurrences
+/// must bind the same operand).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u8);
+
+impl Var {
+    /// Creates a variable with the given index (< 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`; kernel patterns never need more than a
+    /// handful of variables.
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 16, "pattern variable index out of range");
+        Var(index)
+    }
+
+    /// The variable's index.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A structural pattern over matrix expressions.
+///
+/// Mirrors the shape of [`gmc_expr::Expr`], with [`Pattern::var`] in
+/// place of concrete operands. Products and sums have fixed arity.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Matches a single leaf operand and binds it.
+    Wildcard(Var),
+    /// Matches `eᵀ`.
+    Transpose(Box<Pattern>),
+    /// Matches `e⁻¹`.
+    Inverse(Box<Pattern>),
+    /// Matches `e⁻ᵀ`.
+    InverseTranspose(Box<Pattern>),
+    /// Matches an n-ary product with exactly these factors.
+    Times(Vec<Pattern>),
+    /// Matches an n-ary sum with exactly these terms.
+    Plus(Vec<Pattern>),
+}
+
+impl Pattern {
+    /// A variable pattern.
+    pub fn var(v: Var) -> Pattern {
+        Pattern::Wildcard(v)
+    }
+
+    /// `pᵀ`.
+    pub fn transpose(p: Pattern) -> Pattern {
+        Pattern::Transpose(Box::new(p))
+    }
+
+    /// `p⁻¹`.
+    pub fn inverse(p: Pattern) -> Pattern {
+        Pattern::Inverse(Box::new(p))
+    }
+
+    /// `p⁻ᵀ`.
+    pub fn inverse_transpose(p: Pattern) -> Pattern {
+        Pattern::InverseTranspose(Box::new(p))
+    }
+
+    /// A binary product pattern.
+    pub fn times2(left: Pattern, right: Pattern) -> Pattern {
+        Pattern::Times(vec![left, right])
+    }
+
+    /// A binary sum pattern.
+    pub fn plus2(left: Pattern, right: Pattern) -> Pattern {
+        Pattern::Plus(vec![left, right])
+    }
+
+    /// The variables of the pattern, in first-occurrence order.
+    pub fn variables(&self) -> Vec<Var> {
+        let mut vars = Vec::new();
+        self.collect_vars(&mut vars);
+        vars
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Pattern::Wildcard(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Pattern::Transpose(p) | Pattern::Inverse(p) | Pattern::InverseTranspose(p) => {
+                p.collect_vars(out)
+            }
+            Pattern::Times(ps) | Pattern::Plus(ps) => {
+                for p in ps {
+                    p.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// The number of nodes in the pattern.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Pattern::Wildcard(_) => 1,
+            Pattern::Transpose(p) | Pattern::Inverse(p) | Pattern::InverseTranspose(p) => {
+                1 + p.node_count()
+            }
+            Pattern::Times(ps) | Pattern::Plus(ps) => {
+                1 + ps.iter().map(Pattern::node_count).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Wildcard(v) => write!(f, "{v}"),
+            Pattern::Transpose(p) => write!(f, "({p})^T"),
+            Pattern::Inverse(p) => write!(f, "({p})^-1"),
+            Pattern::InverseTranspose(p) => write!(f, "({p})^-T"),
+            Pattern::Times(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            Pattern::Plus(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The operands bound to pattern variables by a successful match.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bindings {
+    slots: [Option<Operand>; 16],
+}
+
+impl Bindings {
+    /// An empty binding set.
+    pub fn new() -> Self {
+        Bindings::default()
+    }
+
+    /// The operand bound to `v`, if any.
+    pub fn get(&self, v: Var) -> Option<&Operand> {
+        self.slots[v.index()].as_ref()
+    }
+
+    /// Binds `v` to `op`. Returns `false` (and leaves the bindings
+    /// unchanged) if `v` is already bound to a *different* operand —
+    /// the non-linearity check.
+    pub fn bind(&mut self, v: Var, op: &Operand) -> bool {
+        match &self.slots[v.index()] {
+            Some(existing) => existing == op,
+            None => {
+                self.slots[v.index()] = Some(op.clone());
+                true
+            }
+        }
+    }
+
+    /// Removes the binding for `v` (used when backtracking).
+    pub(crate) fn unbind(&mut self, v: Var) {
+        self.slots[v.index()] = None;
+    }
+
+    /// Iterates over `(variable, operand)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &Operand)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|op| (Var(i as u8), op)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_first_occurrence_order() {
+        let x = Var::new(1);
+        let y = Var::new(0);
+        let p = Pattern::times2(
+            Pattern::transpose(Pattern::var(x)),
+            Pattern::times2(Pattern::var(y), Pattern::var(x)),
+        );
+        assert_eq!(p.variables(), vec![x, y]);
+    }
+
+    #[test]
+    fn node_count() {
+        let x = Var::new(0);
+        let p = Pattern::times2(Pattern::transpose(Pattern::var(x)), Pattern::var(x));
+        assert_eq!(p.node_count(), 4);
+    }
+
+    #[test]
+    fn bindings_non_linearity() {
+        let a = Operand::square("A", 3);
+        let b = Operand::square("B", 3);
+        let x = Var::new(0);
+        let mut bind = Bindings::new();
+        assert!(bind.bind(x, &a));
+        assert!(bind.bind(x, &a)); // same operand: fine
+        assert!(!bind.bind(x, &b)); // different operand: rejected
+        assert_eq!(bind.get(x), Some(&a));
+    }
+
+    #[test]
+    fn display() {
+        let x = Var::new(0);
+        let y = Var::new(1);
+        let p = Pattern::times2(Pattern::inverse(Pattern::var(x)), Pattern::var(y));
+        assert_eq!(p.to_string(), "(?0)^-1 ?1");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_index_out_of_range() {
+        let _ = Var::new(16);
+    }
+}

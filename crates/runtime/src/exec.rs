@@ -1,0 +1,239 @@
+//! Program execution, reference evaluation, validation and timing.
+
+use crate::env::Env;
+use crate::{ops, RuntimeError};
+use gmc_codegen::Program;
+use gmc_expr::{Chain, UnaryOp};
+use gmc_kernels::KernelOp;
+use gmc_linalg::{blas3, lapack, Matrix};
+use std::time::Instant;
+
+/// Executes a program against an environment, binding every temporary,
+/// and returns the result matrix (the last instruction's destination).
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::MissingOperand`] if an instruction references
+/// a name not bound in the environment, [`RuntimeError::EmptyProgram`]
+/// for an empty program, and numeric errors (singular matrix, …) from
+/// the kernels.
+pub fn execute(program: &Program, env: &mut Env) -> Result<Matrix, RuntimeError> {
+    if program.is_empty() {
+        return Err(RuntimeError::EmptyProgram);
+    }
+    for instr in program.instructions() {
+        let value = execute_op(instr.op(), env)?;
+        env.bind(instr.dest().name(), value);
+    }
+    Ok(env
+        .get(program.result().name())
+        .expect("result was just bound")
+        .clone())
+}
+
+/// Executes a single kernel operation against an environment.
+///
+/// # Errors
+///
+/// See [`execute`].
+pub fn execute_op(op: &KernelOp, env: &Env) -> Result<Matrix, RuntimeError> {
+    let fetch = |name: &str| -> Result<&Matrix, RuntimeError> {
+        env.get(name).ok_or_else(|| RuntimeError::MissingOperand {
+            name: name.to_owned(),
+        })
+    };
+    let out = match op {
+        KernelOp::Gemm { ta, tb, a, b } => {
+            ops::gemm(fetch(a.name())?, *ta, fetch(b.name())?, *tb)
+        }
+        KernelOp::Trmm {
+            side,
+            uplo,
+            trans,
+            a,
+            b,
+        } => ops::trmm(*side, *uplo, *trans, fetch(a.name())?, fetch(b.name())?),
+        KernelOp::Symm { side, a, b } => ops::symm(*side, fetch(a.name())?, fetch(b.name())?),
+        KernelOp::Trsm {
+            side,
+            uplo,
+            trans,
+            tb,
+            a,
+            b,
+        } => ops::trsm(
+            *side,
+            *uplo,
+            *trans,
+            *tb,
+            fetch(a.name())?,
+            fetch(b.name())?,
+        ),
+        KernelOp::Syrk { trans, a } => ops::syrk(*trans, fetch(a.name())?),
+        KernelOp::Gesv {
+            side,
+            trans,
+            tb,
+            a,
+            b,
+        } => ops::gesv(*side, *trans, *tb, fetch(a.name())?, fetch(b.name())?)?,
+        KernelOp::Posv { side, tb, a, b } => {
+            ops::posv(*side, *tb, fetch(a.name())?, fetch(b.name())?)?
+        }
+        KernelOp::Diag {
+            side,
+            inv,
+            tb,
+            d,
+            b,
+        } => ops::diag(*side, *inv, *tb, fetch(d.name())?, fetch(b.name())?)?,
+        KernelOp::Gemv { trans, a, x } => ops::gemv(*trans, fetch(a.name())?, fetch(x.name())?),
+        KernelOp::Trmv { uplo, trans, a, x } => {
+            ops::trmv(*uplo, *trans, fetch(a.name())?, fetch(x.name())?)
+        }
+        KernelOp::Symv { a, x } => ops::symv(fetch(a.name())?, fetch(x.name())?),
+        KernelOp::Trsv { uplo, trans, a, x } => {
+            ops::trsv(*uplo, *trans, fetch(a.name())?, fetch(x.name())?)
+        }
+        KernelOp::Ger { x, y } => ops::ger(fetch(x.name())?, fetch(y.name())?),
+        KernelOp::Dot { x, y } => ops::dot_op(fetch(x.name())?, fetch(y.name())?),
+        KernelOp::Copy { b } => fetch(b.name())?.clone(),
+        KernelOp::Inv { kind, trans, a } => ops::inv(*kind, *trans, fetch(a.name())?)?,
+        KernelOp::InvPair { ta, tb, a, b } => {
+            ops::inv_pair(*ta, *tb, fetch(a.name())?, fetch(b.name())?)?
+        }
+    };
+    Ok(out)
+}
+
+/// Evaluates a chain the *reference* way: materialize each factor
+/// (explicit transposes and inverses) and multiply strictly left to
+/// right with general GEMMs. This is the semantics oracle generated
+/// programs are validated against.
+///
+/// # Errors
+///
+/// Returns an error if an operand is missing or an inverted factor is
+/// singular.
+pub fn reference_eval(chain: &Chain, env: &Env) -> Result<Matrix, RuntimeError> {
+    let mut acc: Option<Matrix> = None;
+    for factor in chain.factors() {
+        let base = env
+            .get(factor.operand().name())
+            .ok_or_else(|| RuntimeError::MissingOperand {
+                name: factor.operand().name().to_owned(),
+            })?;
+        let value = match factor.op() {
+            UnaryOp::None => base.clone(),
+            UnaryOp::Transpose => base.transposed(),
+            UnaryOp::Inverse => lapack::getri(base)?,
+            UnaryOp::InverseTranspose => lapack::getri(base)?.transposed(),
+        };
+        acc = Some(match acc {
+            None => value,
+            Some(prev) => blas3::gemm(1.0, &prev, false, &value, false),
+        });
+    }
+    acc.ok_or(RuntimeError::EmptyProgram)
+}
+
+/// Executes `program` and compares the result against the reference
+/// evaluation of `chain` in the same environment.
+///
+/// # Errors
+///
+/// Propagates execution errors; returns [`RuntimeError::Mismatch`] if
+/// the results differ beyond `tol` (entry-wise, relative).
+pub fn validate_against_reference(
+    program: &Program,
+    chain: &Chain,
+    env: &Env,
+    tol: f64,
+) -> Result<(), RuntimeError> {
+    let mut exec_env = env.clone();
+    let got = execute(program, &mut exec_env)?;
+    let want = reference_eval(chain, env)?;
+    if got.approx_eq(&want, tol) {
+        Ok(())
+    } else {
+        Err(RuntimeError::Mismatch {
+            max_abs_diff: got.max_abs_diff(&want),
+        })
+    }
+}
+
+/// Wall-clock time of one execution of `program`, in seconds.
+///
+/// # Errors
+///
+/// Propagates execution errors.
+pub fn time_program(program: &Program, env: &Env) -> Result<f64, RuntimeError> {
+    let mut exec_env = env.clone();
+    let start = Instant::now();
+    execute(program, &mut exec_env)?;
+    Ok(start.elapsed().as_secs_f64())
+}
+
+/// Minimum wall-clock time over `reps` executions (the paper reports
+/// minima over repetitions for its kernel timings, footnote 7).
+///
+/// # Errors
+///
+/// Propagates execution errors.
+pub fn time_program_best_of(
+    program: &Program,
+    env: &Env,
+    reps: usize,
+) -> Result<f64, RuntimeError> {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        best = best.min(time_program(program, env)?);
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmc_expr::{Factor, Operand, Property};
+
+    fn chain_and_env() -> (Chain, Env) {
+        let a = Operand::square("A", 8).with_property(Property::SymmetricPositiveDefinite);
+        let b = Operand::matrix("B", 8, 5);
+        let c = Operand::square("C", 5).with_property(Property::LowerTriangular);
+        let chain = Chain::new(vec![
+            Factor::inverted(a),
+            Factor::plain(b),
+            Factor::transposed(c),
+        ])
+        .unwrap();
+        let env = Env::random_for_chain(&chain, 11);
+        (chain, env)
+    }
+
+    #[test]
+    fn reference_eval_shapes() {
+        let (chain, env) = chain_and_env();
+        let result = reference_eval(&chain, &env).unwrap();
+        assert_eq!(result.shape(), (8, 5));
+    }
+
+    #[test]
+    fn missing_operand_reported() {
+        let (chain, _) = chain_and_env();
+        let env = Env::new();
+        assert!(matches!(
+            reference_eval(&chain, &env),
+            Err(RuntimeError::MissingOperand { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let mut env = Env::new();
+        assert!(matches!(
+            execute(&Program::default(), &mut env),
+            Err(RuntimeError::EmptyProgram)
+        ));
+    }
+}

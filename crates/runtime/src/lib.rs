@@ -1,0 +1,110 @@
+//! Execution of generated kernel programs against the `gmc-linalg`
+//! substrate.
+//!
+//! This crate closes the loop of the GMC pipeline: programs produced by
+//! the optimizer (or by the baseline strategies) are interpreted over
+//! concrete matrices, validated against a reference evaluation, and
+//! timed — which is how the paper's Fig. 8/Fig. 9 measurements are
+//! reproduced.
+//!
+//! * [`Env`] binds operand names to matrices; [`Env::random_for_chain`]
+//!   materializes property-respecting random inputs.
+//! * [`execute`] interprets a [`gmc_codegen::Program`].
+//! * [`reference_eval`] evaluates the chain naively (explicit inverses,
+//!   left-to-right GEMMs) as a numeric oracle.
+//! * [`validate_against_reference`] checks that a generated program
+//!   computes the same value.
+//! * [`time_program_best_of`] measures wall-clock execution time.
+//! * [`MeasuredMetric`] turns those measurements into an ELAPS-style
+//!   cost metric for the optimizer (paper Sec. 3.3).
+//!
+//! # Example
+//!
+//! ```
+//! use gmc::{FlopCount, GmcOptimizer};
+//! use gmc_expr::{Chain, Operand, Property};
+//! use gmc_kernels::KernelRegistry;
+//! use gmc_runtime::{validate_against_reference, Env};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let a = Operand::square("A", 20).with_property(Property::SymmetricPositiveDefinite);
+//! let b = Operand::matrix("B", 20, 8);
+//! let chain = Chain::from_expr(&(a.inverse() * b.expr()))?;
+//!
+//! let registry = KernelRegistry::blas_lapack();
+//! let solution = GmcOptimizer::new(&registry, FlopCount).solve(&chain)?;
+//!
+//! let env = Env::random_for_chain(&chain, 42);
+//! validate_against_reference(&solution.program(), &chain, &env, 1e-8)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod env;
+mod exec;
+mod measure;
+pub mod ops;
+
+pub use env::{materialize, Env};
+pub use measure::MeasuredMetric;
+pub use exec::{
+    execute, execute_op, reference_eval, time_program, time_program_best_of,
+    validate_against_reference,
+};
+
+use gmc_linalg::LinalgError;
+use std::fmt;
+
+/// Errors produced while executing generated programs.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A kernel failed numerically (singular operand, not SPD, …).
+    Numeric(LinalgError),
+    /// An instruction referenced a name with no bound matrix.
+    MissingOperand {
+        /// The unbound name.
+        name: String,
+    },
+    /// The program contains no instructions.
+    EmptyProgram,
+    /// Validation failed: generated program and reference disagree.
+    Mismatch {
+        /// Largest absolute entry-wise difference observed.
+        max_abs_diff: f64,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Numeric(e) => write!(f, "kernel failed: {e}"),
+            RuntimeError::MissingOperand { name } => {
+                write!(f, "no matrix bound for operand `{name}`")
+            }
+            RuntimeError::EmptyProgram => write!(f, "program has no instructions"),
+            RuntimeError::Mismatch { max_abs_diff } => write!(
+                f,
+                "generated program disagrees with reference (max abs diff {max_abs_diff:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for RuntimeError {
+    fn from(e: LinalgError) -> Self {
+        RuntimeError::Numeric(e)
+    }
+}

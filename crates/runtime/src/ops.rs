@@ -1,0 +1,319 @@
+//! Executable forms of every [`gmc_kernels::KernelOp`] variant over
+//! [`gmc_linalg::Matrix`] values.
+//!
+//! These helpers are also the target API of the Rust code emitter in
+//! `gmc-codegen`.
+
+use crate::RuntimeError;
+use gmc_kernels::{InvKind, Side, Uplo};
+use gmc_linalg::{blas1, blas2, blas3, diag as dg, lapack, Matrix, Triangle};
+
+fn tri(u: Uplo) -> Triangle {
+    match u {
+        Uplo::Lower => Triangle::Lower,
+        Uplo::Upper => Triangle::Upper,
+    }
+}
+
+fn bside(s: Side) -> blas3::Side {
+    match s {
+        Side::Left => blas3::Side::Left,
+        Side::Right => blas3::Side::Right,
+    }
+}
+
+fn maybe_t(m: &Matrix, t: bool) -> Matrix {
+    if t {
+        m.transposed()
+    } else {
+        m.clone()
+    }
+}
+
+/// `op(A)·op(B)`.
+pub fn gemm(a: &Matrix, ta: bool, b: &Matrix, tb: bool) -> Matrix {
+    blas3::gemm(1.0, a, ta, b, tb)
+}
+
+/// `op(A)·B` or `B·op(A)` with triangular `A`.
+pub fn trmm(side: Side, uplo: Uplo, trans: bool, a: &Matrix, b: &Matrix) -> Matrix {
+    blas3::trmm(bside(side), tri(uplo), trans, false, 1.0, a, b)
+}
+
+/// `A·B` or `B·A` with symmetric `A`.
+pub fn symm(side: Side, a: &Matrix, b: &Matrix) -> Matrix {
+    blas3::symm(bside(side), 1.0, a, b)
+}
+
+/// `op(A)⁻¹·op(B)` or `op(B)·op(A)⁻¹` with triangular `A`.
+pub fn trsm(side: Side, uplo: Uplo, trans: bool, tb: bool, a: &Matrix, b: &Matrix) -> Matrix {
+    let b_eff = maybe_t(b, tb);
+    blas3::trsm(bside(side), tri(uplo), trans, false, 1.0, a, &b_eff)
+}
+
+/// `AᵀA` (`trans`) or `A·Aᵀ`.
+pub fn syrk(trans: bool, a: &Matrix) -> Matrix {
+    blas3::syrk(1.0, a, trans)
+}
+
+/// General solve `op(A)⁻¹·op(B)` or `op(B)·op(A)⁻¹` (LU-based).
+///
+/// # Errors
+///
+/// Returns an error if `A` is singular.
+pub fn gesv(
+    side: Side,
+    trans: bool,
+    tb: bool,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<Matrix, RuntimeError> {
+    let b_eff = maybe_t(b, tb);
+    let out = match (side, trans) {
+        (Side::Left, false) => lapack::gesv(a, &b_eff)?,
+        (Side::Left, true) => lapack::gesv_trans(a, &b_eff)?,
+        (Side::Right, false) => lapack::gesv_right(&b_eff, a)?,
+        // X·Aᵀ = B ⟺ A·Xᵀ = Bᵀ.
+        (Side::Right, true) => lapack::gesv(a, &b_eff.transposed())?.transposed(),
+    };
+    Ok(out)
+}
+
+/// SPD solve `A⁻¹·op(B)` or `op(B)·A⁻¹` (Cholesky-based).
+///
+/// # Errors
+///
+/// Returns an error if `A` is not positive definite.
+pub fn posv(side: Side, tb: bool, a: &Matrix, b: &Matrix) -> Result<Matrix, RuntimeError> {
+    let b_eff = maybe_t(b, tb);
+    let out = match side {
+        Side::Left => lapack::posv(a, &b_eff)?,
+        Side::Right => lapack::posv_right(&b_eff, a)?,
+    };
+    Ok(out)
+}
+
+/// Diagonal multiply/solve with `D` (stored as a full matrix whose
+/// diagonal is extracted).
+///
+/// # Errors
+///
+/// Returns an error if solving and any diagonal entry is zero.
+pub fn diag(
+    side: Side,
+    inv: bool,
+    tb: bool,
+    d: &Matrix,
+    b: &Matrix,
+) -> Result<Matrix, RuntimeError> {
+    let b_eff = maybe_t(b, tb);
+    let dv = d.diagonal();
+    let out = match (side, inv) {
+        (Side::Left, false) => dg::dgmm_left(&dv, &b_eff),
+        (Side::Left, true) => dg::dgsv_left(&dv, &b_eff)?,
+        (Side::Right, false) => dg::dgmm_right(&b_eff, &dv),
+        (Side::Right, true) => dg::dgsv_right(&b_eff, &dv)?,
+    };
+    Ok(out)
+}
+
+/// `op(A)·x` for a column vector `x` (stored `n×1`).
+pub fn gemv(trans: bool, a: &Matrix, x: &Matrix) -> Matrix {
+    let y = blas2::gemv(1.0, a, trans, x.col(0));
+    Matrix::from_col_major(y.len(), 1, y)
+}
+
+/// `op(A)·x` with triangular `A`.
+pub fn trmv(uplo: Uplo, trans: bool, a: &Matrix, x: &Matrix) -> Matrix {
+    let mut y = x.col(0).to_vec();
+    blas2::trmv(tri(uplo), a, trans, false, &mut y);
+    Matrix::from_col_major(y.len(), 1, y)
+}
+
+/// `A·x` with symmetric `A`.
+pub fn symv(a: &Matrix, x: &Matrix) -> Matrix {
+    let y = blas2::symv(1.0, a, x.col(0));
+    Matrix::from_col_major(y.len(), 1, y)
+}
+
+/// `op(A)⁻¹·x` with triangular `A`.
+pub fn trsv(uplo: Uplo, trans: bool, a: &Matrix, x: &Matrix) -> Matrix {
+    let mut y = x.col(0).to_vec();
+    blas2::trsv(tri(uplo), a, trans, false, &mut y);
+    Matrix::from_col_major(y.len(), 1, y)
+}
+
+/// The outer product `x·yᵀ` of two column vectors.
+pub fn ger(x: &Matrix, y: &Matrix) -> Matrix {
+    blas2::outer(1.0, x.col(0), y.col(0))
+}
+
+/// The inner product `xᵀ·y` as a `1×1` matrix.
+pub fn dot_op(x: &Matrix, y: &Matrix) -> Matrix {
+    Matrix::from_col_major(1, 1, vec![blas1::dot(x.col(0), y.col(0))])
+}
+
+/// Explicit inversion `op(A)⁻¹`, specialized by structure.
+///
+/// # Errors
+///
+/// Returns an error if the operand is singular (or not SPD for
+/// [`InvKind::Spd`]).
+pub fn inv(kind: InvKind, trans: bool, a: &Matrix) -> Result<Matrix, RuntimeError> {
+    let out = match kind {
+        InvKind::General => lapack::getri(a)?,
+        InvKind::Spd => lapack::poinv(a)?,
+        InvKind::Triangular(u) => lapack::trtri(a, tri(u), false)?,
+        InvKind::Diagonal => {
+            let d = dg::diag_inv(&a.diagonal())?;
+            Matrix::from_diagonal(&d)
+        }
+    };
+    Ok(maybe_t(&out, trans))
+}
+
+/// The composite inverse pair `op(A)⁻¹·op(B)⁻¹`: explicit inverse of
+/// `op(B)` followed by a general solve with `op(A)`.
+///
+/// # Errors
+///
+/// Returns an error if either operand is singular.
+pub fn inv_pair(ta: bool, tb: bool, a: &Matrix, b: &Matrix) -> Result<Matrix, RuntimeError> {
+    let mut binv = lapack::getri(b)?;
+    if tb {
+        binv = binv.transposed();
+    }
+    let out = if ta {
+        lapack::gesv_trans(a, &binv)?
+    } else {
+        lapack::gesv(a, &binv)?
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmc_linalg::blas3::gemm_ref;
+    use gmc_linalg::random;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn gesv_all_sides_and_transposes() {
+        let mut r = rng();
+        let a = random::invertible(&mut r, 6);
+        let b = random::general(&mut r, 6, 3);
+        // Left, notrans: A·X = B.
+        let x = gesv(Side::Left, false, false, &a, &b).unwrap();
+        assert!(gemm_ref(&a, &x).approx_eq(&b, 1e-8));
+        // Left, trans: Aᵀ·X = B.
+        let x = gesv(Side::Left, true, false, &a, &b).unwrap();
+        assert!(gemm_ref(&a.transposed(), &x).approx_eq(&b, 1e-8));
+        // Right: X·A = C.
+        let c = random::general(&mut r, 3, 6);
+        let x = gesv(Side::Right, false, false, &a, &c).unwrap();
+        assert!(gemm_ref(&x, &a).approx_eq(&c, 1e-8));
+        // Right, trans: X·Aᵀ = C.
+        let x = gesv(Side::Right, true, false, &a, &c).unwrap();
+        assert!(gemm_ref(&x, &a.transposed()).approx_eq(&c, 1e-8));
+    }
+
+    #[test]
+    fn gesv_transposed_rhs() {
+        let mut r = rng();
+        let a = random::invertible(&mut r, 6);
+        let b = random::general(&mut r, 3, 6);
+        // A·X = Bᵀ.
+        let x = gesv(Side::Left, false, true, &a, &b).unwrap();
+        assert!(gemm_ref(&a, &x).approx_eq(&b.transposed(), 1e-8));
+    }
+
+    #[test]
+    fn posv_sides() {
+        let mut r = rng();
+        let a = random::spd(&mut r, 5);
+        let b = random::general(&mut r, 5, 2);
+        let x = posv(Side::Left, false, &a, &b).unwrap();
+        assert!(gemm_ref(&a, &x).approx_eq(&b, 1e-8));
+        let c = random::general(&mut r, 2, 5);
+        let x = posv(Side::Right, false, &a, &c).unwrap();
+        assert!(gemm_ref(&x, &a).approx_eq(&c, 1e-8));
+    }
+
+    #[test]
+    fn diag_ops() {
+        let mut r = rng();
+        let d = random::diagonal(&mut r, 4);
+        let b = random::general(&mut r, 4, 3);
+        let got = diag(Side::Left, false, false, &d, &b).unwrap();
+        assert!(got.approx_eq(&gemm_ref(&d, &b), 1e-12));
+        let got = diag(Side::Left, true, false, &d, &b).unwrap();
+        assert!(gemm_ref(&d, &got).approx_eq(&b, 1e-10));
+        let c = random::general(&mut r, 3, 4);
+        let got = diag(Side::Right, false, false, &d, &c).unwrap();
+        assert!(got.approx_eq(&gemm_ref(&c, &d), 1e-12));
+    }
+
+    #[test]
+    fn vector_ops() {
+        let mut r = rng();
+        let a = random::general(&mut r, 4, 6);
+        let x = random::general(&mut r, 6, 1);
+        let y = gemv(false, &a, &x);
+        assert!(y.approx_eq(&gemm_ref(&a, &x), 1e-12));
+
+        let l = random::lower_triangular(&mut r, 5);
+        let v = random::general(&mut r, 5, 1);
+        let got = trmv(Uplo::Lower, false, &l, &v);
+        assert!(got.approx_eq(&gemm_ref(&l, &v), 1e-12));
+        let back = trsv(Uplo::Lower, false, &l, &got);
+        assert!(back.approx_eq(&v, 1e-9));
+
+        let s = random::symmetric(&mut r, 5);
+        let got = symv(&s, &v);
+        assert!(got.approx_eq(&gemm_ref(&s, &v), 1e-12));
+
+        let w = random::general(&mut r, 3, 1);
+        let got = ger(&v, &w);
+        assert!(got.approx_eq(&gemm_ref(&v, &w.transposed()), 1e-12));
+
+        let v2 = random::general(&mut r, 5, 1);
+        let got = dot_op(&v, &v2);
+        assert!(got.approx_eq(&gemm_ref(&v.transposed(), &v2), 1e-12));
+    }
+
+    #[test]
+    fn inv_pair_matches_explicit() {
+        let mut r = rng();
+        let a = random::invertible(&mut r, 5);
+        let b = random::invertible(&mut r, 5);
+        let got = inv_pair(false, false, &a, &b).unwrap();
+        let want = gemm_ref(
+            &lapack::getri(&a).unwrap(),
+            &lapack::getri(&b).unwrap(),
+        );
+        assert!(got.approx_eq(&want, 1e-6));
+        // With transposes.
+        let got = inv_pair(true, true, &a, &b).unwrap();
+        let want = gemm_ref(
+            &lapack::getri(&a.transposed()).unwrap(),
+            &lapack::getri(&b.transposed()).unwrap(),
+        );
+        assert!(got.approx_eq(&want, 1e-6));
+    }
+
+    #[test]
+    fn trsm_with_transposed_rhs() {
+        let mut r = rng();
+        let l = random::lower_triangular(&mut r, 4);
+        let b = random::general(&mut r, 3, 4);
+        // L⁻¹·Bᵀ.
+        let x = trsm(Side::Left, Uplo::Lower, false, true, &l, &b);
+        assert!(gemm_ref(&l, &x).approx_eq(&b.transposed(), 1e-9));
+    }
+}

@@ -1,0 +1,59 @@
+//! The generalized-eigenproblem reduction `A' := L⁻¹ A L⁻ᵀ` from paper
+//! Sec. 3.2: symbolic property inference proves the result symmetric,
+//! whereas a floating-point entry inspection after two linear solves
+//! would find symmetry destroyed by rounding — forcing a 3× more
+//! expensive nonsymmetric eigensolver downstream.
+//!
+//! ```text
+//! cargo run --example generalized_eigenproblem
+//! ```
+
+use gmc::{FlopCount, GmcOptimizer};
+use gmc_analysis::{infer_properties, is_symmetric};
+use gmc_codegen::{Emitter, PseudoEmitter};
+use gmc_expr::{Chain, Operand, Property};
+use gmc_kernels::KernelRegistry;
+use gmc_runtime::{execute, Env};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 250;
+    let l = Operand::square("L", n).with_property(Property::LowerTriangular);
+    let a = Operand::square("A", n).with_property(Property::Symmetric);
+
+    let expr = l.inverse() * a.expr() * l.inverse_transpose();
+    let chain = Chain::from_expr(&expr)?;
+    println!("reduction chain: A' := {chain}\n");
+
+    // Symbolic inference: the congruence of a symmetric matrix is
+    // symmetric — independent of how it is computed.
+    let props = infer_properties(&expr);
+    println!("inferred properties of L^-1 A L^-T: {props}");
+    assert!(is_symmetric(&expr));
+
+    let registry = KernelRegistry::blas_lapack();
+    let solution = GmcOptimizer::new(&registry, FlopCount).solve(&chain)?;
+    println!("\nparenthesization: {}", solution.parenthesization());
+    println!("kernels:          {:?}", solution.kernel_names());
+    for line in PseudoEmitter.emit(&solution.program()).lines() {
+        println!("    {line}");
+    }
+
+    // Numerically, symmetry is only approximate after two triangular
+    // solves — exactly the paper's point about testing entries at
+    // runtime.
+    let env = Env::random_for_chain(&chain, 11);
+    let mut exec_env = env.clone();
+    let result = execute(&solution.program(), &mut exec_env)?;
+    let exact = result.is_symmetric(0.0);
+    let fuzzy = result.is_symmetric(1e-8);
+    println!(
+        "\nnumeric check: exactly symmetric: {exact}; symmetric within 1e-8: {fuzzy}"
+    );
+    println!(
+        "-> a runtime entry-inspection would {}see the symmetry the\n\
+         symbolic engine proved; the symbolic route keeps the cheaper\n\
+         symmetric eigensolver applicable (paper Sec. 3.2).",
+        if exact { "" } else { "NOT " }
+    );
+    Ok(())
+}

@@ -1,0 +1,203 @@
+//! Tests pinning the documented evaluation semantics of the baseline
+//! strategies (paper Sec. 4).
+
+use gmc_baselines::{
+    all_strategies, Strategy, ARMADILLO_NAIVE, BLAZE_NAIVE, EIGEN_RECOMMENDED, JULIA_NAIVE,
+    JULIA_RECOMMENDED, MATLAB_NAIVE,
+};
+use gmc_expr::{Chain, Factor, Operand, OperandKind, Property};
+use gmc_kernels::{KernelFamily, KernelOp};
+
+fn plain_chain(dims: &[(usize, usize)]) -> Chain {
+    let factors = dims
+        .iter()
+        .enumerate()
+        .map(|(i, &(r, c))| Factor::plain(Operand::matrix(format!("M{i}"), r, c)))
+        .collect();
+    Chain::new(factors).unwrap()
+}
+
+/// Armadillo's heuristic never produces the split `(AB)(CD)` — that
+/// parenthesization requires multiplying two computed temporaries,
+/// which the ≤4-term size heuristic structurally cannot emit (paper
+/// Sec. 4).
+#[test]
+fn armadillo_never_multiplies_two_temporaries() {
+    // Probe many shapes, including ones where (AB)(CD) would be optimal.
+    let shape_sets: Vec<Vec<(usize, usize)>> = vec![
+        vec![(30, 10), (10, 40), (40, 10), (10, 35)],
+        vec![(100, 5), (5, 100), (100, 5), (5, 100)],
+        vec![(7, 7), (7, 7), (7, 7), (7, 7), (7, 7), (7, 7), (7, 7)],
+        vec![(50, 1), (1, 50), (50, 50), (50, 20)],
+    ];
+    for dims in shape_sets {
+        let chain = plain_chain(&dims);
+        let program = ARMADILLO_NAIVE.compile(&chain);
+        for instr in program.instructions() {
+            let both_temps = instr
+                .op()
+                .operands()
+                .iter()
+                .all(|o| o.kind() == OperandKind::Temporary);
+            assert!(
+                !both_temps,
+                "Armadillo multiplied two temporaries on {chain}: {instr}"
+            );
+        }
+    }
+}
+
+/// Armadillo's 3-term rule: `(AB)C` iff `size(AB) <= size(BC)`.
+#[test]
+fn armadillo_three_term_rule_both_branches() {
+    // size(AB) = 4 <= size(BC) = 10000 → (AB)C.
+    let chain = plain_chain(&[(2, 100), (100, 2), (2, 5000)]);
+    let program = ARMADILLO_NAIVE.compile(&chain);
+    match program.instructions()[0].op() {
+        KernelOp::Gemm { a, b, .. } => {
+            assert_eq!((a.name(), b.name()), ("M0", "M1"));
+        }
+        other => panic!("unexpected {other}"),
+    }
+    // size(AB) = 10000 > size(BC) = 4 → A(BC).
+    let chain = plain_chain(&[(5000, 2), (2, 100), (100, 2)]);
+    let program = ARMADILLO_NAIVE.compile(&chain);
+    match program.instructions()[0].op() {
+        KernelOp::Gemm { a, b, .. } => {
+            assert_eq!((a.name(), b.name()), ("M1", "M2"));
+        }
+        other => panic!("unexpected {other}"),
+    }
+}
+
+/// Long chains are chunked deterministically from the left: each chunk's
+/// result participates in the next chunk ("Every binary product uses the
+/// result of the previous one", paper Sec. 4).
+#[test]
+fn armadillo_long_chain_cache_friendly_shape() {
+    let chain = plain_chain(&[(8, 8); 9]);
+    let program = ARMADILLO_NAIVE.compile(&chain);
+    assert_eq!(program.len(), 8);
+    // After the first chunk, every product must involve at least one
+    // temporary (the running accumulator).
+    for instr in program.instructions().iter().skip(3) {
+        let any_temp = instr
+            .op()
+            .operands()
+            .iter()
+            .any(|o| o.kind() == OperandKind::Temporary);
+        assert!(any_temp, "{instr} does not reuse the accumulator");
+    }
+}
+
+/// Blaze evaluates `A·B·v` as `A(Bv)` (paper Sec. 4) while plain
+/// left-to-right libraries compute `(AB)v`.
+#[test]
+fn blaze_vector_rule_vs_left_to_right() {
+    let a = Operand::matrix("A", 80, 90);
+    let b = Operand::matrix("B", 90, 70);
+    let v = Operand::col_vector("v", 70);
+    let chain = Chain::new(vec![
+        Factor::plain(a),
+        Factor::plain(b),
+        Factor::plain(v),
+    ])
+    .unwrap();
+    let blaze = BLAZE_NAIVE.compile(&chain);
+    assert!(blaze
+        .instructions()
+        .iter()
+        .all(|i| i.op().family() == KernelFamily::Gemv));
+    let julia = JULIA_NAIVE.compile(&chain);
+    assert_eq!(julia.instructions()[0].op().family(), KernelFamily::Gemm);
+    assert!(blaze.flops() < julia.flops());
+}
+
+/// The recommended variants never invert explicitly when a solve
+/// suffices; the naive ones always invert.
+#[test]
+fn naive_inverts_recommended_solves() {
+    let a = Operand::square("A", 50).with_property(Property::SymmetricPositiveDefinite);
+    let b = Operand::matrix("B", 50, 10);
+    let chain = Chain::new(vec![Factor::inverted(a), Factor::plain(b)]).unwrap();
+    for s in all_strategies() {
+        let program = s.compile(&chain);
+        let has_inv = program
+            .instructions()
+            .iter()
+            .any(|i| i.op().family() == KernelFamily::Inv);
+        let has_solve = program.instructions().iter().any(|i| {
+            matches!(
+                i.op().family(),
+                KernelFamily::Gesv | KernelFamily::Posv | KernelFamily::Trsm | KernelFamily::Trsv
+            )
+        });
+        if s.id().ends_with("naive") {
+            assert!(has_inv, "{} should invert explicitly", s.id());
+        } else {
+            assert!(has_solve && !has_inv, "{} should solve", s.id());
+        }
+    }
+}
+
+/// Matlab's untyped products ignore declared structure; typed libraries
+/// exploit it (paper Sec. 4: Julia types, Eigen views, Blaze adaptors).
+#[test]
+fn matlab_products_are_untyped() {
+    let l = Operand::square("L", 40).with_property(Property::LowerTriangular);
+    let b = Operand::matrix("B", 40, 10);
+    let chain = Chain::new(vec![Factor::plain(l), Factor::plain(b)]).unwrap();
+    let matlab = MATLAB_NAIVE.compile(&chain);
+    assert_eq!(matlab.instructions()[0].op().family(), KernelFamily::Gemm);
+    let julia = JULIA_NAIVE.compile(&chain);
+    assert_eq!(julia.instructions()[0].op().family(), KernelFamily::Trmm);
+    assert!(julia.flops() < matlab.flops());
+}
+
+/// Eigen's recommended implementation binds `.solve()` to the factor
+/// following the inverse — reproducing the paper's observation that for
+/// `M1 M2⁻¹ v1 v2ᵀ` it accidentally finds a good parenthesization.
+#[test]
+fn eigen_solve_binds_following_factor() {
+    let m1 = Operand::square("M1", 60);
+    let m2 = Operand::square("M2", 60);
+    let v1 = Operand::col_vector("v1", 60);
+    let v2 = Operand::col_vector("v2", 40);
+    let chain = Chain::new(vec![
+        Factor::plain(m1),
+        Factor::inverted(m2),
+        Factor::plain(v1),
+        Factor::transposed(v2),
+    ])
+    .unwrap();
+    let program = EIGEN_RECOMMENDED.compile(&chain);
+    // M1·(M2⁻¹ applied via solve)…: the solve must come before any
+    // product with M1, and the final op is the outer product.
+    assert_eq!(program.instructions()[0].op().family(), KernelFamily::Gesv);
+    assert_eq!(
+        program.instructions().last().unwrap().op().family(),
+        KernelFamily::Ger
+    );
+}
+
+/// Julia recommended on leading inverse stacks: `A⁻¹B⁻¹C` becomes
+/// `A\(B\C)` — solves applied right-to-left.
+#[test]
+fn julia_recommended_pending_solves() {
+    let a = Operand::square("A", 30);
+    let b = Operand::square("B", 30);
+    let c = Operand::matrix("C", 30, 5);
+    let chain = Chain::new(vec![
+        Factor::inverted(a),
+        Factor::inverted(b),
+        Factor::plain(c),
+    ])
+    .unwrap();
+    let program = JULIA_RECOMMENDED.compile(&chain);
+    let names: Vec<&str> = program
+        .instructions()
+        .iter()
+        .map(|i| i.op().operands()[0].name())
+        .collect();
+    assert_eq!(names, vec!["B", "A"]);
+}

@@ -1,0 +1,213 @@
+//! Coverage of the less-traveled codegen and runtime paths: right-side
+//! solves, transposed right-hand sides, composite inverse pairs,
+//! identity elimination and explicit inversions — each emitted in every
+//! language and executed against the numeric oracle.
+
+use gmc::{FlopCount, GmcOptimizer};
+use gmc_baselines::{Strategy, JULIA_NAIVE, JULIA_RECOMMENDED};
+use gmc_codegen::{Emitter, JuliaEmitter, PseudoEmitter, Program, RustEmitter};
+use gmc_expr::{Chain, Factor, Operand, Property};
+use gmc_kernels::{KernelFamily, KernelRegistry};
+use gmc_runtime::{execute, reference_eval, validate_against_reference, Env};
+
+fn registry() -> KernelRegistry {
+    KernelRegistry::blas_lapack()
+}
+
+fn solve(chain: &Chain) -> Program {
+    GmcOptimizer::new(&registry(), FlopCount)
+        .solve(chain)
+        .expect("computable")
+        .program()
+}
+
+fn assert_emitters_nonempty(program: &Program) {
+    for code in [
+        JuliaEmitter::default().emit(program),
+        RustEmitter.emit(program),
+        PseudoEmitter.emit(program),
+    ] {
+        assert!(!code.trim().is_empty());
+    }
+}
+
+#[test]
+fn right_side_general_solve() {
+    // B · A⁻¹ with dimensions that force the right solve.
+    let a = Operand::square("A", 30);
+    let b = Operand::matrix("B", 12, 30);
+    let chain = Chain::new(vec![Factor::plain(b), Factor::inverted(a)]).unwrap();
+    let program = solve(&chain);
+    assert_eq!(program.instructions()[0].op().family(), KernelFamily::Gesv);
+    let julia = JuliaEmitter::default().emit(&program);
+    // The right-side solve transposes around gesv!.
+    assert!(julia.contains("gesv!"), "got:\n{julia}");
+    let env = Env::random_for_chain(&chain, 1);
+    validate_against_reference(&program, &chain, &env, 1e-6).unwrap();
+    assert_emitters_nonempty(&program);
+}
+
+#[test]
+fn right_side_spd_solve() {
+    let a = Operand::square("A", 30).with_property(Property::SymmetricPositiveDefinite);
+    let b = Operand::matrix("B", 12, 30);
+    let chain = Chain::new(vec![Factor::plain(b), Factor::inverted(a)]).unwrap();
+    let program = solve(&chain);
+    assert_eq!(program.instructions()[0].op().family(), KernelFamily::Posv);
+    let env = Env::random_for_chain(&chain, 2);
+    validate_against_reference(&program, &chain, &env, 1e-6).unwrap();
+}
+
+#[test]
+fn transposed_rhs_solve() {
+    // A⁻¹ · Bᵀ: the _TB solver variants.
+    let a = Operand::square("A", 25);
+    let b = Operand::matrix("B", 10, 25);
+    let chain = Chain::new(vec![Factor::inverted(a), Factor::transposed(b)]).unwrap();
+    let program = solve(&chain);
+    let env = Env::random_for_chain(&chain, 3);
+    validate_against_reference(&program, &chain, &env, 1e-6).unwrap();
+    let julia = JuliaEmitter::default().emit(&program);
+    assert!(julia.contains("Matrix(B')"), "got:\n{julia}");
+}
+
+#[test]
+fn composite_inverse_pair_executes() {
+    let a = Operand::square("A", 20);
+    let b = Operand::square("B", 20);
+    for (fa, fb) in [
+        (Factor::inverted(a.clone()), Factor::inverted(b.clone())),
+        (
+            Factor::inverse_transposed(a.clone()),
+            Factor::inverted(b.clone()),
+        ),
+        (
+            Factor::inverted(a.clone()),
+            Factor::inverse_transposed(b.clone()),
+        ),
+        (Factor::inverse_transposed(a), Factor::inverse_transposed(b)),
+    ] {
+        let chain = Chain::new(vec![fa, fb]).unwrap();
+        let program = solve(&chain);
+        assert_eq!(
+            program.instructions()[0].op().family(),
+            KernelFamily::InvPair
+        );
+        let env = Env::random_for_chain(&chain, 4);
+        validate_against_reference(&program, &chain, &env, 1e-5)
+            .unwrap_or_else(|e| panic!("{chain}: {e}"));
+        let julia = JuliaEmitter::default().emit(&program);
+        assert!(julia.contains("inv("), "got:\n{julia}");
+        assert_emitters_nonempty(&program);
+    }
+}
+
+#[test]
+fn identity_elimination_executes() {
+    let i = Operand::square("I", 15).with_property(Property::Identity);
+    let b = Operand::matrix("B", 15, 6);
+    let chain = Chain::new(vec![Factor::plain(i), Factor::plain(b)]).unwrap();
+    let program = solve(&chain);
+    assert_eq!(program.instructions()[0].op().family(), KernelFamily::Copy);
+    let env = Env::random_for_chain(&chain, 5);
+    let mut exec_env = env.clone();
+    let result = execute(&program, &mut exec_env).unwrap();
+    assert_eq!(result, *env.get("B").unwrap());
+    let julia = JuliaEmitter::default().emit(&program);
+    assert!(julia.contains("copy(B)"), "got:\n{julia}");
+}
+
+#[test]
+fn explicit_inversions_execute_for_every_kind() {
+    // Naive strategies exercise every InvKind; validate numerically.
+    let cases = vec![
+        Operand::square("G", 18),
+        Operand::square("S", 18).with_property(Property::SymmetricPositiveDefinite),
+        Operand::square("L", 18).with_property(Property::LowerTriangular),
+        Operand::square("U", 18).with_property(Property::UpperTriangular),
+        Operand::square("D", 18).with_property(Property::Diagonal),
+    ];
+    let b = Operand::matrix("B", 18, 7);
+    for op in cases {
+        let chain =
+            Chain::new(vec![Factor::inverted(op.clone()), Factor::plain(b.clone())]).unwrap();
+        for strategy in [&JULIA_NAIVE, &gmc_baselines::ARMADILLO_NAIVE] {
+            let program = strategy.compile(&chain);
+            let env = Env::random_for_chain(&chain, 6);
+            validate_against_reference(&program, &chain, &env, 1e-5)
+                .unwrap_or_else(|e| panic!("{} on {chain}: {e}", strategy.id()));
+        }
+    }
+}
+
+#[test]
+fn julia_emitter_protects_live_factor_matrices() {
+    // `A⁻¹ B A`: gesv! destroys its factor argument, and A is used
+    // again by the following product — the emitter must factorize a
+    // copy of A, not A itself.
+    let a = Operand::square("A", 12);
+    let b = Operand::square("B", 12);
+    let chain = Chain::new(vec![
+        Factor::inverted(a.clone()),
+        Factor::plain(b),
+        Factor::plain(a.clone()),
+    ])
+    .unwrap();
+    let program = JULIA_RECOMMENDED.compile(&chain);
+    let julia = JuliaEmitter::default().emit(&program);
+    assert!(
+        julia.contains("gesv!(copy(A)"),
+        "A clobbered while live:\n{julia}"
+    );
+    let env = Env::random_for_chain(&chain, 8);
+    validate_against_reference(&program, &chain, &env, 1e-6).unwrap();
+
+    // And the aliasing case `A⁻¹ A B`: the in-place RHS buffer must not
+    // alias the factor operand (a `copy` is required on one of them).
+    let c = Operand::matrix("C", 12, 5);
+    let chain = Chain::new(vec![
+        Factor::inverted(a.clone()),
+        Factor::plain(a),
+        Factor::plain(c),
+    ])
+    .unwrap();
+    let program = JULIA_RECOMMENDED.compile(&chain);
+    let julia = JuliaEmitter::default().emit(&program);
+    assert!(
+        !julia.contains("gesv!(A, A)"),
+        "factor and RHS alias:\n{julia}"
+    );
+    let env = Env::random_for_chain(&chain, 9);
+    validate_against_reference(&program, &chain, &env, 1e-6).unwrap();
+}
+
+#[test]
+fn reference_eval_matches_manual_composition() {
+    let a = Operand::square("A", 9);
+    let v = Operand::col_vector("v", 9);
+    let chain = Chain::new(vec![Factor::transposed(v.clone()), Factor::plain(a)]).unwrap();
+    let env = Env::random_for_chain(&chain, 9);
+    let result = reference_eval(&chain, &env).unwrap();
+    assert_eq!(result.shape(), (1, 9));
+    // vᵀA row vector result is validated against GMC's program.
+    let program = solve(&chain);
+    validate_against_reference(&program, &chain, &env, 1e-8).unwrap();
+}
+
+#[test]
+fn rust_emitter_covers_solver_ops() {
+    let a = Operand::square("A", 14).with_property(Property::SymmetricPositiveDefinite);
+    let d = Operand::square("D", 14).with_property(Property::Diagonal);
+    let b = Operand::matrix("B", 14, 4);
+    let chain = Chain::new(vec![
+        Factor::inverted(a),
+        Factor::inverted(d),
+        Factor::plain(b),
+    ])
+    .unwrap();
+    let program = solve(&chain);
+    let code = RustEmitter.emit(&program);
+    assert!(code.contains("ops::"), "got:\n{code}");
+    let env = Env::random_for_chain(&chain, 10);
+    validate_against_reference(&program, &chain, &env, 1e-6).unwrap();
+}

@@ -1,0 +1,198 @@
+//! Integration tests pinning the worked examples and numbers from the
+//! paper (Sections 3.2–3.4, Table 1, Table 2).
+
+use gmc::mcp::{brute_force_flops, matrix_chain_order};
+use gmc::{FlopCount, GmcError, GmcOptimizer};
+use gmc_codegen::{Emitter, JuliaEmitter};
+use gmc_expr::{Chain, Factor, Operand, Property};
+use gmc_kernels::{KernelFamily, KernelRegistry};
+
+fn chain_of(expr: &gmc_expr::Expr) -> Chain {
+    Chain::from_expr(expr).expect("well-formed chain")
+}
+
+/// Paper Sec. 3.2: `X := AᵀAB`, A ∈ R^{20×20}, B ∈ R^{20×15}.
+/// Without property use: Aᵀ(AB) = 24000 flops, (AᵀA)B with two GEMMs =
+/// 28000 flops; exploiting symmetry of AᵀA: (AᵀA)B = 22000 flops.
+#[test]
+fn ata_b_flop_counts() {
+    let a = Operand::square("A", 20);
+    let b = Operand::matrix("B", 20, 15);
+    let chain = chain_of(&(a.transpose() * a.expr() * b.expr()));
+
+    // Paper's accounting (no SYRK): 22000 via SYMM.
+    let registry = KernelRegistry::builder()
+        .without_family(KernelFamily::Syrk)
+        .build();
+    let sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+    assert_eq!(sol.flops(), 22000.0);
+    assert_eq!(sol.parenthesization(), "((A^T A) B)");
+
+    // Without property inference at all (only GEMM): 24000 via Aᵀ(AB).
+    let registry = KernelRegistry::builder()
+        .only_families([KernelFamily::Gemm])
+        .build();
+    let sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+    assert_eq!(sol.flops(), 24000.0);
+    assert_eq!(sol.parenthesization(), "(A^T (A B))");
+
+    // Paper's closing note: SYRK halves the AᵀA cost (8000 + 6000).
+    let registry = KernelRegistry::blas_lapack();
+    let sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+    assert_eq!(sol.flops(), 14000.0);
+    assert_eq!(sol.kernel_names(), vec!["SYRK_T", "SYMM_LN"]);
+}
+
+/// Paper Sec. 3.3: `ABCDE` with sizes 130, 700, 383, 1340, 193, 900.
+/// FLOP optimum (((AB)C)D)E at ~3.16e8; the alternative ((AB)(CD))E at
+/// ~3.32e8 (which the paper measured to be ~10% faster in time).
+#[test]
+fn abcde_metric_crossover() {
+    let sizes = [130usize, 700, 383, 1340, 193, 900];
+    let sol = matrix_chain_order(&sizes);
+    assert_eq!(
+        sol.parenthesization(&["A", "B", "C", "D", "E"]),
+        "((((AB)C)D)E)"
+    );
+    let flops = sol.flops();
+    assert!((flops - 3.16e8).abs() / 3.16e8 < 0.01, "got {flops}");
+
+    // The alternative parenthesization the paper discusses.
+    let alt = 2.0 * (130 * 383 * 700) as f64
+        + 2.0 * (383 * 193 * 1340) as f64
+        + 2.0 * (130 * 193 * 383) as f64
+        + 2.0 * (130 * 900 * 193) as f64;
+    assert!((alt - 3.32e8).abs() / 3.32e8 < 0.01, "got {alt}");
+    assert!(alt > flops);
+
+    // DP matches brute force on this instance.
+    assert_eq!(flops, brute_force_flops(&sizes));
+}
+
+/// Paper Sec. 3.4 (completeness): `X := A⁻¹B⁻¹C` with no kernel for
+/// `X⁻¹Y⁻¹` is still computable by solving two linear systems; with the
+/// composite kernel available the optimizer may use either.
+#[test]
+fn inverse_pair_completeness() {
+    let a = Operand::square("A", 100);
+    let b = Operand::square("B", 100);
+    let c = Operand::matrix("C", 100, 10);
+    let chain = chain_of(&(a.inverse() * b.inverse() * c.expr()));
+
+    let strict = KernelRegistry::builder().without_composite_inverse().build();
+    let sol = GmcOptimizer::new(&strict, FlopCount).solve(&chain).unwrap();
+    assert_eq!(sol.parenthesization(), "(A^-1 (B^-1 C))");
+    assert_eq!(sol.kernel_names(), vec!["GESV_LN", "GESV_LN"]);
+
+    // A chain that *cannot* be saved by re-parenthesization: A⁻¹B⁻¹
+    // alone has no alternative split.
+    let two = chain_of(&(a.inverse() * b.inverse()));
+    assert!(matches!(
+        GmcOptimizer::new(&strict, FlopCount).solve(&two),
+        Err(GmcError::NotComputable { .. })
+    ));
+    // With the composite kernel it becomes computable.
+    let full = KernelRegistry::blas_lapack();
+    let sol = GmcOptimizer::new(&full, FlopCount).solve(&two).unwrap();
+    assert_eq!(sol.kernel_names(), vec!["INVPAIR_NN"]);
+}
+
+/// Paper Sec. 4: chains `M1 ··· Mn v1 v2ᵀ` are best computed as a GEMV
+/// cascade followed by an outer product — and GMC finds exactly that.
+#[test]
+fn vector_chain_gemv_cascade() {
+    let registry = KernelRegistry::blas_lapack();
+    let m1 = Operand::square("M1", 300);
+    let m2 = Operand::square("M2", 300);
+    let m3 = Operand::square("M3", 300);
+    let v1 = Operand::col_vector("v1", 300);
+    let v2 = Operand::col_vector("v2", 200);
+    let chain = chain_of(&(m1.expr() * m2.expr() * m3.expr() * v1.expr() * v2.transpose()));
+    let sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+    assert_eq!(
+        sol.kernel_names(),
+        vec!["GEMV_N", "GEMV_N", "GEMV_N", "GER"]
+    );
+    assert_eq!(sol.parenthesization(), "((M1 (M2 (M3 v1))) v2^T)");
+}
+
+/// Paper Table 1: the example kernels with their paper costs, as
+/// instantiated operations.
+#[test]
+fn table1_kernel_costs() {
+    let registry = KernelRegistry::blas_lapack();
+    let m = 30;
+    let n = 20;
+    let k = 30;
+
+    // GEMM: 2mnk.
+    let a = Operand::matrix("A", m, k);
+    let b = Operand::matrix("B", k, n);
+    let best = registry.best_by_flops(&(a.expr() * b.expr())).unwrap();
+    assert_eq!(best.kernel.name(), "GEMM_NN");
+    assert_eq!(best.flops(), 2.0 * (m * n * k) as f64);
+
+    // TRMM: m²n.
+    let l = Operand::square("L", m).with_property(Property::LowerTriangular);
+    let b = Operand::matrix("B", m, n);
+    let best = registry.best_by_flops(&(l.expr() * b.expr())).unwrap();
+    assert_eq!(best.kernel.name(), "TRMM_LLN");
+    assert_eq!(best.flops(), (m * m * n) as f64);
+
+    // SYMM: m²n.
+    let s = Operand::square("S", m).with_property(Property::Symmetric);
+    let best = registry.best_by_flops(&(s.expr() * b.expr())).unwrap();
+    assert_eq!(best.kernel.name(), "SYMM_LN");
+    assert_eq!(best.flops(), (m * m * n) as f64);
+
+    // TRSM: m²n.
+    let best = registry.best_by_flops(&(l.inverse() * b.expr())).unwrap();
+    assert_eq!(best.kernel.name(), "TRSM_LLN");
+    assert_eq!(best.flops(), (m * m * n) as f64);
+
+    // SYRK: m²k (XᵀX with X k×m).
+    let x = Operand::matrix("X", k, n);
+    let best = registry.best_by_flops(&(x.transpose() * x.expr())).unwrap();
+    assert_eq!(best.kernel.name(), "SYRK_T");
+    assert_eq!(best.flops(), (n * n * k) as f64);
+}
+
+/// Paper Table 2 (GMC row): the generated Julia code for `A⁻¹BCᵀ` is
+/// exactly the paper's two-kernel sequence with buffer reuse.
+#[test]
+fn table2_gmc_julia_code() {
+    let a = Operand::square("A", 2000).with_property(Property::SymmetricPositiveDefinite);
+    let b = Operand::matrix("B", 2000, 200);
+    let c = Operand::square("C", 200).with_property(Property::LowerTriangular);
+    let chain = chain_of(&(a.inverse() * b.expr() * c.transpose()));
+    let registry = KernelRegistry::blas_lapack();
+    let sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+    let code = JuliaEmitter::default().emit(&sol.program());
+    assert_eq!(
+        code,
+        "trmm!('R', 'L', 'T', 'N', 1.0, C, B)\nposv!('L', A, B)\n# result in B"
+    );
+}
+
+/// On classic chains (no operators, no properties) GMC with the full
+/// registry coincides with the standard MC algorithm (paper Sec. 2).
+#[test]
+fn gmc_subsumes_classic_mcp() {
+    let registry = KernelRegistry::blas_lapack();
+    let cases: &[&[usize]] = &[
+        &[10, 100, 5, 50],
+        &[40, 20, 30, 10, 30],
+        &[130, 700, 383, 1340, 193, 900],
+        &[5, 3, 7, 2, 9, 4, 8, 3],
+    ];
+    for sizes in cases {
+        let n = sizes.len() - 1;
+        let ops: Vec<Operand> = (0..n)
+            .map(|i| Operand::matrix(format!("M{i}"), sizes[i], sizes[i + 1]))
+            .collect();
+        let chain = Chain::new(ops.into_iter().map(Factor::plain).collect()).unwrap();
+        let gmc = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+        let classic = matrix_chain_order(sizes);
+        assert_eq!(gmc.flops(), classic.flops(), "sizes {sizes:?}");
+    }
+}

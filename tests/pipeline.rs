@@ -1,0 +1,120 @@
+//! End-to-end pipeline tests: parse → optimize → emit → execute →
+//! validate, plus numeric validation of every baseline strategy on
+//! random generalized chains.
+
+use gmc::{FlopCount, GmcOptimizer, TimeModel};
+use gmc_baselines::all_strategies;
+use gmc_baselines::Strategy;
+use gmc_expr::Chain;
+use gmc_experiments::generator::{random_chains, GeneratorConfig};
+use gmc_kernels::KernelRegistry;
+use gmc_runtime::{validate_against_reference, Env};
+
+fn small_config() -> GeneratorConfig {
+    GeneratorConfig {
+        size_min: 10,
+        size_max: 60,
+        size_step: 10,
+        len_min: 3,
+        len_max: 8,
+        ..GeneratorConfig::default()
+    }
+}
+
+#[test]
+fn gmc_programs_compute_the_chain() {
+    let registry = KernelRegistry::blas_lapack();
+    let optimizer = GmcOptimizer::new(&registry, FlopCount);
+    for (i, chain) in random_chains(&small_config(), 40, 101).iter().enumerate() {
+        let sol = optimizer.solve(chain).expect("computable");
+        let env = Env::random_for_chain(chain, 500 + i as u64);
+        validate_against_reference(&sol.program(), chain, &env, 1e-4)
+            .unwrap_or_else(|e| panic!("chain {i} ({chain}): {e}"));
+    }
+}
+
+#[test]
+fn baseline_programs_compute_the_chain() {
+    for (i, chain) in random_chains(&small_config(), 25, 202).iter().enumerate() {
+        let env = Env::random_for_chain(chain, 900 + i as u64);
+        for strategy in all_strategies() {
+            let program = strategy.compile(chain);
+            validate_against_reference(&program, chain, &env, 1e-4).unwrap_or_else(|e| {
+                panic!("chain {i} ({chain}) strategy {}: {e}", strategy.id())
+            });
+        }
+    }
+}
+
+#[test]
+fn time_model_solutions_also_compute_the_chain() {
+    let registry = KernelRegistry::blas_lapack();
+    let optimizer = GmcOptimizer::new(&registry, TimeModel::default());
+    for (i, chain) in random_chains(&small_config(), 15, 303).iter().enumerate() {
+        let sol = optimizer.solve(chain).expect("computable");
+        let env = Env::random_for_chain(chain, 40 + i as u64);
+        validate_against_reference(&sol.program(), chain, &env, 1e-4)
+            .unwrap_or_else(|e| panic!("chain {i} ({chain}): {e}"));
+    }
+}
+
+#[test]
+fn parse_optimize_execute_round_trip() {
+    let source = "\
+# Generalized least squares normal-equations-ish chain.
+Matrix M (60, 60) <SPD>
+Matrix X (60, 20)
+Vector y (60)
+b := X^T * M^-1 * y
+";
+    let problem = gmc_frontend::parse(source).expect("parses");
+    let (target, expr) = &problem.assignments[0];
+    assert_eq!(target, "b");
+    let chain = Chain::from_expr(expr).expect("chain");
+    let registry = KernelRegistry::blas_lapack();
+    let sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).expect("solves");
+    // Must use a Cholesky solve, never an inverse.
+    assert!(sol.kernel_names().iter().any(|k| k.starts_with("POSV")));
+    let env = Env::random_for_chain(&chain, 77);
+    validate_against_reference(&sol.program(), &chain, &env, 1e-6).expect("validates");
+}
+
+#[test]
+fn cli_end_to_end() {
+    let out = gmc_cli_like(
+        "Matrix L (40, 40) <LowerTriangular>\nMatrix B (40, 15)\nX := L^-1 * B\n",
+    );
+    assert!(out.contains("trsm!"), "got:\n{out}");
+}
+
+// Minimal reimplementation of the CLI flow (the gmc-cli crate is a
+// binary-oriented crate not linked here; this keeps the test local).
+fn gmc_cli_like(input: &str) -> String {
+    let problem = gmc_frontend::parse(input).unwrap();
+    let registry = KernelRegistry::blas_lapack();
+    let mut out = String::new();
+    for (_, expr) in &problem.assignments {
+        let chain = Chain::from_expr(expr).unwrap();
+        let sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+        use gmc_codegen::Emitter;
+        out.push_str(&gmc_codegen::JuliaEmitter::default().emit(&sol.program()));
+    }
+    out
+}
+
+#[test]
+fn gmc_flops_never_exceed_any_baseline_on_random_chains() {
+    let registry = KernelRegistry::blas_lapack();
+    let optimizer = GmcOptimizer::new(&registry, FlopCount);
+    for chain in random_chains(&GeneratorConfig::default(), 60, 404) {
+        let gmc_flops = optimizer.solve(&chain).expect("computable").flops();
+        for strategy in all_strategies() {
+            let baseline_flops = strategy.compile(&chain).flops();
+            assert!(
+                gmc_flops <= baseline_flops * (1.0 + 1e-9),
+                "GMC {gmc_flops} beaten by {} {baseline_flops} on {chain}",
+                strategy.id()
+            );
+        }
+    }
+}

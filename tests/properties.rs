@@ -1,0 +1,236 @@
+//! Property-based tests (proptest) for the core invariants:
+//! normalization, property-inference soundness against numeric checks,
+//! DP optimality, and registry completeness.
+
+use gmc::mcp::{brute_force_flops, matrix_chain_order};
+use gmc_analysis::infer_properties;
+use gmc_expr::{Expr, Factor, Operand, Property, UnaryOp};
+use gmc_kernels::KernelRegistry;
+use gmc_linalg::{blas3, lapack, Matrix};
+use gmc_runtime::materialize;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Square-operand strategy: a name, a size, and an optional property.
+fn square_operand(n: usize) -> impl Strategy<Value = Operand> {
+    (
+        "[A-H]",
+        prop::option::of(prop::sample::select(vec![
+            Property::Diagonal,
+            Property::LowerTriangular,
+            Property::UpperTriangular,
+            Property::Symmetric,
+            Property::SymmetricPositiveDefinite,
+            Property::Identity,
+        ])),
+        0u64..1_000_000,
+    )
+        .prop_map(move |(name, prop, uniq)| {
+            // Unique names avoid accidental non-linear aliasing between
+            // distinct random matrices.
+            let op = Operand::square(format!("{name}{uniq}"), n);
+            match prop {
+                Some(p) => op.with_property(p),
+                None => op,
+            }
+        })
+}
+
+/// A random square expression over `n×n` operands: products, sums and
+/// unary operators, depth-bounded.
+fn square_expr(n: usize) -> impl Strategy<Value = Expr> {
+    let leaf = square_operand(n).prop_map(|op| op.expr());
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            inner.clone().prop_map(Expr::transpose),
+            inner.clone().prop_map(Expr::inverse),
+            inner.prop_map(Expr::inverse_transpose),
+        ]
+    })
+}
+
+/// Numerically evaluates an all-square expression.
+fn eval(expr: &Expr, rng: &mut StdRng, cache: &mut std::collections::HashMap<String, Matrix>) -> Option<Matrix> {
+    match expr {
+        Expr::Symbol(op) => Some(
+            cache
+                .entry(op.name().to_owned())
+                .or_insert_with(|| materialize(op, rng))
+                .clone(),
+        ),
+        Expr::Times(fs) => {
+            let mut acc: Option<Matrix> = None;
+            for f in fs {
+                let v = eval(f, rng, cache)?;
+                acc = Some(match acc {
+                    None => v,
+                    Some(p) => blas3::gemm(1.0, &p, false, &v, false),
+                });
+            }
+            acc
+        }
+        Expr::Plus(ts) => {
+            let mut acc: Option<Matrix> = None;
+            for t in ts {
+                let v = eval(t, rng, cache)?;
+                acc = Some(match acc {
+                    None => v,
+                    Some(p) => {
+                        let mut s = p.clone();
+                        for (o, x) in s.as_mut_slice().iter_mut().zip(v.as_slice()) {
+                            *o += x;
+                        }
+                        s
+                    }
+                });
+            }
+            acc
+        }
+        Expr::Transpose(e) => Some(eval(e, rng, cache)?.transposed()),
+        Expr::Inverse(e) => lapack::getri(&eval(e, rng, cache)?).ok(),
+        Expr::InverseTranspose(e) => Some(lapack::getri(&eval(e, rng, cache)?).ok()?.transposed()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Normalization is idempotent and preserves the shape.
+    #[test]
+    fn normalization_idempotent_and_shape_preserving(expr in square_expr(4)) {
+        let n1 = expr.normalized().expect("square exprs are well-formed");
+        let n2 = n1.normalized().expect("normal form is well-formed");
+        prop_assert_eq!(&n1, &n2);
+        prop_assert_eq!(expr.shape().unwrap(), n1.shape().unwrap());
+    }
+
+    /// Normalization preserves the *value* of the expression.
+    #[test]
+    fn normalization_preserves_value(expr in square_expr(4), seed in 0u64..1000) {
+        let normalized = expr.normalized().expect("well-formed");
+        let mut cache = std::collections::HashMap::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v1 = eval(&expr, &mut rng, &mut cache);
+        let v2 = eval(&normalized, &mut rng, &mut cache);
+        if let (Some(v1), Some(v2)) = (v1, v2) {
+            prop_assert!(
+                v1.approx_eq(&v2, 1e-5),
+                "normalization changed the value: max diff {}",
+                v1.max_abs_diff(&v2)
+            );
+        }
+    }
+
+    /// Everything the inference engine claims is numerically true.
+    #[test]
+    fn inference_is_sound(expr in square_expr(5), seed in 0u64..1000) {
+        let props = infer_properties(&expr);
+        let mut cache = std::collections::HashMap::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Some(value) = eval(&expr, &mut rng, &mut cache) {
+            let tol = 1e-5 * (1.0 + value.frobenius_norm());
+            if props.contains(Property::LowerTriangular) {
+                prop_assert!(value.is_lower_triangular(tol), "not lower triangular");
+            }
+            if props.contains(Property::UpperTriangular) {
+                prop_assert!(value.is_upper_triangular(tol), "not upper triangular");
+            }
+            if props.contains(Property::Diagonal) {
+                prop_assert!(value.is_diagonal(tol), "not diagonal");
+            }
+            if props.contains(Property::Symmetric) {
+                prop_assert!(value.is_symmetric(tol), "not symmetric");
+            }
+            if props.contains(Property::SymmetricPositiveDefinite) {
+                let mut chol = value.clone();
+                // Regularize the tolerance: Cholesky of a numerically
+                // near-singular SPD product can fail; only flag clear
+                // violations (indefinite leading minors).
+                if lapack::potrf(&mut chol).is_err() {
+                    let sym = value.is_symmetric(tol);
+                    prop_assert!(sym, "claimed SPD but not even symmetric");
+                }
+            }
+            if props.contains(Property::Identity) {
+                prop_assert!(
+                    value.approx_eq(&Matrix::identity(value.rows()), 1e-6),
+                    "not the identity"
+                );
+            }
+        }
+    }
+
+    /// The classic MCP DP matches brute-force enumeration.
+    #[test]
+    fn mcp_dp_is_optimal(sizes in prop::collection::vec(1usize..60, 3..9)) {
+        let dp = matrix_chain_order(&sizes);
+        let bf = brute_force_flops(&sizes);
+        prop_assert_eq!(dp.flops(), bf);
+    }
+
+    /// Registry completeness: *every* binary product of two unary-op
+    /// factors matches at least one kernel in the full registry — the
+    /// paper's assumption that `K` makes all chains computable.
+    #[test]
+    fn registry_is_complete_for_binary_products(
+        left_op in prop::sample::select(vec![
+            UnaryOp::None, UnaryOp::Transpose, UnaryOp::Inverse, UnaryOp::InverseTranspose
+        ]),
+        right_op in prop::sample::select(vec![
+            UnaryOp::None, UnaryOp::Transpose, UnaryOp::Inverse, UnaryOp::InverseTranspose
+        ]),
+        lp in prop::option::of(prop::sample::select(vec![
+            Property::Diagonal, Property::LowerTriangular, Property::UpperTriangular,
+            Property::Symmetric, Property::SymmetricPositiveDefinite,
+        ])),
+        rp in prop::option::of(prop::sample::select(vec![
+            Property::Diagonal, Property::LowerTriangular, Property::UpperTriangular,
+            Property::Symmetric, Property::SymmetricPositiveDefinite,
+        ])),
+    ) {
+        let registry = KernelRegistry::blas_lapack();
+        let mut a = Operand::square("A", 8);
+        if let Some(p) = lp { a = a.with_property(p); }
+        let mut b = Operand::square("B", 8);
+        if let Some(p) = rp { b = b.with_property(p); }
+        let left = Factor::new(a, left_op);
+        let right = Factor::new(b, right_op);
+        let product = Expr::times([left.expr(), right.expr()]);
+        let matches = registry.match_expr(&product);
+        prop_assert!(
+            !matches.is_empty(),
+            "no kernel matches {product}"
+        );
+    }
+
+    /// PropertySet closure is insertion-order independent.
+    #[test]
+    fn property_set_order_independent(
+        props in prop::collection::vec(
+            prop::sample::select(vec![
+                Property::Diagonal, Property::LowerTriangular, Property::UpperTriangular,
+                Property::Symmetric, Property::SymmetricPositiveDefinite,
+                Property::Identity, Property::Zero, Property::Orthogonal,
+                Property::Permutation, Property::UnitDiagonal, Property::FullRank,
+            ]),
+            0..6
+        ),
+        shuffle_seed in 0u64..100,
+    ) {
+        use gmc_expr::PropertySet;
+        let forward: PropertySet = props.iter().copied().collect();
+        let mut shuffled = props.clone();
+        // Simple deterministic shuffle.
+        let mut s = shuffle_seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let backward: PropertySet = shuffled.into_iter().collect();
+        prop_assert_eq!(forward, backward);
+    }
+}
