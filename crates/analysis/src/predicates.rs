@@ -87,7 +87,10 @@ pub fn is_symmetric(expr: &Expr) -> bool {
             if is_diagonal(expr) {
                 return true;
             }
-            match (canonical_transpose(expr), canonical_transpose(&Expr::transpose(expr.clone()))) {
+            match (
+                canonical_transpose(expr),
+                canonical_transpose(&Expr::transpose(expr.clone())),
+            ) {
                 (Some(me), Some(transposed)) => me == transposed,
                 _ => false,
             }
@@ -156,7 +159,10 @@ fn spd_product_or_single(factors: &[Expr]) -> bool {
 /// Whether `b` is structurally the transpose of `a` (so `a·b` is a Gram
 /// pair `Xᵀ X` with `X = b`).
 fn is_transpose_pair(a: &Expr, b: &Expr) -> bool {
-    match (canonical_transpose(&Expr::transpose(b.clone())), canonical_transpose(a)) {
+    match (
+        canonical_transpose(&Expr::transpose(b.clone())),
+        canonical_transpose(a),
+    ) {
         (Some(bt), Some(ca)) => bt == ca,
         _ => false,
     }
@@ -209,9 +215,9 @@ pub fn is_unit_diagonal(expr: &Expr) -> bool {
 pub fn is_full_rank(expr: &Expr) -> bool {
     match expr {
         Expr::Symbol(op) => op.properties().contains(Property::FullRank),
-        Expr::Times(fs) => fs.iter().all(|f| {
-            is_full_rank(f) && f.shape().map(|s| s.is_square()).unwrap_or(false)
-        }),
+        Expr::Times(fs) => fs
+            .iter()
+            .all(|f| is_full_rank(f) && f.shape().map(|s| s.is_square()).unwrap_or(false)),
         Expr::Plus(_) => false,
         Expr::Transpose(e) => is_full_rank(e),
         Expr::Inverse(_) | Expr::InverseTranspose(_) => true,

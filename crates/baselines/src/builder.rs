@@ -407,9 +407,6 @@ mod tests {
         let v = pb.solve(SolveKind::Posv, Side::Left, &a, false, &val(b.clone()));
         assert_eq!(v.shape(), Shape::new(6, 3));
         let program = pb.finish();
-        assert_eq!(
-            program.instructions()[0].op().family(),
-            KernelFamily::Posv
-        );
+        assert_eq!(program.instructions()[0].op().family(), KernelFamily::Posv);
     }
 }

@@ -614,10 +614,13 @@ mod tests {
     }
 
     #[test]
-    fn matlab_naive_is_all_general(){
+    fn matlab_naive_is_all_general() {
         let p = MATLAB_NAIVE.compile(&table2_chain());
         let f = families(&p);
-        assert_eq!(f, vec![KernelFamily::Inv, KernelFamily::Gemm, KernelFamily::Gemm]);
+        assert_eq!(
+            f,
+            vec![KernelFamily::Inv, KernelFamily::Gemm, KernelFamily::Gemm]
+        );
         // The explicit inverse is a *general* inverse despite A being SPD.
         match p.instructions()[0].op() {
             gmc_kernels::KernelOp::Inv { kind, .. } => {
@@ -650,12 +653,7 @@ mod tests {
         let a = Operand::matrix("A", 50, 60);
         let b = Operand::matrix("B", 60, 70);
         let v = Operand::col_vector("v", 70);
-        let chain = Chain::new(vec![
-            Factor::plain(a),
-            Factor::plain(b),
-            Factor::plain(v),
-        ])
-        .unwrap();
+        let chain = Chain::new(vec![Factor::plain(a), Factor::plain(b), Factor::plain(v)]).unwrap();
         let p = BLAZE_NAIVE.compile(&chain);
         let f = families(&p);
         assert_eq!(f, vec![KernelFamily::Gemv, KernelFamily::Gemv]);
@@ -746,7 +744,9 @@ mod tests {
     fn armadillo_long_chain_chunks_from_left() {
         // Six same-size square matrices: the chunking is
         // h4(M0..M3), then h4(T, M4, M5).
-        let ops: Vec<Operand> = (0..6).map(|i| Operand::square(format!("M{i}"), 8)).collect();
+        let ops: Vec<Operand> = (0..6)
+            .map(|i| Operand::square(format!("M{i}"), 8))
+            .collect();
         let chain = Chain::new(ops.into_iter().map(Factor::plain).collect()).unwrap();
         let p = ARMADILLO_NAIVE.compile(&chain);
         assert_eq!(p.len(), 5);

@@ -17,7 +17,10 @@ fn ablation_inference(c: &mut Criterion) {
     let registry = KernelRegistry::blas_lapack();
     let chains = paper_scale_chains(10);
     let mut group = c.benchmark_group("ablation_inference");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     for (mode, name) in [
         (InferenceMode::Compositional, "compositional"),
         (InferenceMode::Deep, "deep"),
@@ -41,7 +44,10 @@ fn ablation_metric(c: &mut Criterion) {
     let registry = KernelRegistry::blas_lapack();
     let chains = paper_scale_chains(10);
     let mut group = c.benchmark_group("ablation_metric");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     group.bench_function("flops", |b| {
         let o = GmcOptimizer::new(&registry, FlopCount);
         b.iter(|| {
@@ -73,7 +79,10 @@ fn ablation_metric(c: &mut Criterion) {
 /// reference (paper Sec. 2).
 fn classic_mcp(c: &mut Criterion) {
     let mut group = c.benchmark_group("classic_mcp");
-    group.sample_size(30).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_secs(1));
     for n in [10usize, 50, 100] {
         let sizes: Vec<usize> = (0..=n).map(|i| 50 + (i * 37) % 500).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &sizes, |b, sizes| {

@@ -15,7 +15,10 @@ fn fig8(c: &mut Criterion) {
     let registry = KernelRegistry::blas_lapack();
     let chains = bench_chains(3);
     let mut group = c.benchmark_group("fig8");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     for (ci, chain) in chains.iter().enumerate() {
         let programs = compile_all(chain, &registry).expect("computable");
         let env = Env::random_for_chain(chain, 42);

@@ -17,7 +17,10 @@ fn fig9(c: &mut Criterion) {
     let optimizer = GmcOptimizer::new(&registry, FlopCount);
     let chains = bench_chains(6);
     let mut group = c.benchmark_group("fig9_gmc_exec");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     for (ci, chain) in chains.iter().enumerate() {
         let program = optimizer.solve(chain).expect("computable").program();
         let env = Env::random_for_chain(chain, 42);

@@ -15,7 +15,10 @@ fn by_chain_length(c: &mut Criterion) {
     let registry = KernelRegistry::blas_lapack();
     let optimizer = GmcOptimizer::new(&registry, FlopCount);
     let mut group = c.benchmark_group("generation_time_by_length");
-    group.sample_size(30).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     for n in [3usize, 6, 10] {
         let ops: Vec<Operand> = (0..n)
             .map(|i| Operand::matrix(format!("M{i}"), 100 + 50 * i, 100 + 50 * (i + 1)))
@@ -33,7 +36,10 @@ fn paper_protocol(c: &mut Criterion) {
     let optimizer = GmcOptimizer::new(&registry, FlopCount);
     let chains = paper_scale_chains(20);
     let mut group = c.benchmark_group("generation_time_paper_chains");
-    group.sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     group.bench_function("20_random_chains", |b| {
         b.iter(|| {
             for chain in &chains {

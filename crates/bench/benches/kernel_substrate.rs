@@ -20,12 +20,25 @@ fn multiply_kernels(c: &mut Criterion) {
     let l = random::lower_triangular(&mut rng, N);
     let s = random::symmetric(&mut rng, N);
     let mut group = c.benchmark_group("table1_multiply_kernels");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     group.bench_function(BenchmarkId::new("gemm", N), |bch| {
         bch.iter(|| blas3::gemm(1.0, &a, false, &b, false))
     });
     group.bench_function(BenchmarkId::new("trmm", N), |bch| {
-        bch.iter(|| blas3::trmm(blas3::Side::Left, Triangle::Lower, false, false, 1.0, &l, &b))
+        bch.iter(|| {
+            blas3::trmm(
+                blas3::Side::Left,
+                Triangle::Lower,
+                false,
+                false,
+                1.0,
+                &l,
+                &b,
+            )
+        })
     });
     group.bench_function(BenchmarkId::new("symm", N), |bch| {
         bch.iter(|| blas3::symm(blas3::Side::Left, 1.0, &s, &b))
@@ -43,9 +56,22 @@ fn solve_kernels(c: &mut Criterion) {
     let l = random::lower_triangular(&mut rng, N);
     let b = random::general(&mut rng, N, 32);
     let mut group = c.benchmark_group("solver_hierarchy");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     group.bench_function(BenchmarkId::new("trsm", N), |bch| {
-        bch.iter(|| blas3::trsm(blas3::Side::Left, Triangle::Lower, false, false, 1.0, &l, &b))
+        bch.iter(|| {
+            blas3::trsm(
+                blas3::Side::Left,
+                Triangle::Lower,
+                false,
+                false,
+                1.0,
+                &l,
+                &b,
+            )
+        })
     });
     group.bench_function(BenchmarkId::new("posv", N), |bch| {
         bch.iter(|| lapack::posv(&spd, &b).expect("SPD"))
@@ -67,7 +93,10 @@ fn vector_kernels(c: &mut Criterion) {
     let a = random::general(&mut rng, N, N);
     let x = random::general(&mut rng, N, 1);
     let mut group = c.benchmark_group("vector_kernels");
-    group.sample_size(30).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_secs(1));
     group.bench_function(BenchmarkId::new("gemv", N), |bch| {
         bch.iter(|| gmc_linalg::blas2::gemv(1.0, &a, false, x.col(0)))
     });
@@ -82,7 +111,10 @@ fn factorizations(c: &mut Criterion) {
     let spd = random::spd(&mut rng, N);
     let gen = random::invertible(&mut rng, N);
     let mut group = c.benchmark_group("factorizations");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     group.bench_function(BenchmarkId::new("potrf", N), |bch| {
         bch.iter(|| {
             let mut m = spd.clone();

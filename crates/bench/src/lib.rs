@@ -4,8 +4,8 @@
 
 #![forbid(unsafe_code)]
 
-use gmc_expr::Chain;
 use gmc_experiments::generator::{random_chains, GeneratorConfig};
+use gmc_expr::Chain;
 
 /// A small, deterministic set of representative test chains at
 /// bench-friendly sizes.

@@ -91,13 +91,11 @@ impl Default for Options {
 /// assignments, optimizer failures, and (with `check`) validation
 /// failures.
 pub fn compile(input: &str, options: &Options) -> Result<String, String> {
-    let problem = gmc_frontend::parse(input)
-        .map_err(|e| gmc_frontend::render_error(input, &e))?;
+    let problem = gmc_frontend::parse(input).map_err(|e| gmc_frontend::render_error(input, &e))?;
     let registry = KernelRegistry::blas_lapack();
     let mut out = String::new();
     for (target, expr) in &problem.assignments {
-        let chain = Chain::from_expr(expr)
-            .map_err(|e| format!("assignment `{target}`: {e}"))?;
+        let chain = Chain::from_expr(expr).map_err(|e| format!("assignment `{target}`: {e}"))?;
         let (program, paren, cost_line) = match options.metric {
             Metric::Flops => {
                 let solution = GmcOptimizer::new(&registry, FlopCount)

@@ -89,8 +89,15 @@ impl Emitter for JuliaEmitter {
                     b,
                 } => {
                     let a_buf = buf(&buffer, a.name());
-                    let target =
-                        self.inplace_target(program, idx, b.name(), &dest, &a_buf, &mut buffer, &mut lines);
+                    let target = self.inplace_target(
+                        program,
+                        idx,
+                        b.name(),
+                        &dest,
+                        &a_buf,
+                        &mut buffer,
+                        &mut lines,
+                    );
                     lines.push(format!(
                         "trmm!('{}', '{}', '{}', 'N', 1.0, {}, {})",
                         side(*s),
@@ -124,7 +131,15 @@ impl Emitter for JuliaEmitter {
                         dest.clone()
                     } else {
                         let a_buf = buf(&buffer, a.name());
-                        self.inplace_target(program, idx, b.name(), &dest, &a_buf, &mut buffer, &mut lines)
+                        self.inplace_target(
+                            program,
+                            idx,
+                            b.name(),
+                            &dest,
+                            &a_buf,
+                            &mut buffer,
+                            &mut lines,
+                        )
                     };
                     lines.push(format!(
                         "trsm!('{}', '{}', '{}', 'N', 1.0, {}, {})",
@@ -157,7 +172,15 @@ impl Emitter for JuliaEmitter {
                         dest.clone()
                     } else {
                         let a_buf = buf(&buffer, a.name());
-                        self.inplace_target(program, idx, b.name(), &dest, &a_buf, &mut buffer, &mut lines)
+                        self.inplace_target(
+                            program,
+                            idx,
+                            b.name(),
+                            &dest,
+                            &a_buf,
+                            &mut buffer,
+                            &mut lines,
+                        )
                     };
                     // gesv! factorizes in place: protect A if live (or
                     // transposed).
@@ -202,7 +225,15 @@ impl Emitter for JuliaEmitter {
                         dest.clone()
                     } else {
                         let a_buf = buf(&buffer, a.name());
-                        self.inplace_target(program, idx, b.name(), &dest, &a_buf, &mut buffer, &mut lines)
+                        self.inplace_target(
+                            program,
+                            idx,
+                            b.name(),
+                            &dest,
+                            &a_buf,
+                            &mut buffer,
+                            &mut lines,
+                        )
                     };
                     let a_name = buf(&buffer, a.name());
                     let a_expr = if program.live_after(idx, a.name()) {
@@ -247,7 +278,12 @@ impl Emitter for JuliaEmitter {
                         buf(&buffer, x.name())
                     ));
                 }
-                KernelOp::Trmv { uplo: u, trans, a, x } => {
+                KernelOp::Trmv {
+                    uplo: u,
+                    trans,
+                    a,
+                    x,
+                } => {
                     lines.push(format!(
                         "{dest} = BLAS.trmv('{}', '{}', 'N', {}, {})",
                         uplo(*u),
@@ -263,7 +299,12 @@ impl Emitter for JuliaEmitter {
                         buf(&buffer, x.name())
                     ));
                 }
-                KernelOp::Trsv { uplo: u, trans, a, x } => {
+                KernelOp::Trsv {
+                    uplo: u,
+                    trans,
+                    a,
+                    x,
+                } => {
                     lines.push(format!(
                         "{dest} = BLAS.trsv('{}', '{}', 'N', {}, {})",
                         uplo(*u),
@@ -331,6 +372,7 @@ impl Emitter for JuliaEmitter {
 impl JuliaEmitter {
     /// Picks the buffer an in-place kernel writes to: the right-hand
     /// side's current buffer if dead, otherwise a fresh copy.
+    #[allow(clippy::too_many_arguments)] // mirrors the BLAS call it emits
     fn inplace_target(
         &self,
         program: &Program,
@@ -464,11 +506,7 @@ posv!('L', A, B)
         let t0 = Operand::temporary("T0", Shape::col_vector(3), PropertySet::new());
         let program = Program::new(vec![Instruction::new(
             t0,
-            KernelOp::Gemv {
-                trans: false,
-                a,
-                x,
-            },
+            KernelOp::Gemv { trans: false, a, x },
         )]);
         let code = JuliaEmitter::default().emit(&program);
         assert!(code.contains("T0 = BLAS.gemv('N', 1.0, A, x)"));

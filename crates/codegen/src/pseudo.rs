@@ -77,7 +77,11 @@ pub fn math_form(op: &KernelOp) -> String {
             }
         }
         KernelOp::Diag {
-            side, inv, tb, d, b,
+            side,
+            inv,
+            tb,
+            d,
+            b,
         } => {
             let dd = if *inv {
                 format!("{}^-1", d.name())

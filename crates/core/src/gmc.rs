@@ -295,7 +295,14 @@ impl<'r, M: CostMetric> GmcOptimizer<'r, M> {
             });
         }
         let mut steps = Vec::with_capacity(n - 1);
-        construct_solution(0, n - 1, &memo.splits, &memo.chosen, &memo.exprs, &mut steps);
+        construct_solution(
+            0,
+            n - 1,
+            &memo.splits,
+            &memo.chosen,
+            &memo.exprs,
+            &mut steps,
+        );
         let total_cost = memo.costs[0][n - 1].clone().expect("checked above");
         let total_flops = steps.iter().map(|s: &Step<M::Cost>| s.op.flops()).sum();
         let paren = parenthesization(chain, 0, n - 1, &memo.splits);
@@ -412,7 +419,9 @@ fn construct_solution<C: Cost>(
     let k = splits[i][j];
     construct_solution(i, k, splits, chosen, exprs, out);
     construct_solution(k + 1, j, splits, chosen, exprs, out);
-    let ck = chosen[i][j].as_ref().expect("solution entries are complete");
+    let ck = chosen[i][j]
+        .as_ref()
+        .expect("solution entries are complete");
     let dest = match exprs[i][j].as_ref().expect("solution entries are complete") {
         Expr::Symbol(op) => op.clone(),
         other => unreachable!("temporary must be a symbol, got {other}"),
@@ -528,7 +537,9 @@ mod tests {
     fn completeness_inverse_pair_via_two_solves() {
         // Paper Sec. 3.4: X := A⁻¹B⁻¹C with no kernel for X⁻¹Y⁻¹ is
         // still computable as A⁻¹(B⁻¹C).
-        let registry = KernelRegistry::builder().without_composite_inverse().build();
+        let registry = KernelRegistry::builder()
+            .without_composite_inverse()
+            .build();
         let gmc = GmcOptimizer::new(&registry, FlopCount);
         let a = Operand::square("A", 100);
         let b = Operand::square("B", 100);
@@ -605,7 +616,9 @@ mod tests {
         let b = Operand::matrix("B", 40, 300);
         let c = Operand::matrix("C", 300, 40);
         let chain = chain_of(&(a.expr() * b.expr() * c.expr()));
-        let flops_sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+        let flops_sol = GmcOptimizer::new(&registry, FlopCount)
+            .solve(&chain)
+            .unwrap();
         let time_sol = GmcOptimizer::new(&registry, TimeModel::default())
             .solve(&chain)
             .unwrap();
@@ -641,7 +654,9 @@ mod tests {
             .solve(&chain)
             .unwrap();
         // Deep mode must not be worse.
-        let comp = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+        let comp = GmcOptimizer::new(&registry, FlopCount)
+            .solve(&chain)
+            .unwrap();
         assert!(deep.flops() <= comp.flops());
     }
 
@@ -669,7 +684,7 @@ mod tests {
         for _ in 0..30 {
             // Random square chain with random ops and properties.
             let n = rng.gen_range(2..=7);
-            let dim = rng.gen_range(2..=6) * 10;
+            let dim = rng.gen_range(2..=6usize) * 10;
             let factors: Vec<Factor> = (0..n)
                 .map(|i| {
                     let mut op = Operand::square(format!("M{i}"), dim);
@@ -680,7 +695,7 @@ mod tests {
                             Property::UpperTriangular,
                             Property::Symmetric,
                             Property::SymmetricPositiveDefinite,
-                        ][rng.gen_range(0..5)];
+                        ][rng.gen_range(0..5usize)];
                         op = op.with_property(p);
                     }
                     let u = [
@@ -688,7 +703,7 @@ mod tests {
                         UnaryOp::Transpose,
                         UnaryOp::Inverse,
                         UnaryOp::InverseTranspose,
-                    ][rng.gen_range(0..4)];
+                    ][rng.gen_range(0..4usize)];
                     Factor::new(op, u)
                 })
                 .collect();

@@ -216,7 +216,7 @@ mod tests {
         let sol = matrix_chain_order(&[10, 100, 5, 50, 1]);
         let order = sol.order();
         assert_eq!(order.len(), 3); // n-1 products for n factors
-        // The final entry must be the full chain.
+                                    // The final entry must be the full chain.
         assert_eq!(order.last().unwrap().0, 0);
         assert_eq!(order.last().unwrap().1, 3);
         // Every sub-product must appear before a product that contains it.

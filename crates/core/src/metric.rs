@@ -49,11 +49,7 @@ pub struct Lex2(pub f64, pub f64);
 
 impl PartialOrd for Lex2 {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(
-            self.0
-                .total_cmp(&other.0)
-                .then(self.1.total_cmp(&other.1)),
-        )
+        Some(self.0.total_cmp(&other.0).then(self.1.total_cmp(&other.1)))
     }
 }
 

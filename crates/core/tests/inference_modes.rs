@@ -1,0 +1,101 @@
+//! Compositional vs. Deep [`InferenceMode`] on the symmetry-loss
+//! example `(AᵀB)(BᵀA)` from the optimizer's own test suite (see
+//! `deep_inference_recovers_split_dependent_properties` in
+//! `src/gmc.rs` and DESIGN ablation #1).
+//!
+//! The point of the example: with `X := BᵀA` the chain is `Xᵀ·X`, so
+//! the *whole* product is symmetric (indeed SPD for full-rank inputs) —
+//! but no split of the chain exposes that to compositional inference,
+//! because the two halves `AᵀB` and `BᵀA` carry no properties of their
+//! own. Only re-deriving properties from the fully unfolded sub-chain
+//! (`InferenceMode::Deep`) recovers it.
+
+use gmc::{FlopCount, GmcOptimizer, InferenceMode};
+use gmc_analysis::infer_properties;
+use gmc_expr::{Chain, Expr, Operand, Property};
+use gmc_kernels::KernelRegistry;
+
+fn symmetry_loss_chain() -> (Operand, Operand, Chain) {
+    let a = Operand::matrix("A", 60, 4);
+    let b = Operand::matrix("B", 60, 4);
+    let chain = Chain::from_expr(&(a.transpose() * b.expr() * b.transpose() * a.expr()))
+        .expect("well-formed chain");
+    (a, b, chain)
+}
+
+/// The analysis engine itself sees the palindrome when given the whole
+/// expression — this is exactly what Deep mode feeds it.
+#[test]
+fn unfolded_expression_is_inferred_symmetric() {
+    let (a, b, _) = symmetry_loss_chain();
+    let full = Expr::times(vec![a.transpose(), b.expr(), b.transpose(), a.expr()]);
+    let props = infer_properties(&full);
+    assert!(
+        props.contains(Property::Symmetric),
+        "deep inference input (AᵀB)(BᵀA) must be recognized as symmetric, got {props}"
+    );
+}
+
+/// Compositional inference on the binary product of the halves — what
+/// the paper's Fig. 4 line 10 sees after the `(AᵀB)·(BᵀA)` split —
+/// cannot recover the symmetry, because each half is an unstructured
+/// temporary.
+#[test]
+fn split_product_of_temporaries_loses_symmetry() {
+    let (a, b, _) = symmetry_loss_chain();
+    let left = Expr::times(vec![a.transpose(), b.expr()]);
+    let right = Expr::times(vec![b.transpose(), a.expr()]);
+    let left_props = infer_properties(&left);
+    let right_props = infer_properties(&right);
+    // Neither half has properties of its own...
+    assert!(left_props.is_empty());
+    assert!(right_props.is_empty());
+    // ...so the temporaries standing in for them are bare operands
+    // (both half-products are 4×4), and the composed product is not
+    // inferred symmetric.
+    let t_left = Operand::square("T0", 4).with_properties(left_props.iter());
+    let t_right = Operand::square("T1", 4).with_properties(right_props.iter());
+    let product = t_left.expr() * t_right.expr();
+    assert!(
+        !infer_properties(&product).contains(Property::Symmetric),
+        "compositional inference should NOT see the split-dependent symmetry"
+    );
+}
+
+/// End to end: Deep mode annotates the optimizer's result temporary
+/// with the recovered symmetry, Compositional does not, and Deep never
+/// produces a costlier solution.
+#[test]
+fn deep_mode_recovers_what_compositional_loses() {
+    let (_, _, chain) = symmetry_loss_chain();
+    let registry = KernelRegistry::blas_lapack();
+    let comp = GmcOptimizer::new(&registry, FlopCount)
+        .with_inference(InferenceMode::Compositional)
+        .solve(&chain)
+        .expect("computable");
+    let deep = GmcOptimizer::new(&registry, FlopCount)
+        .with_inference(InferenceMode::Deep)
+        .solve(&chain)
+        .expect("computable");
+
+    let comp_result = &comp.steps().last().expect("nonempty program").dest;
+    let deep_result = &deep.steps().last().expect("nonempty program").dest;
+    assert!(
+        !comp_result.properties().contains(Property::Symmetric),
+        "compositional mode unexpectedly recovered symmetry on {comp_result}"
+    );
+    assert!(
+        deep_result.properties().contains(Property::Symmetric),
+        "deep mode must annotate the (AᵀB)(BᵀA) result as symmetric"
+    );
+    assert!(
+        deep.flops() <= comp.flops(),
+        "deep mode must never cost more"
+    );
+}
+
+/// Compositional is the paper's semantics and the default.
+#[test]
+fn compositional_is_the_default_mode() {
+    assert_eq!(InferenceMode::default(), InferenceMode::Compositional);
+}

@@ -33,12 +33,20 @@ fn main() {
 
     // GMC with the FLOP metric vs. the time model.
     let ops: Vec<Operand> = (0..5)
-        .map(|i| Operand::matrix(format!("{}", (b'A' + i as u8) as char), sizes[i], sizes[i + 1]))
+        .map(|i| {
+            Operand::matrix(
+                format!("{}", (b'A' + i as u8) as char),
+                sizes[i],
+                sizes[i + 1],
+            )
+        })
         .collect();
     let chain = Chain::new(ops.into_iter().map(Factor::plain).collect()).unwrap();
     let registry = KernelRegistry::blas_lapack();
 
-    let by_flops = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+    let by_flops = GmcOptimizer::new(&registry, FlopCount)
+        .solve(&chain)
+        .unwrap();
     println!(
         "GMC (flops metric): {}  -> {:.3e} flops",
         by_flops.parenthesization(),

@@ -15,7 +15,10 @@ fn main() {
         return;
     }
     println!("== Table 1: examples of patterns for BLAS kernels ==\n");
-    println!("{:<14} {:<22} {:<28} cost", "Name", "Pattern", "Constraints");
+    println!(
+        "{:<14} {:<22} {:<28} cost",
+        "Name", "Pattern", "Constraints"
+    );
     // The rows the paper shows, by kernel name.
     let rows = ["GEMM_NN", "TRMM_LLN", "SYMM_LN", "TRSM_LLN", "SYRK_T"];
     for name in rows {
@@ -41,7 +44,13 @@ fn main() {
             gmc_kernels::KernelFamily::Syrk => "m^2 k",
             _ => "?",
         };
-        println!("{:<14} {:<22} {:<28} {}", k.name(), k.pattern().to_string(), constraints, cost);
+        println!(
+            "{:<14} {:<22} {:<28} {}",
+            k.name(),
+            k.pattern().to_string(),
+            constraints,
+            cost
+        );
     }
     println!(
         "\nfull registry: {} kernels across {} families",

@@ -5,8 +5,8 @@
 use gmc::{FlopCount, GmcOptimizer};
 use gmc_baselines::{all_strategies, Strategy};
 use gmc_codegen::{Emitter, JuliaEmitter, PseudoEmitter};
-use gmc_expr::{Chain, Operand, Property};
 use gmc_experiments::args;
+use gmc_expr::{Chain, Operand, Property};
 use gmc_kernels::KernelRegistry;
 
 fn main() {
@@ -15,8 +15,8 @@ fn main() {
     let a = Operand::square("A", n).with_property(Property::SymmetricPositiveDefinite);
     let b = Operand::matrix("B", n, m);
     let c = Operand::square("C", m).with_property(Property::LowerTriangular);
-    let chain = Chain::from_expr(&(a.inverse() * b.expr() * c.transpose()))
-        .expect("well-formed chain");
+    let chain =
+        Chain::from_expr(&(a.inverse() * b.expr() * c.transpose())).expect("well-formed chain");
 
     println!("== Table 2: implementations of A^-1 B C^T ==");
     println!("A: {n}x{n} SPD, B: {n}x{m}, C: {m}x{m} lower triangular\n");

@@ -143,7 +143,12 @@ impl ChainSpec {
                         UnaryOp::InverseTranspose => "-T",
                     }
                     .to_owned(),
-                    properties: f.operand().properties().iter().map(|p| p.name().to_owned()).collect(),
+                    properties: f
+                        .operand()
+                        .properties()
+                        .iter()
+                        .map(|p| p.name().to_owned())
+                        .collect(),
                 })
                 .collect(),
         }
@@ -274,9 +279,11 @@ mod tests {
         let any_transpose = chains
             .iter()
             .any(|c| c.factors().iter().any(|f| f.op().is_transposed()));
-        let any_property = chains
-            .iter()
-            .any(|c| c.factors().iter().any(|f| !f.operand().properties().is_empty()));
+        let any_property = chains.iter().any(|c| {
+            c.factors()
+                .iter()
+                .any(|f| !f.operand().properties().is_empty())
+        });
         let any_vector = chains
             .iter()
             .any(|c| c.factors().iter().any(|f| f.operand().shape().is_vector()));

@@ -33,7 +33,9 @@ pub fn measure_generation_time(chains: &[Chain], registry: &KernelRegistry) -> G
     let mut times = Vec::with_capacity(chains.len());
     for chain in chains {
         let start = Instant::now();
-        let solution = optimizer.solve(chain).expect("full registry computes all chains");
+        let solution = optimizer
+            .solve(chain)
+            .expect("full registry computes all chains");
         let elapsed = start.elapsed().as_secs_f64();
         // Keep the solution alive so the optimizer cannot be optimized
         // away.

@@ -101,7 +101,10 @@ impl ChainMeasurement {
 
     /// The minimum cost over all implementations.
     pub fn best(&self) -> f64 {
-        self.costs.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min)
+        self.costs
+            .iter()
+            .map(|(_, c)| *c)
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -225,10 +228,7 @@ pub fn fig9_stats(results: &[ChainMeasurement]) -> Fig9Stats {
         .iter()
         .map(|r| r.gmc() / r.best())
         .fold(0.0, f64::max);
-    let beat10 = results
-        .iter()
-        .filter(|r| r.best() < r.gmc() / 1.1)
-        .count() as f64;
+    let beat10 = results.iter().filter(|r| r.best() < r.gmc() / 1.1).count() as f64;
     let labels: Vec<String> = results
         .first()
         .map(|r| r.costs.iter().skip(1).map(|(l, _)| l.clone()).collect())

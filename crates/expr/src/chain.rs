@@ -186,9 +186,7 @@ impl Chain {
     /// * [`ExprError::ShapeMismatch`] if adjacent dimensions do not agree.
     pub fn new(factors: Vec<Factor>) -> Result<Self, ExprError> {
         if factors.len() < 2 {
-            return Err(ExprError::ChainTooShort {
-                len: factors.len(),
-            });
+            return Err(ExprError::ChainTooShort { len: factors.len() });
         }
         for f in &factors {
             if f.op().is_inverted() && !f.operand().shape().is_square() {
@@ -203,7 +201,13 @@ impl Chain {
             shape = shape.times(s).ok_or_else(|| ExprError::ShapeMismatch {
                 left: shape,
                 right: s,
-                context: format!("factor {} ({}) times factor {} ({})", i - 1, factors[i - 1], i, f),
+                context: format!(
+                    "factor {} ({}) times factor {} ({})",
+                    i - 1,
+                    factors[i - 1],
+                    i,
+                    f
+                ),
             })?;
         }
         Ok(Chain { factors, shape })
@@ -301,7 +305,10 @@ impl Chain {
     /// Panics if `i > j` or `j >= self.len()`.
     pub fn sub_shape(&self, i: usize, j: usize) -> Shape {
         assert!(i <= j && j < self.factors.len(), "invalid sub-chain range");
-        Shape::new(self.factors[i].shape().rows(), self.factors[j].shape().cols())
+        Shape::new(
+            self.factors[i].shape().rows(),
+            self.factors[j].shape().cols(),
+        )
     }
 
     /// The classic MCP size array `sizes[0..=n]` where factor `i` has
@@ -322,9 +329,9 @@ impl Chain {
     /// properties — i.e. whether this instance exercises the *generalized*
     /// problem rather than the classic MCP.
     pub fn is_generalized(&self) -> bool {
-        self.factors.iter().any(|f| {
-            f.op() != UnaryOp::None || !f.operand().properties().is_empty()
-        })
+        self.factors
+            .iter()
+            .any(|f| f.op() != UnaryOp::None || !f.operand().properties().is_empty())
     }
 
     /// Converts back to an [`Expr`] (a flat product).

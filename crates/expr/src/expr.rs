@@ -291,9 +291,7 @@ impl Expr {
         match self {
             Expr::Symbol(_) => 1,
             Expr::Times(es) | Expr::Plus(es) => 1 + es.iter().map(Expr::node_count).sum::<usize>(),
-            Expr::Transpose(e) | Expr::Inverse(e) | Expr::InverseTranspose(e) => {
-                1 + e.node_count()
-            }
+            Expr::Transpose(e) | Expr::Inverse(e) | Expr::InverseTranspose(e) => 1 + e.node_count(),
         }
     }
 
@@ -416,10 +414,7 @@ mod tests {
         let b = Operand::matrix("B", 3, 5).expr();
         assert_eq!((a.clone() * b).shape().unwrap(), Shape::new(2, 5));
         let bad = a * Operand::matrix("C", 4, 4).expr();
-        assert!(matches!(
-            bad.shape(),
-            Err(ExprError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(bad.shape(), Err(ExprError::ShapeMismatch { .. })));
     }
 
     #[test]
@@ -428,7 +423,10 @@ mod tests {
         let b = Operand::matrix("B", 2, 3).expr();
         assert_eq!((a.clone() + b).shape().unwrap(), Shape::new(2, 3));
         let bad = a + Operand::matrix("C", 3, 2).expr();
-        assert!(matches!(bad.shape(), Err(ExprError::SumShapeMismatch { .. })));
+        assert!(matches!(
+            bad.shape(),
+            Err(ExprError::SumShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -319,10 +319,7 @@ mod tests {
 
     #[test]
     fn tick_shorthand() {
-        assert_eq!(
-            kinds("A'"),
-            vec![Tok::Ident("A".into()), Tok::Tick]
-        );
+        assert_eq!(kinds("A'"), vec![Tok::Ident("A".into()), Tok::Tick]);
     }
 
     #[test]

@@ -383,10 +383,7 @@ X := A^-1 * B * C^T
 
     #[test]
     fn multiple_assignments() {
-        let p = parse(
-            "Matrix A (5, 5)\nMatrix B (5, 5)\nX := A * B\nY := B * A",
-        )
-        .unwrap();
+        let p = parse("Matrix A (5, 5)\nMatrix B (5, 5)\nX := A * B\nY := B * A").unwrap();
         assert_eq!(p.assignments.len(), 2);
     }
 

@@ -23,7 +23,7 @@ impl Constraint {
     /// Unbound variables fail the constraint (a match that did not bind
     /// the variable cannot satisfy a condition on it).
     pub fn check(&self, bindings: &Bindings) -> bool {
-        fn bound<'b>(bindings: &'b Bindings, v: Var) -> Option<&'b Operand> {
+        fn bound(bindings: &Bindings, v: Var) -> Option<&Operand> {
             bindings.get(v)
         }
         match self {

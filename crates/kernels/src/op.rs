@@ -331,7 +331,11 @@ impl KernelOp {
             | KernelOp::Diag { tb, b, .. }
             | KernelOp::Gesv { tb, b, .. } => apply_t(*tb, b.shape()),
             KernelOp::Syrk { trans, a } => {
-                let n = if *trans { a.shape().cols() } else { a.shape().rows() };
+                let n = if *trans {
+                    a.shape().cols()
+                } else {
+                    a.shape().rows()
+                };
                 Shape::square(n)
             }
             KernelOp::Gemv { trans, a, .. } => {
@@ -557,16 +561,40 @@ impl fmt::Display for KernelOp {
                 b,
                 if *tb { "'" } else { "" }
             ),
-            KernelOp::Diag { side: s, inv, tb, d, b } => {
+            KernelOp::Diag {
+                side: s,
+                inv,
+                tb,
+                d,
+                b,
+            } => {
                 let op = if *inv { "dgsv" } else { "dgmm" };
-                write!(f, "{}('{}', {}, {}{})", op, side(*s), d, b, if *tb { "'" } else { "" })
+                write!(
+                    f,
+                    "{}('{}', {}, {}{})",
+                    op,
+                    side(*s),
+                    d,
+                    b,
+                    if *tb { "'" } else { "" }
+                )
             }
             KernelOp::Gemv { trans, a, x } => write!(f, "gemv('{}', {}, {})", t(*trans), a, x),
-            KernelOp::Trmv { uplo: u, trans, a, x } => {
+            KernelOp::Trmv {
+                uplo: u,
+                trans,
+                a,
+                x,
+            } => {
                 write!(f, "trmv('{}', '{}', {}, {})", uplo(*u), t(*trans), a, x)
             }
             KernelOp::Symv { a, x } => write!(f, "symv({a}, {x})"),
-            KernelOp::Trsv { uplo: u, trans, a, x } => {
+            KernelOp::Trsv {
+                uplo: u,
+                trans,
+                a,
+                x,
+            } => {
                 write!(f, "trsv('{}', '{}', {}, {})", uplo(*u), t(*trans), a, x)
             }
             KernelOp::Ger { x, y } => write!(f, "ger({x}, {y})"),

@@ -51,7 +51,10 @@ impl KernelRegistry {
     /// A registry containing only the plain `GEMM_NN` kernel — the
     /// classic matrix chain problem setting (paper Sec. 2).
     pub fn mcp_only() -> Self {
-        RegistryBuilder::default().only_families([KernelFamily::Gemm]).without_transposed_gemm().build()
+        RegistryBuilder::default()
+            .only_families([KernelFamily::Gemm])
+            .without_transposed_gemm()
+            .build()
     }
 
     /// Starts building a customized registry.
@@ -223,8 +226,22 @@ impl RegistryBuilder {
                 &[(false, false), (true, false), (false, true), (true, true)]
             };
             for &(ta, tb) in variants {
-                let lp = fp(X, if ta { UnaryOp::Transpose } else { UnaryOp::None });
-                let rp = fp(Y, if tb { UnaryOp::Transpose } else { UnaryOp::None });
+                let lp = fp(
+                    X,
+                    if ta {
+                        UnaryOp::Transpose
+                    } else {
+                        UnaryOp::None
+                    },
+                );
+                let rp = fp(
+                    Y,
+                    if tb {
+                        UnaryOp::Transpose
+                    } else {
+                        UnaryOp::None
+                    },
+                );
                 kernels.push(Kernel::new(
                     format!("GEMM_{}{}", tname(ta), tname(tb)),
                     KernelFamily::Gemm,
@@ -249,7 +266,11 @@ impl RegistryBuilder {
                     (Uplo::Upper, Property::UpperTriangular),
                 ] {
                     for trans in [false, true] {
-                        let xop = if trans { UnaryOp::Transpose } else { UnaryOp::None };
+                        let xop = if trans {
+                            UnaryOp::Transpose
+                        } else {
+                            UnaryOp::None
+                        };
                         let pattern = match side {
                             Side::Left => Pattern::times2(fp(X, xop), fp(Y, UnaryOp::None)),
                             Side::Right => Pattern::times2(fp(Y, UnaryOp::None), fp(X, xop)),
@@ -279,7 +300,11 @@ impl RegistryBuilder {
         if self.wants(KernelFamily::Symm) {
             for side in [Side::Left, Side::Right] {
                 for trans in [false, true] {
-                    let xop = if trans { UnaryOp::Transpose } else { UnaryOp::None };
+                    let xop = if trans {
+                        UnaryOp::Transpose
+                    } else {
+                        UnaryOp::None
+                    };
                     let pattern = match side {
                         Side::Left => Pattern::times2(fp(X, xop), fp(Y, UnaryOp::None)),
                         Side::Right => Pattern::times2(fp(Y, UnaryOp::None), fp(X, xop)),
@@ -315,7 +340,11 @@ impl RegistryBuilder {
                             } else {
                                 UnaryOp::Inverse
                             };
-                            let yop = if tb { UnaryOp::Transpose } else { UnaryOp::None };
+                            let yop = if tb {
+                                UnaryOp::Transpose
+                            } else {
+                                UnaryOp::None
+                            };
                             let pattern = match side {
                                 Side::Left => Pattern::times2(fp(X, xop), fp(Y, yop)),
                                 Side::Right => Pattern::times2(fp(Y, yop), fp(X, xop)),
@@ -380,7 +409,11 @@ impl RegistryBuilder {
                         } else {
                             UnaryOp::Inverse
                         };
-                        let yop = if tb { UnaryOp::Transpose } else { UnaryOp::None };
+                        let yop = if tb {
+                            UnaryOp::Transpose
+                        } else {
+                            UnaryOp::None
+                        };
                         let pattern = match side {
                             Side::Left => Pattern::times2(fp(X, xop), fp(Y, yop)),
                             Side::Right => Pattern::times2(fp(Y, yop), fp(X, xop)),
@@ -416,7 +449,11 @@ impl RegistryBuilder {
                         } else {
                             UnaryOp::Inverse
                         };
-                        let yop = if tb { UnaryOp::Transpose } else { UnaryOp::None };
+                        let yop = if tb {
+                            UnaryOp::Transpose
+                        } else {
+                            UnaryOp::None
+                        };
                         let pattern = match side {
                             Side::Left => Pattern::times2(fp(X, xop), fp(Y, yop)),
                             Side::Right => Pattern::times2(fp(Y, yop), fp(X, xop)),
@@ -450,7 +487,11 @@ impl RegistryBuilder {
                 ] {
                     for xop in ops {
                         for tb in [false, true] {
-                            let yop = if tb { UnaryOp::Transpose } else { UnaryOp::None };
+                            let yop = if tb {
+                                UnaryOp::Transpose
+                            } else {
+                                UnaryOp::None
+                            };
                             let pattern = match side {
                                 Side::Left => Pattern::times2(fp(X, xop), fp(Y, yop)),
                                 Side::Right => Pattern::times2(fp(Y, yop), fp(X, xop)),
@@ -481,7 +522,11 @@ impl RegistryBuilder {
         // ---- BLAS 2: matrix-vector kernels. ----------------------------
         if self.wants(KernelFamily::Gemv) {
             for trans in [false, true] {
-                let xop = if trans { UnaryOp::Transpose } else { UnaryOp::None };
+                let xop = if trans {
+                    UnaryOp::Transpose
+                } else {
+                    UnaryOp::None
+                };
                 kernels.push(Kernel::new(
                     format!("GEMV_{}", tname(trans)),
                     KernelFamily::Gemv,
@@ -502,7 +547,11 @@ impl RegistryBuilder {
                 (Uplo::Upper, Property::UpperTriangular),
             ] {
                 for trans in [false, true] {
-                    let xop = if trans { UnaryOp::Transpose } else { UnaryOp::None };
+                    let xop = if trans {
+                        UnaryOp::Transpose
+                    } else {
+                        UnaryOp::None
+                    };
                     let u = if uplo == Uplo::Lower { "L" } else { "U" };
                     kernels.push(Kernel::new(
                         format!("TRMV_{}{}", u, tname(trans)),
@@ -522,7 +571,11 @@ impl RegistryBuilder {
         }
         if self.wants(KernelFamily::Symv) {
             for trans in [false, true] {
-                let xop = if trans { UnaryOp::Transpose } else { UnaryOp::None };
+                let xop = if trans {
+                    UnaryOp::Transpose
+                } else {
+                    UnaryOp::None
+                };
                 kernels.push(Kernel::new(
                     format!("SYMV_{}", tname(trans)),
                     KernelFamily::Symv,
@@ -723,7 +776,9 @@ mod tests {
         let best = r.best_by_flops(&(a.inverse() * b.expr())).unwrap();
         assert_eq!(best.kernel.name(), "GESV_LN");
         // A transposed right-hand side selects the _TB variant.
-        let best = r.best_by_flops(&(b.transpose() * a.inverse_transpose())).unwrap();
+        let best = r
+            .best_by_flops(&(b.transpose() * a.inverse_transpose()))
+            .unwrap();
         assert_eq!(best.kernel.name(), "GESV_RT_TB");
     }
 
@@ -802,7 +857,9 @@ mod tests {
         let e = a.inverse() * b.inverse();
         assert!(!full.match_expr(&e).is_empty());
 
-        let strict = KernelRegistry::builder().without_composite_inverse().build();
+        let strict = KernelRegistry::builder()
+            .without_composite_inverse()
+            .build();
         assert!(strict.match_expr(&e).is_empty());
     }
 

@@ -190,7 +190,10 @@ impl Matrix {
     /// Panics if the indices are equal or out of bounds.
     pub fn cols_mut2(&mut self, j1: usize, j2: usize) -> (&mut [f64], &mut [f64]) {
         assert!(j1 != j2, "column indices must differ");
-        assert!(j1 < self.cols && j2 < self.cols, "column index out of bounds");
+        assert!(
+            j1 < self.cols && j2 < self.cols,
+            "column index out of bounds"
+        );
         let r = self.rows;
         if j1 < j2 {
             let (a, b) = self.data.split_at_mut(j2 * r);
@@ -307,7 +310,9 @@ impl Matrix {
 
     /// Extracts the main diagonal.
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 }
 

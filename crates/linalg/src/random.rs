@@ -99,9 +99,8 @@ pub fn orthogonal(rng: &mut impl Rng, n: usize) -> Matrix {
         }
         // Q := (I - 2vvᵀ)·Q, i.e. subtract 2·v·(vᵀQ).
         let vt_q = crate::blas2::gemv(1.0, &q, true, &v);
-        for j in 0..n {
-            let f = 2.0 * vt_q[j];
-            crate::blas1::axpy(-f, &v, q.col_mut(j));
+        for (j, &vq) in vt_q.iter().enumerate() {
+            crate::blas1::axpy(-2.0 * vq, &v, q.col_mut(j));
         }
     }
     q

@@ -305,7 +305,10 @@ mod tests {
     #[test]
     fn many_to_one_returns_all() {
         let mut net = DiscriminationNet::new();
-        net.insert(Pattern::times2(Pattern::var(x()), Pattern::var(y())), "general");
+        net.insert(
+            Pattern::times2(Pattern::var(x()), Pattern::var(y())),
+            "general",
+        );
         net.insert(
             Pattern::times2(Pattern::var(x()), Pattern::var(x())),
             "squared",

@@ -152,8 +152,9 @@ mod tests {
 
     #[test]
     fn materialize_honors_properties() {
+        type Check = (Operand, Box<dyn Fn(&Matrix) -> bool>);
         let mut rng = StdRng::seed_from_u64(1);
-        let checks: Vec<(Operand, Box<dyn Fn(&Matrix) -> bool>)> = vec![
+        let checks: Vec<Check> = vec![
             (
                 Operand::square("I", 5).with_property(Property::Identity),
                 Box::new(|m: &Matrix| m == &Matrix::identity(5)),

@@ -43,9 +43,7 @@ pub fn execute_op(op: &KernelOp, env: &Env) -> Result<Matrix, RuntimeError> {
         })
     };
     let out = match op {
-        KernelOp::Gemm { ta, tb, a, b } => {
-            ops::gemm(fetch(a.name())?, *ta, fetch(b.name())?, *tb)
-        }
+        KernelOp::Gemm { ta, tb, a, b } => ops::gemm(fetch(a.name())?, *ta, fetch(b.name())?, *tb),
         KernelOp::Trmm {
             side,
             uplo,
@@ -118,11 +116,11 @@ pub fn execute_op(op: &KernelOp, env: &Env) -> Result<Matrix, RuntimeError> {
 pub fn reference_eval(chain: &Chain, env: &Env) -> Result<Matrix, RuntimeError> {
     let mut acc: Option<Matrix> = None;
     for factor in chain.factors() {
-        let base = env
-            .get(factor.operand().name())
-            .ok_or_else(|| RuntimeError::MissingOperand {
-                name: factor.operand().name().to_owned(),
-            })?;
+        let base =
+            env.get(factor.operand().name())
+                .ok_or_else(|| RuntimeError::MissingOperand {
+                    name: factor.operand().name().to_owned(),
+                })?;
         let value = match factor.op() {
             UnaryOp::None => base.clone(),
             UnaryOp::Transpose => base.transposed(),

@@ -49,11 +49,11 @@ mod measure;
 pub mod ops;
 
 pub use env::{materialize, Env};
-pub use measure::MeasuredMetric;
 pub use exec::{
     execute, execute_op, reference_eval, time_program, time_program_best_of,
     validate_against_reference,
 };
+pub use measure::MeasuredMetric;
 
 use gmc_linalg::LinalgError;
 use std::fmt;

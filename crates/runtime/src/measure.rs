@@ -66,7 +66,9 @@ fn signature(op: &KernelOp) -> String {
         }
         KernelOp::Inv { kind, trans, .. } => sig.push_str(&format!("{kind:?}{trans}")),
         KernelOp::InvPair { ta, tb, .. } => sig.push_str(&format!("{ta}{tb}")),
-        KernelOp::Symv { .. } | KernelOp::Ger { .. } | KernelOp::Dot { .. }
+        KernelOp::Symv { .. }
+        | KernelOp::Ger { .. }
+        | KernelOp::Dot { .. }
         | KernelOp::Copy { .. } => {}
     }
     sig
@@ -211,7 +213,9 @@ mod tests {
         crate::validate_against_reference(&measured.program(), &chain, &env, 1e-6).unwrap();
         // ...and at this size the FLOP-optimal choice (TRSM) should
         // also be measured-optimal or at least computable.
-        let flops = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+        let flops = GmcOptimizer::new(&registry, FlopCount)
+            .solve(&chain)
+            .unwrap();
         assert!(measured.flops() <= flops.flops() * 4.0);
     }
 

@@ -293,10 +293,7 @@ mod tests {
         let a = random::invertible(&mut r, 5);
         let b = random::invertible(&mut r, 5);
         let got = inv_pair(false, false, &a, &b).unwrap();
-        let want = gemm_ref(
-            &lapack::getri(&a).unwrap(),
-            &lapack::getri(&b).unwrap(),
-        );
+        let want = gemm_ref(&lapack::getri(&a).unwrap(), &lapack::getri(&b).unwrap());
         assert!(got.approx_eq(&want, 1e-6));
         // With transposes.
         let got = inv_pair(true, true, &a, &b).unwrap();

@@ -46,9 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = execute(&solution.program(), &mut exec_env)?;
     let exact = result.is_symmetric(0.0);
     let fuzzy = result.is_symmetric(1e-8);
-    println!(
-        "\nnumeric check: exactly symmetric: {exact}; symmetric within 1e-8: {fuzzy}"
-    );
+    println!("\nnumeric check: exactly symmetric: {exact}; symmetric within 1e-8: {fuzzy}");
     println!(
         "-> a runtime entry-inspection would {}see the symmetry the\n\
          symbolic engine proved; the symbolic route keeps the cheaper\n\

@@ -23,8 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let l11 = Operand::square("L11", nb).with_property(Property::LowerTriangular);
     let l10 = Operand::matrix("L10", nb, nb);
 
-    let chain =
-        Chain::from_expr(&(l22.inverse() * l21.expr() * l11.inverse() * l10.expr()))?;
+    let chain = Chain::from_expr(&(l22.inverse() * l21.expr() * l11.inverse() * l10.expr()))?;
     println!("blocked triangular-inverse chain: {chain}\n");
 
     let registry = KernelRegistry::blas_lapack();
@@ -34,13 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Both inverses must become triangular solves, never explicit
     // inversions.
-    let families: Vec<KernelFamily> = solution
-        .steps()
-        .iter()
-        .map(|s| s.op.family())
-        .collect();
+    let families: Vec<KernelFamily> = solution.steps().iter().map(|s| s.op.family()).collect();
     assert_eq!(
-        families.iter().filter(|f| **f == KernelFamily::Trsm).count(),
+        families
+            .iter()
+            .filter(|f| **f == KernelFamily::Trsm)
+            .count(),
         2,
         "both inverses should map to TRSM"
     );

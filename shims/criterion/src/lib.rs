@@ -1,0 +1,243 @@
+//! Offline stand-in for the subset of the `criterion` bench API this
+//! workspace uses: benchmark groups with `sample_size` /
+//! `measurement_time` / `warm_up_time`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — one warm-up call, then
+//! `sample_size` timed iterations, reporting min/mean/max per
+//! iteration — but the harness contract (`harness = false` bench
+//! targets with their own `main`) matches the real crate, so swapping
+//! the real criterion back in later is a manifest-only change.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export point for `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The top-level bench context handed to every target function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for compatibility; the shim has no CLI options.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&id.into_benchmark_id().0, sample_size, f);
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for compatibility; the shim times a fixed sample count
+    /// instead of a wall-clock budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim always warms up with one
+    /// untimed call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+    };
+    // One untimed warm-up sample, then the measured ones.
+    f(&mut bencher);
+    bencher.samples.clear();
+    for _ in 0..sample_size.max(1) {
+        f(&mut bencher);
+    }
+    // Each sample records its own batch size: `iter` batches fast
+    // routines, and the choice can differ between samples of the same
+    // benchmark.
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|(d, iters)| d.as_secs_f64() / *iters as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "{label:<60} [{} {} {}]",
+        format_time(min),
+        format_time(mean),
+        format_time(max)
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Times closures inside one benchmark sample.
+pub struct Bencher {
+    /// `(elapsed, iterations timed)` per sample.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, recording one sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed();
+        // Batch very fast routines so timer resolution doesn't dominate.
+        let iters = if once < Duration::from_micros(10) {
+            100
+        } else {
+            1
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.samples.push((start.elapsed(), iters));
+    }
+}
+
+/// A benchmark identifier: a function name and/or a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+/// Conversion into a [`BenchmarkId`] (strings or ready-made ids).
+pub trait IntoBenchmarkId {
+    /// Converts `self`.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

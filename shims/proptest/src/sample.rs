@@ -1,0 +1,27 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`select`].
+pub struct Select<T> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.choices[rng.below(self.choices.len())].clone()
+    }
+}
+
+/// Picks uniformly from `choices`.
+///
+/// # Panics
+///
+/// Panics if `choices` is empty.
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select over an empty list");
+    Select { choices }
+}

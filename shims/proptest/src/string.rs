@@ -1,0 +1,153 @@
+//! String generation from a small regex subset.
+//!
+//! Supported: literal characters, character classes `[a-zA-Z0-9_]`
+//! (ranges and singletons; no negation), and the quantifiers `?`, `+`
+//! (1–8 repeats), `*` (0–8 repeats), `{n}` and `{n,m}`. This covers the
+//! patterns used as strategies in this workspace (e.g. `"[A-H]"`).
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = match chars.next() {
+                            Some(']') | None => {
+                                panic!("unterminated range in character class in {pattern:?}")
+                            }
+                            Some(hi) => hi,
+                        };
+                        assert!(lo <= hi, "inverted range {lo}-{hi} in {pattern:?}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+            ),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n} quantifier"),
+                        hi.trim().parse().expect("bad {m,n} quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generates one random string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let n = piece.min + rng.below(piece.max - piece.min + 1);
+        for _ in 0..n {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let total: u32 = ranges
+                        .iter()
+                        .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                        .sum();
+                    let mut k = rng.below(total as usize) as u32;
+                    for (lo, hi) in ranges {
+                        let span = *hi as u32 - *lo as u32 + 1;
+                        if k < span {
+                            out.push(char::from_u32(*lo as u32 + k).expect("valid scalar"));
+                            break;
+                        }
+                        k -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn char_class_stays_in_range() {
+        let mut rng = TestRng::for_case("string::char_class", 0);
+        for _ in 0..200 {
+            let s = generate("[A-H]", &mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(('A'..='H').contains(&s.chars().next().unwrap()));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::for_case("string::quant", 0);
+        for _ in 0..100 {
+            let s = generate("ab[0-9]{2,4}c?", &mut rng);
+            assert!(s.starts_with("ab"));
+            let digits = s[2..].chars().take_while(char::is_ascii_digit).count();
+            assert!((2..=4).contains(&digits));
+        }
+    }
+}

@@ -97,12 +97,7 @@ fn blaze_vector_rule_vs_left_to_right() {
     let a = Operand::matrix("A", 80, 90);
     let b = Operand::matrix("B", 90, 70);
     let v = Operand::col_vector("v", 70);
-    let chain = Chain::new(vec![
-        Factor::plain(a),
-        Factor::plain(b),
-        Factor::plain(v),
-    ])
-    .unwrap();
+    let chain = Chain::new(vec![Factor::plain(a), Factor::plain(b), Factor::plain(v)]).unwrap();
     let blaze = BLAZE_NAIVE.compile(&chain);
     assert!(blaze
         .instructions()

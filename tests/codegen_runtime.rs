@@ -5,7 +5,7 @@
 
 use gmc::{FlopCount, GmcOptimizer};
 use gmc_baselines::{Strategy, JULIA_NAIVE, JULIA_RECOMMENDED};
-use gmc_codegen::{Emitter, JuliaEmitter, PseudoEmitter, Program, RustEmitter};
+use gmc_codegen::{Emitter, JuliaEmitter, Program, PseudoEmitter, RustEmitter};
 use gmc_expr::{Chain, Factor, Operand, Property};
 use gmc_kernels::{KernelFamily, KernelRegistry};
 use gmc_runtime::{execute, reference_eval, validate_against_reference, Env};

@@ -1,0 +1,61 @@
+//! Smoke test: all five `examples/` binaries run to completion with a
+//! zero exit status.
+//!
+//! `cargo test` builds every example before running integration tests,
+//! so the compiled binaries already sit next to this test's own binary
+//! (`target/<profile>/examples/`); running them directly avoids a
+//! recursive `cargo` invocation and works identically under
+//! `cargo test --release`. If a binary is missing (e.g. a stripped
+//! custom target layout), the test falls back to `cargo run --example`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] = [
+    "quickstart",
+    "cost_metrics",
+    "ensemble_kalman",
+    "generalized_eigenproblem",
+    "triangular_inverse",
+];
+
+/// `target/<profile>/examples`, derived from this test binary's path
+/// (`target/<profile>/deps/examples_smoke-<hash>`).
+fn examples_dir() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let profile_dir = exe.parent()?.parent()?;
+    let dir = profile_dir.join("examples");
+    dir.is_dir().then_some(dir)
+}
+
+#[test]
+fn all_examples_run_cleanly() {
+    let dir = examples_dir();
+    for example in EXAMPLES {
+        let prebuilt = dir
+            .as_ref()
+            .map(|d| d.join(example))
+            .filter(|p| p.is_file());
+        let output = match prebuilt {
+            Some(bin) => Command::new(bin)
+                .output()
+                .unwrap_or_else(|e| panic!("failed to launch example {example}: {e}")),
+            None => Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+                .args(["run", "--quiet", "--example", example])
+                .current_dir(env!("CARGO_MANIFEST_DIR"))
+                .output()
+                .unwrap_or_else(|e| panic!("failed to `cargo run` example {example}: {e}")),
+        };
+        assert!(
+            output.status.success(),
+            "example `{example}` exited with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example `{example}` printed nothing"
+        );
+    }
+}

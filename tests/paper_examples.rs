@@ -24,7 +24,9 @@ fn ata_b_flop_counts() {
     let registry = KernelRegistry::builder()
         .without_family(KernelFamily::Syrk)
         .build();
-    let sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+    let sol = GmcOptimizer::new(&registry, FlopCount)
+        .solve(&chain)
+        .unwrap();
     assert_eq!(sol.flops(), 22000.0);
     assert_eq!(sol.parenthesization(), "((A^T A) B)");
 
@@ -32,13 +34,17 @@ fn ata_b_flop_counts() {
     let registry = KernelRegistry::builder()
         .only_families([KernelFamily::Gemm])
         .build();
-    let sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+    let sol = GmcOptimizer::new(&registry, FlopCount)
+        .solve(&chain)
+        .unwrap();
     assert_eq!(sol.flops(), 24000.0);
     assert_eq!(sol.parenthesization(), "(A^T (A B))");
 
     // Paper's closing note: SYRK halves the AᵀA cost (8000 + 6000).
     let registry = KernelRegistry::blas_lapack();
-    let sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+    let sol = GmcOptimizer::new(&registry, FlopCount)
+        .solve(&chain)
+        .unwrap();
     assert_eq!(sol.flops(), 14000.0);
     assert_eq!(sol.kernel_names(), vec!["SYRK_T", "SYMM_LN"]);
 }
@@ -79,7 +85,9 @@ fn inverse_pair_completeness() {
     let c = Operand::matrix("C", 100, 10);
     let chain = chain_of(&(a.inverse() * b.inverse() * c.expr()));
 
-    let strict = KernelRegistry::builder().without_composite_inverse().build();
+    let strict = KernelRegistry::builder()
+        .without_composite_inverse()
+        .build();
     let sol = GmcOptimizer::new(&strict, FlopCount).solve(&chain).unwrap();
     assert_eq!(sol.parenthesization(), "(A^-1 (B^-1 C))");
     assert_eq!(sol.kernel_names(), vec!["GESV_LN", "GESV_LN"]);
@@ -108,7 +116,9 @@ fn vector_chain_gemv_cascade() {
     let v1 = Operand::col_vector("v1", 300);
     let v2 = Operand::col_vector("v2", 200);
     let chain = chain_of(&(m1.expr() * m2.expr() * m3.expr() * v1.expr() * v2.transpose()));
-    let sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+    let sol = GmcOptimizer::new(&registry, FlopCount)
+        .solve(&chain)
+        .unwrap();
     assert_eq!(
         sol.kernel_names(),
         vec!["GEMV_N", "GEMV_N", "GEMV_N", "GER"]
@@ -166,7 +176,9 @@ fn table2_gmc_julia_code() {
     let c = Operand::square("C", 200).with_property(Property::LowerTriangular);
     let chain = chain_of(&(a.inverse() * b.expr() * c.transpose()));
     let registry = KernelRegistry::blas_lapack();
-    let sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+    let sol = GmcOptimizer::new(&registry, FlopCount)
+        .solve(&chain)
+        .unwrap();
     let code = JuliaEmitter::default().emit(&sol.program());
     assert_eq!(
         code,
@@ -191,7 +203,9 @@ fn gmc_subsumes_classic_mcp() {
             .map(|i| Operand::matrix(format!("M{i}"), sizes[i], sizes[i + 1]))
             .collect();
         let chain = Chain::new(ops.into_iter().map(Factor::plain).collect()).unwrap();
-        let gmc = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+        let gmc = GmcOptimizer::new(&registry, FlopCount)
+            .solve(&chain)
+            .unwrap();
         let classic = matrix_chain_order(sizes);
         assert_eq!(gmc.flops(), classic.flops(), "sizes {sizes:?}");
     }

@@ -5,8 +5,8 @@
 use gmc::{FlopCount, GmcOptimizer, TimeModel};
 use gmc_baselines::all_strategies;
 use gmc_baselines::Strategy;
-use gmc_expr::Chain;
 use gmc_experiments::generator::{random_chains, GeneratorConfig};
+use gmc_expr::Chain;
 use gmc_kernels::KernelRegistry;
 use gmc_runtime::{validate_against_reference, Env};
 
@@ -39,9 +39,8 @@ fn baseline_programs_compute_the_chain() {
         let env = Env::random_for_chain(chain, 900 + i as u64);
         for strategy in all_strategies() {
             let program = strategy.compile(chain);
-            validate_against_reference(&program, chain, &env, 1e-4).unwrap_or_else(|e| {
-                panic!("chain {i} ({chain}) strategy {}: {e}", strategy.id())
-            });
+            validate_against_reference(&program, chain, &env, 1e-4)
+                .unwrap_or_else(|e| panic!("chain {i} ({chain}) strategy {}: {e}", strategy.id()));
         }
     }
 }
@@ -72,7 +71,9 @@ b := X^T * M^-1 * y
     assert_eq!(target, "b");
     let chain = Chain::from_expr(expr).expect("chain");
     let registry = KernelRegistry::blas_lapack();
-    let sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).expect("solves");
+    let sol = GmcOptimizer::new(&registry, FlopCount)
+        .solve(&chain)
+        .expect("solves");
     // Must use a Cholesky solve, never an inverse.
     assert!(sol.kernel_names().iter().any(|k| k.starts_with("POSV")));
     let env = Env::random_for_chain(&chain, 77);
@@ -81,9 +82,8 @@ b := X^T * M^-1 * y
 
 #[test]
 fn cli_end_to_end() {
-    let out = gmc_cli_like(
-        "Matrix L (40, 40) <LowerTriangular>\nMatrix B (40, 15)\nX := L^-1 * B\n",
-    );
+    let out =
+        gmc_cli_like("Matrix L (40, 40) <LowerTriangular>\nMatrix B (40, 15)\nX := L^-1 * B\n");
     assert!(out.contains("trsm!"), "got:\n{out}");
 }
 
@@ -95,7 +95,9 @@ fn gmc_cli_like(input: &str) -> String {
     let mut out = String::new();
     for (_, expr) in &problem.assignments {
         let chain = Chain::from_expr(expr).unwrap();
-        let sol = GmcOptimizer::new(&registry, FlopCount).solve(&chain).unwrap();
+        let sol = GmcOptimizer::new(&registry, FlopCount)
+            .solve(&chain)
+            .unwrap();
         use gmc_codegen::Emitter;
         out.push_str(&gmc_codegen::JuliaEmitter::default().emit(&sol.program()));
     }

@@ -3,8 +3,11 @@
 //! DP optimality, and registry completeness.
 
 use gmc::mcp::{brute_force_flops, matrix_chain_order};
+use gmc::{FlopCount, GmcOptimizer};
 use gmc_analysis::infer_properties;
-use gmc_expr::{Expr, Factor, Operand, Property, UnaryOp};
+use gmc_baselines::{all_strategies, Strategy as BaselineStrategy};
+use gmc_experiments::generator::{random_chain, GeneratorConfig};
+use gmc_expr::{Chain, Expr, Factor, Operand, Property, UnaryOp};
 use gmc_kernels::KernelRegistry;
 use gmc_linalg::{blas3, lapack, Matrix};
 use gmc_runtime::materialize;
@@ -53,7 +56,11 @@ fn square_expr(n: usize) -> impl Strategy<Value = Expr> {
 }
 
 /// Numerically evaluates an all-square expression.
-fn eval(expr: &Expr, rng: &mut StdRng, cache: &mut std::collections::HashMap<String, Matrix>) -> Option<Matrix> {
+fn eval(
+    expr: &Expr,
+    rng: &mut StdRng,
+    cache: &mut std::collections::HashMap<String, Matrix>,
+) -> Option<Matrix> {
     match expr {
         Expr::Symbol(op) => Some(
             cache
@@ -232,5 +239,51 @@ proptest! {
         }
         let backward: PropertySet = shuffled.into_iter().collect();
         prop_assert_eq!(forward, backward);
+    }
+
+    /// GMC never loses to any of the nine baseline strategies: on a
+    /// random generalized chain (paper generator protocol), the
+    /// optimizer's FLOP count is a lower bound on every baseline
+    /// program's FLOP count, since all ten compile to the same kernel
+    /// vocabulary and GMC minimizes over all parenthesizations.
+    #[test]
+    fn gmc_cost_is_a_lower_bound_on_all_baselines(seed in 0u64..1_000_000) {
+        let config = GeneratorConfig::measured_scale();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chain = random_chain(&config, &mut rng);
+        let registry = KernelRegistry::blas_lapack();
+        let gmc = GmcOptimizer::new(&registry, FlopCount)
+            .solve(&chain)
+            .expect("the full registry makes every generated chain computable");
+        for strategy in all_strategies() {
+            let program = strategy.compile(&chain);
+            prop_assert!(
+                gmc.flops() <= program.flops() * (1.0 + 1e-12),
+                "GMC ({} flops) lost to {} ({} flops) on {chain}",
+                gmc.flops(),
+                strategy.label(),
+                program.flops()
+            );
+        }
+    }
+
+    /// On a classic chain — all operands dense, unstructured and
+    /// un-operated — GMC degenerates exactly to the textbook MCP DP:
+    /// both find the same minimal FLOP count (GEMM at `2mnk` matches
+    /// the MCP cost convention, and the sums are integer-exact in f64).
+    #[test]
+    fn gmc_equals_mcp_on_dense_chains(sizes in prop::collection::vec(2usize..40, 4..10)) {
+        let mcp = matrix_chain_order(&sizes);
+        let factors: Vec<Factor> = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Factor::plain(Operand::matrix(format!("M{i}"), w[0], w[1])))
+            .collect();
+        let chain = Chain::new(factors).expect("dense factors form a valid chain");
+        let registry = KernelRegistry::blas_lapack();
+        let gmc = GmcOptimizer::new(&registry, FlopCount)
+            .solve(&chain)
+            .expect("dense chains are computable");
+        prop_assert_eq!(gmc.flops(), mcp.flops());
     }
 }
