@@ -2,12 +2,16 @@
 //! the GMC optimizer itself runs, by chain length and at paper-scale
 //! operand sizes (generation time is size-independent).
 //!
+//! `generation_time_by_length/{10,20,40,80}` are the tracked hot-path
+//! benchmarks: their before/after medians are recorded in
+//! `BENCH_gentime.json` at the repo root (regenerate with
+//! `tools/bench_gentime.sh`).
+//!
 //! Run: `cargo bench -p gmc-bench --bench generation_time`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gmc::{FlopCount, GmcOptimizer};
-use gmc_bench::paper_scale_chains;
-use gmc_expr::{Chain, Factor, Operand};
+use gmc::{FlopCount, GmcOptimizer, GmcWorkspace};
+use gmc_bench::{length_chain, paper_scale_chains};
 use gmc_kernels::KernelRegistry;
 use std::time::Duration;
 
@@ -19,13 +23,33 @@ fn by_chain_length(c: &mut Criterion) {
         .sample_size(30)
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_secs(1));
-    for n in [3usize, 6, 10] {
-        let ops: Vec<Operand> = (0..n)
-            .map(|i| Operand::matrix(format!("M{i}"), 100 + 50 * i, 100 + 50 * (i + 1)))
-            .collect();
-        let chain = Chain::new(ops.into_iter().map(Factor::plain).collect()).unwrap();
+    for n in [3usize, 6, 10, 20, 40, 80] {
+        let chain = length_chain(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, chain| {
             b.iter(|| optimizer.solve(chain).expect("computable"))
+        });
+    }
+    group.finish();
+}
+
+fn workspace_reuse(c: &mut Criterion) {
+    // Amortized batch solving: one GmcWorkspace shared across
+    // iterations, versus a cold table allocation per solve.
+    let registry = KernelRegistry::blas_lapack();
+    let optimizer = GmcOptimizer::new(&registry, FlopCount);
+    let mut group = c.benchmark_group("generation_time_workspace");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
+    for n in [10usize, 40] {
+        let chain = length_chain(n);
+        group.bench_with_input(BenchmarkId::new("cold", n), &chain, |b, chain| {
+            b.iter(|| optimizer.solve(chain).expect("computable"))
+        });
+        let mut ws = GmcWorkspace::new();
+        group.bench_with_input(BenchmarkId::new("reused", n), &chain, |b, chain| {
+            b.iter(|| optimizer.solve_with(chain, &mut ws).expect("computable"))
         });
     }
     group.finish();
@@ -47,8 +71,16 @@ fn paper_protocol(c: &mut Criterion) {
             }
         })
     });
+    group.bench_function("20_random_chains_reused_workspace", |b| {
+        let mut ws = GmcWorkspace::new();
+        b.iter(|| {
+            for chain in &chains {
+                criterion::black_box(optimizer.solve_with(chain, &mut ws).expect("computable"));
+            }
+        })
+    });
     group.finish();
 }
 
-criterion_group!(benches, by_chain_length, paper_protocol);
+criterion_group!(benches, by_chain_length, workspace_reuse, paper_protocol);
 criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Emits `BENCH_gentime.json`: tracked median generation times of the
+//! GMC optimizer by chain length, mirroring the
+//! `generation_time_by_length` Criterion bench (same chains, same
+//! dimension formula), so the JSON numbers are comparable with the
+//! bench output across commits.
+//!
+//! ```text
+//! gentime_json [--quick] [--out PATH]
+//! ```
+//!
+//! The `before` slot is measured from the retained pre-refactor
+//! implementation (`gmc::reference::solve_reference`) and the `after`
+//! slot from the allocation-free hot path (`GmcOptimizer::solve`,
+//! plus `solve_with` on a reused [`gmc::GmcWorkspace`]) — in the same
+//! process, interleaved per chain length, so the speedups are immune
+//! to machine-condition drift between runs. `--quick` cuts the sample
+//! count for CI smoke runs.
+
+use gmc::reference::solve_reference;
+use gmc::{FlopCount, GmcOptimizer, GmcWorkspace, InferenceMode};
+use gmc_bench::length_chain;
+use gmc_kernels::KernelRegistry;
+use serde::Value;
+use std::time::Instant;
+
+/// Chain lengths tracked by the benchmark (ISSUE 2 acceptance set).
+const LENGTHS: [usize; 4] = [10, 20, 40, 80];
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(f64::total_cmp);
+    let mid = times.len() / 2;
+    if times.len() % 2 == 1 {
+        times[mid]
+    } else {
+        0.5 * (times[mid - 1] + times[mid])
+    }
+}
+
+/// Median seconds per call of `run` over `samples` timed calls (after
+/// one warm-up call).
+fn measure(samples: usize, mut run: impl FnMut()) -> f64 {
+    run();
+    let times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    median(times)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_gentime.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a value"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let samples = if quick { 5 } else { 25 };
+
+    let registry = KernelRegistry::blas_lapack();
+    let optimizer = GmcOptimizer::new(&registry, FlopCount);
+
+    let mut before_medians: Vec<(String, Value)> = Vec::new();
+    let mut after_medians: Vec<(String, Value)> = Vec::new();
+    let mut reuse_medians: Vec<(String, Value)> = Vec::new();
+    let mut speedups: Vec<(String, Value)> = Vec::new();
+    for n in LENGTHS {
+        let chain = length_chain(n);
+        let before = measure(samples, || {
+            std::hint::black_box(
+                solve_reference(&registry, &FlopCount, InferenceMode::default(), &chain)
+                    .expect("computable"),
+            );
+        });
+        let after = measure(samples, || {
+            std::hint::black_box(optimizer.solve(&chain).expect("computable"));
+        });
+        let mut ws = GmcWorkspace::new();
+        let reused = measure(samples, || {
+            std::hint::black_box(optimizer.solve_with(&chain, &mut ws).expect("computable"));
+        });
+        eprintln!(
+            "n={n:<3} reference {:>9.1} us   solve {:>9.1} us   solve_with(reused) {:>9.1} us   speedup {:.2}x",
+            before * 1e6,
+            after * 1e6,
+            reused * 1e6,
+            before / after
+        );
+        before_medians.push((n.to_string(), Value::Number(before)));
+        after_medians.push((n.to_string(), Value::Number(after)));
+        reuse_medians.push((n.to_string(), Value::Number(reused)));
+        speedups.push((n.to_string(), Value::Number(before / after)));
+    }
+
+    let doc = Value::Object(vec![
+        (
+            "benchmark".to_owned(),
+            Value::String(
+                "generation_time_by_length: median seconds per solve, before vs after the \
+                 allocation-free hot path (both measured in this run: `before` drives the \
+                 retained pre-refactor gmc::reference::solve_reference, `after` drives \
+                 GmcOptimizer::solve)"
+                    .into(),
+            ),
+        ),
+        (
+            "regenerate".to_owned(),
+            Value::String("tools/bench_gentime.sh (see README § Performance)".into()),
+        ),
+        ("samples".to_owned(), Value::Number(samples as f64)),
+        (
+            "before".to_owned(),
+            Value::Object(vec![(
+                "median_seconds_by_length".to_owned(),
+                Value::Object(before_medians),
+            )]),
+        ),
+        (
+            "after".to_owned(),
+            Value::Object(vec![
+                (
+                    "median_seconds_by_length".to_owned(),
+                    Value::Object(after_medians),
+                ),
+                (
+                    "median_seconds_by_length_workspace_reuse".to_owned(),
+                    Value::Object(reuse_medians),
+                ),
+            ]),
+        ),
+        ("speedup_median".to_owned(), Value::Object(speedups)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("finite numbers only");
+    std::fs::write(&out_path, json + "\n").expect("write bench json");
+    println!("wrote {out_path}");
+}

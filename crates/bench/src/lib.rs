@@ -5,7 +5,18 @@
 #![forbid(unsafe_code)]
 
 use gmc_experiments::generator::{random_chains, GeneratorConfig};
-use gmc_expr::Chain;
+use gmc_expr::{Chain, Factor, Operand};
+
+/// The dense chain measured by `generation_time_by_length/<n>` — shared
+/// by the Criterion bench and the `gentime_json` bin so
+/// `BENCH_gentime.json` always tracks exactly the chains the bench
+/// reports.
+pub fn length_chain(n: usize) -> Chain {
+    let ops: Vec<Operand> = (0..n)
+        .map(|i| Operand::matrix(format!("M{i}"), 100 + 50 * i, 100 + 50 * (i + 1)))
+        .collect();
+    Chain::new(ops.into_iter().map(Factor::plain).collect()).expect("dense chain is well-formed")
+}
 
 /// A small, deterministic set of representative test chains at
 /// bench-friendly sizes.

@@ -7,7 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use gmc::{FlopCount, GmcOptimizer, TimeModel};
+use gmc::{FlopCount, GmcOptimizer, GmcWorkspace, TimeModel};
 use gmc_codegen::{Emitter, JuliaEmitter, PseudoEmitter, RustEmitter};
 use gmc_expr::Chain;
 use gmc_kernels::KernelRegistry;
@@ -94,12 +94,15 @@ pub fn compile(input: &str, options: &Options) -> Result<String, String> {
     let problem = gmc_frontend::parse(input).map_err(|e| gmc_frontend::render_error(input, &e))?;
     let registry = KernelRegistry::blas_lapack();
     let mut out = String::new();
+    // Both metrics cost in f64, so one workspace amortizes the DP
+    // tables across every assignment of the problem.
+    let mut workspace = GmcWorkspace::new();
     for (target, expr) in &problem.assignments {
         let chain = Chain::from_expr(expr).map_err(|e| format!("assignment `{target}`: {e}"))?;
         let (program, paren, cost_line) = match options.metric {
             Metric::Flops => {
                 let solution = GmcOptimizer::new(&registry, FlopCount)
-                    .solve(&chain)
+                    .solve_with(&chain, &mut workspace)
                     .map_err(|e| format!("assignment `{target}`: {e}"))?;
                 (
                     solution.program(),
@@ -109,7 +112,7 @@ pub fn compile(input: &str, options: &Options) -> Result<String, String> {
             }
             Metric::Time => {
                 let solution = GmcOptimizer::new(&registry, TimeModel::default())
-                    .solve(&chain)
+                    .solve_with(&chain, &mut workspace)
                     .map_err(|e| format!("assignment `{target}`: {e}"))?;
                 (
                     solution.program(),

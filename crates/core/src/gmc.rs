@@ -3,8 +3,8 @@
 use crate::metric::{Cost, CostMetric};
 use gmc_analysis::infer_properties;
 use gmc_codegen::{Instruction, Program};
-use gmc_expr::{Chain, Expr, Operand, PropertySet};
-use gmc_kernels::{KernelMatch, KernelRegistry};
+use gmc_expr::{Chain, Expr, Operand};
+use gmc_kernels::{FlatTermScratch, KernelRegistry, ProductMatch};
 use std::fmt;
 
 /// Errors produced by the optimizer.
@@ -71,6 +71,22 @@ pub struct GmcSolution<C> {
 }
 
 impl<C: Cost> GmcSolution<C> {
+    /// Assembles a solution from its parts (used by the retained
+    /// reference implementation in [`crate::reference`]).
+    pub(crate) fn from_parts(
+        steps: Vec<Step<C>>,
+        total_cost: C,
+        total_flops: f64,
+        paren: String,
+    ) -> Self {
+        GmcSolution {
+            steps,
+            total_cost,
+            total_flops,
+            paren,
+        }
+    }
+
     /// The kernel calls, in dependency order (paper Fig. 7).
     pub fn steps(&self) -> &[Step<C>] {
         &self.steps
@@ -179,90 +195,48 @@ impl<'r, M: CostMetric> GmcOptimizer<'r, M> {
 
     /// Solves the GMCP for `chain` (paper Fig. 4).
     ///
+    /// Allocates a fresh [`GmcWorkspace`]; batch callers solving many
+    /// chains should hold one workspace and use
+    /// [`solve_with`](Self::solve_with) to amortize the DP table and
+    /// matcher scratch allocations.
+    ///
     /// # Errors
     ///
     /// Returns [`GmcError::NotComputable`] if no parenthesization exposes
     /// only kernel-computable binary products (possible only with
     /// restricted registries; see paper Sec. 3.4).
     pub fn solve(&self, chain: &Chain) -> Result<GmcSolution<M::Cost>, GmcError> {
+        self.solve_with(chain, &mut GmcWorkspace::new())
+    }
+
+    /// Solves the GMCP for `chain` using caller-provided DP state.
+    ///
+    /// This is the allocation-free hot path: per split candidate no
+    /// heap allocation is performed — no expression subtrees are
+    /// cloned, no owned binary product is built, and kernel matches
+    /// stream off the discrimination net instead of being collected.
+    /// Temporary names and property inference run only for the winning
+    /// split of each sub-chain. The workspace is reset on entry and
+    /// its buffers are reused across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GmcError::NotComputable`] under the same conditions as
+    /// [`solve`](Self::solve).
+    pub fn solve_with(
+        &self,
+        chain: &Chain,
+        workspace: &mut GmcWorkspace<M::Cost>,
+    ) -> Result<GmcSolution<M::Cost>, GmcError> {
         let n = chain.len();
-        // exprs[i][j]: the symbolic value representing M[i..=j]; leaves
-        // are the factor expressions, interior entries temporaries.
-        let mut exprs: Vec<Vec<Option<Expr>>> = vec![vec![None; n]; n];
-        let mut costs: Vec<Vec<Option<M::Cost>>> = vec![vec![None; n]; n];
-        let mut chosen: Vec<Vec<Option<ChosenKernel<M::Cost>>>> = vec![vec![None; n]; n];
-        let mut splits: Vec<Vec<usize>> = vec![vec![0; n]; n];
-
-        for i in 0..n {
-            exprs[i][i] = Some(chain.factor(i).expr());
-            costs[i][i] = Some(M::Cost::zero());
-        }
-
+        let GmcWorkspace { grid, scratch } = workspace;
+        grid.reset_for(chain);
         for l in 1..n {
             for i in 0..(n - l) {
-                let j = i + l;
-                let mut best: Option<(M::Cost, usize, ChosenKernel<M::Cost>)> = None;
-                for k in i..j {
-                    let (Some(cl), Some(cr)) = (costs[i][k].clone(), costs[k + 1][j].clone())
-                    else {
-                        continue;
-                    };
-                    let (Some(le), Some(re)) = (&exprs[i][k], &exprs[k + 1][j]) else {
-                        continue;
-                    };
-                    let product = Expr::times([le.clone(), re.clone()]);
-                    let Some(m) = self.best_kernel(&product) else {
-                        continue;
-                    };
-                    let op_cost = self.metric.op_cost(&m.op);
-                    let total = cl.add(&cr).add(&op_cost);
-                    let better = match &best {
-                        None => true,
-                        Some((c, _, _)) => total < *c,
-                    };
-                    if better {
-                        let properties = self.temp_properties(chain, i, j, &product);
-                        best = Some((
-                            total,
-                            k,
-                            ChosenKernel {
-                                name: m.kernel.name().to_owned(),
-                                op: m.op,
-                                op_cost,
-                                properties,
-                            },
-                        ));
-                    }
-                }
-                if let Some((total, k, ck)) = best {
-                    let shape = ck.op.result_shape();
-                    let temp = Operand::temporary(format!("T{i}_{j}"), shape, ck.properties);
-                    exprs[i][j] = Some(temp.expr());
-                    costs[i][j] = Some(total);
-                    splits[i][j] = k;
-                    chosen[i][j] = Some(ck);
-                }
+                self.fill_cell(chain, i, i + l, grid, scratch);
             }
         }
-
-        if costs[0][n - 1].is_none() {
-            return Err(GmcError::NotComputable {
-                chain: chain.to_string(),
-            });
-        }
-
-        // Reconstruct the kernel sequence in dependency order (Fig. 7).
-        let mut steps = Vec::with_capacity(n - 1);
-        construct_solution(0, n - 1, &splits, &chosen, &exprs, &mut steps);
-        let total_cost = costs[0][n - 1].clone().expect("checked above");
-        let total_flops = steps.iter().map(|s: &Step<M::Cost>| s.op.flops()).sum();
-        let paren = parenthesization(chain, 0, n - 1, &splits);
-        Ok(GmcSolution {
-            steps,
-            total_cost,
-            total_flops,
-            paren,
-        })
+        self.extract_solution(chain, grid)
     }
 
     /// Solves the GMCP with top-down memoized recursion instead of the
@@ -275,37 +249,149 @@ impl<'r, M: CostMetric> GmcOptimizer<'r, M> {
     /// Returns [`GmcError::NotComputable`] under the same conditions as
     /// [`solve`](Self::solve).
     pub fn solve_top_down(&self, chain: &Chain) -> Result<GmcSolution<M::Cost>, GmcError> {
+        self.solve_top_down_with(chain, &mut GmcWorkspace::new())
+    }
+
+    /// [`solve_top_down`](Self::solve_top_down) with caller-provided DP
+    /// state, like [`solve_with`](Self::solve_with).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GmcError::NotComputable`] under the same conditions as
+    /// [`solve`](Self::solve).
+    pub fn solve_top_down_with(
+        &self,
+        chain: &Chain,
+        workspace: &mut GmcWorkspace<M::Cost>,
+    ) -> Result<GmcSolution<M::Cost>, GmcError> {
         let n = chain.len();
-        let mut memo = TopDownMemo {
-            exprs: vec![vec![None; n]; n],
-            costs: vec![vec![None; n]; n],
-            chosen: vec![vec![None; n]; n],
-            splits: vec![vec![0; n]; n],
-            done: vec![vec![false; n]; n],
-        };
-        for i in 0..n {
-            memo.exprs[i][i] = Some(chain.factor(i).expr());
-            memo.costs[i][i] = Some(M::Cost::zero());
-            memo.done[i][i] = true;
+        let GmcWorkspace { grid, scratch } = workspace;
+        grid.reset_for(chain);
+        self.top_down(chain, 0, n - 1, grid, scratch);
+        self.extract_solution(chain, grid)
+    }
+
+    fn top_down(
+        &self,
+        chain: &Chain,
+        i: usize,
+        j: usize,
+        grid: &mut CellGrid<M::Cost>,
+        scratch: &mut FlatTermScratch,
+    ) {
+        if grid.cell(i, j).done {
+            return;
         }
-        self.top_down(chain, 0, n - 1, &mut memo);
-        if memo.costs[0][n - 1].is_none() {
+        grid.cell_mut(i, j).done = true;
+        for k in i..j {
+            self.top_down(chain, i, k, grid, scratch);
+            self.top_down(chain, k + 1, j, grid, scratch);
+        }
+        self.fill_cell(chain, i, j, grid, scratch);
+    }
+
+    /// Computes cell `(i, j)` from its (already computed) sub-cells:
+    /// scans every split, keeps the cheapest computable alternative,
+    /// and materializes the temporary for the winner. Shared by the
+    /// bottom-up and top-down formulations so the two cannot drift.
+    fn fill_cell(
+        &self,
+        chain: &Chain,
+        i: usize,
+        j: usize,
+        grid: &mut CellGrid<M::Cost>,
+        scratch: &mut FlatTermScratch,
+    ) {
+        let Some((total, k, pick)) = self.select_best_split(grid, scratch, i, j) else {
+            return;
+        };
+        // Winner-only work, deliberately outside the split loop: the
+        // temporary's property inference (and its name) are needed once
+        // per cell, not once per candidate.
+        let properties = match self.inference {
+            InferenceMode::Compositional => {
+                let le = grid.cell(i, k).expr.as_ref().expect("winning split");
+                let re = grid.cell(k + 1, j).expr.as_ref().expect("winning split");
+                let product = Expr::times([le.clone(), re.clone()]);
+                infer_properties(&product)
+            }
+            // The unfolded sub-chain expression is split-independent,
+            // so it is built once per (i, j) instead of per candidate.
+            InferenceMode::Deep => {
+                let unfolded =
+                    Expr::times((i..=j).map(|t| chain.factor(t).expr()).collect::<Vec<_>>());
+                infer_properties(&unfolded)
+            }
+        };
+        let shape = pick.op.result_shape();
+        let temp = Operand::temporary(format!("T{i}_{j}"), shape, properties);
+        let cell = grid.cell_mut(i, j);
+        cell.expr = Some(temp.expr());
+        cell.cost = Some(total);
+        cell.split = k;
+        cell.chosen = Some(ChosenKernel {
+            name: pick.kernel.name().to_owned(),
+            op: pick.op,
+            op_cost: pick.cost,
+        });
+    }
+
+    /// The cheapest split of `M[i..=j]`: for each candidate `k` the
+    /// binary product of the sub-results is matched *in place* (no
+    /// owned product expression, no collected match vector) and the
+    /// winning kernel's metric cost is computed exactly once.
+    fn select_best_split(
+        &self,
+        grid: &CellGrid<M::Cost>,
+        scratch: &mut FlatTermScratch,
+        i: usize,
+        j: usize,
+    ) -> Option<(M::Cost, usize, ProductMatch<'r, M::Cost>)> {
+        let mut best: Option<(M::Cost, usize, ProductMatch<'r, M::Cost>)> = None;
+        for k in i..j {
+            let left = grid.cell(i, k);
+            let right = grid.cell(k + 1, j);
+            let (Some(cl), Some(cr)) = (&left.cost, &right.cost) else {
+                continue;
+            };
+            let (Some(le), Some(re)) = (&left.expr, &right.expr) else {
+                continue;
+            };
+            let Some(m) = self
+                .registry
+                .best_product_match(le, re, scratch, |op| self.metric.op_cost(op))
+            else {
+                continue;
+            };
+            let total = cl.add(cr).add(&m.cost);
+            let better = match &best {
+                None => true,
+                Some((c, _, _)) => total < *c,
+            };
+            if better {
+                best = Some((total, k, m));
+            }
+        }
+        best
+    }
+
+    fn extract_solution(
+        &self,
+        chain: &Chain,
+        grid: &CellGrid<M::Cost>,
+    ) -> Result<GmcSolution<M::Cost>, GmcError> {
+        let n = chain.len();
+        let root = grid.cell(0, n - 1);
+        let Some(total_cost) = root.cost.clone() else {
             return Err(GmcError::NotComputable {
                 chain: chain.to_string(),
             });
-        }
+        };
+        // Reconstruct the kernel sequence in dependency order (Fig. 7).
         let mut steps = Vec::with_capacity(n - 1);
-        construct_solution(
-            0,
-            n - 1,
-            &memo.splits,
-            &memo.chosen,
-            &memo.exprs,
-            &mut steps,
-        );
-        let total_cost = memo.costs[0][n - 1].clone().expect("checked above");
+        construct_solution(0, n - 1, grid, &mut steps);
         let total_flops = steps.iter().map(|s: &Step<M::Cost>| s.op.flops()).sum();
-        let paren = parenthesization(chain, 0, n - 1, &memo.splits);
+        let paren = parenthesization(chain, 0, n - 1, grid);
         Ok(GmcSolution {
             steps,
             total_cost,
@@ -313,79 +399,117 @@ impl<'r, M: CostMetric> GmcOptimizer<'r, M> {
             paren,
         })
     }
+}
 
-    fn top_down(&self, chain: &Chain, i: usize, j: usize, memo: &mut TopDownMemo<M::Cost>) {
-        if memo.done[i][j] {
-            return;
+/// Reusable DP state for [`GmcOptimizer::solve_with`] and
+/// [`GmcOptimizer::solve_top_down_with`].
+///
+/// Holds the flat triangular cell table and the matcher's flatterm
+/// scratch buffer. Batch callers (the experiments harness, benches,
+/// the CLI) keep one workspace alive and solve many chains through it,
+/// so table allocation is amortized: after the first solve of the
+/// largest chain length, further solves allocate nothing beyond the
+/// per-winner temporaries.
+#[derive(Debug)]
+pub struct GmcWorkspace<C> {
+    grid: CellGrid<C>,
+    scratch: FlatTermScratch,
+}
+
+impl<C> GmcWorkspace<C> {
+    /// Creates an empty workspace; tables grow on first use.
+    pub fn new() -> Self {
+        GmcWorkspace {
+            grid: CellGrid {
+                cells: Vec::new(),
+                n: 0,
+            },
+            scratch: FlatTermScratch::new(),
         }
-        memo.done[i][j] = true;
-        let mut best: Option<(M::Cost, usize, ChosenKernel<M::Cost>)> = None;
-        for k in i..j {
-            self.top_down(chain, i, k, memo);
-            self.top_down(chain, k + 1, j, memo);
-            let (Some(cl), Some(cr)) = (memo.costs[i][k].clone(), memo.costs[k + 1][j].clone())
-            else {
-                continue;
-            };
-            let (Some(le), Some(re)) = (&memo.exprs[i][k], &memo.exprs[k + 1][j]) else {
-                continue;
-            };
-            let product = Expr::times([le.clone(), re.clone()]);
-            let Some(m) = self.best_kernel(&product) else {
-                continue;
-            };
-            let op_cost = self.metric.op_cost(&m.op);
-            let total = cl.add(&cr).add(&op_cost);
-            let better = match &best {
-                None => true,
-                Some((c, _, _)) => total < *c,
-            };
-            if better {
-                let properties = self.temp_properties(chain, i, j, &product);
-                best = Some((
-                    total,
-                    k,
-                    ChosenKernel {
-                        name: m.kernel.name().to_owned(),
-                        op: m.op,
-                        op_cost,
-                        properties,
-                    },
-                ));
-            }
+    }
+}
+
+impl<C> Default for GmcWorkspace<C> {
+    fn default() -> Self {
+        GmcWorkspace::new()
+    }
+}
+
+/// One DP cell for the sub-chain `M[i..=j]` — the row of all five
+/// former per-table entries (expression, cost, chosen kernel, split,
+/// memo flag), stored contiguously in a flat triangular table.
+#[derive(Debug)]
+struct Cell<C> {
+    /// The symbolic value of `M[i..=j]`: the factor expression on the
+    /// diagonal, a temporary symbol in the interior.
+    expr: Option<Expr>,
+    cost: Option<C>,
+    chosen: Option<ChosenKernel<C>>,
+    split: usize,
+    /// Memoization flag for the top-down formulation.
+    done: bool,
+}
+
+impl<C> Cell<C> {
+    fn empty() -> Self {
+        Cell {
+            expr: None,
+            cost: None,
+            chosen: None,
+            split: 0,
+            done: false,
         }
-        if let Some((total, k, ck)) = best {
-            let shape = ck.op.result_shape();
-            let temp = Operand::temporary(format!("T{i}_{j}"), shape, ck.properties);
-            memo.exprs[i][j] = Some(temp.expr());
-            memo.costs[i][j] = Some(total);
-            memo.splits[i][j] = k;
-            memo.chosen[i][j] = Some(ck);
+    }
+}
+
+/// A flat, triangular-indexed `n × n` upper-triangle cell table: cell
+/// `(i, j)` with `i ≤ j` lives at `i·n − i(i−1)/2 + (j − i)`. One
+/// contiguous allocation replaces the five `Vec<Vec<Option<…>>>`
+/// tables of the original implementation.
+#[derive(Debug)]
+struct CellGrid<C> {
+    cells: Vec<Cell<C>>,
+    n: usize,
+}
+
+impl<C> CellGrid<C> {
+    /// Clears the grid for `chain` (reusing the existing allocation
+    /// when it is large enough) and seeds the diagonal: leaf cells hold
+    /// the factor expression at zero cost and count as computed for the
+    /// top-down memoization. Shared by both DP formulations.
+    fn reset_for(&mut self, chain: &Chain)
+    where
+        C: Cost,
+    {
+        let n = chain.len();
+        self.n = n;
+        let len = n * (n + 1) / 2;
+        self.cells.clear();
+        self.cells.resize_with(len, Cell::empty);
+        for i in 0..n {
+            let cell = self.cell_mut(i, i);
+            cell.expr = Some(chain.factor(i).expr());
+            cell.cost = Some(C::zero());
+            cell.done = true;
         }
     }
 
-    /// Selects the kernel minimizing the metric among all matches,
-    /// breaking ties in favor of higher specificity.
-    fn best_kernel(&self, product: &Expr) -> Option<KernelMatch<'r>> {
-        let matches = self.registry.match_expr(product);
-        matches.into_iter().min_by(|p, q| {
-            let cp = self.metric.op_cost(&p.op);
-            let cq = self.metric.op_cost(&q.op);
-            cp.partial_cmp(&cq)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| q.kernel.specificity().cmp(&p.kernel.specificity()))
-        })
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i <= j && j < self.n, "cell ({i}, {j}) out of range");
+        // Row offset: Σ_{r<i} (n − r) = i·(2n − i + 1)/2.
+        i * (2 * self.n - i + 1) / 2 + (j - i)
     }
 
-    fn temp_properties(&self, chain: &Chain, i: usize, j: usize, product: &Expr) -> PropertySet {
-        match self.inference {
-            InferenceMode::Compositional => infer_properties(product),
-            InferenceMode::Deep => {
-                let unfolded =
-                    Expr::times((i..=j).map(|t| chain.factor(t).expr()).collect::<Vec<_>>());
-                infer_properties(&unfolded)
-            }
-        }
+    #[inline]
+    fn cell(&self, i: usize, j: usize) -> &Cell<C> {
+        &self.cells[self.index(i, j)]
+    }
+
+    #[inline]
+    fn cell_mut(&mut self, i: usize, j: usize) -> &mut Cell<C> {
+        let idx = self.index(i, j);
+        &mut self.cells[idx]
     }
 }
 
@@ -394,35 +518,18 @@ struct ChosenKernel<C> {
     name: String,
     op: gmc_kernels::KernelOp,
     op_cost: C,
-    properties: PropertySet,
 }
 
-struct TopDownMemo<C> {
-    exprs: Vec<Vec<Option<Expr>>>,
-    costs: Vec<Vec<Option<C>>>,
-    chosen: Vec<Vec<Option<ChosenKernel<C>>>>,
-    splits: Vec<Vec<usize>>,
-    done: Vec<Vec<bool>>,
-}
-
-fn construct_solution<C: Cost>(
-    i: usize,
-    j: usize,
-    splits: &[Vec<usize>],
-    chosen: &[Vec<Option<ChosenKernel<C>>>],
-    exprs: &[Vec<Option<Expr>>],
-    out: &mut Vec<Step<C>>,
-) {
+fn construct_solution<C: Cost>(i: usize, j: usize, grid: &CellGrid<C>, out: &mut Vec<Step<C>>) {
     if i == j {
         return;
     }
-    let k = splits[i][j];
-    construct_solution(i, k, splits, chosen, exprs, out);
-    construct_solution(k + 1, j, splits, chosen, exprs, out);
-    let ck = chosen[i][j]
-        .as_ref()
-        .expect("solution entries are complete");
-    let dest = match exprs[i][j].as_ref().expect("solution entries are complete") {
+    let cell = grid.cell(i, j);
+    let k = cell.split;
+    construct_solution(i, k, grid, out);
+    construct_solution(k + 1, j, grid, out);
+    let ck = cell.chosen.as_ref().expect("solution entries are complete");
+    let dest = match cell.expr.as_ref().expect("solution entries are complete") {
         Expr::Symbol(op) => op.clone(),
         other => unreachable!("temporary must be a symbol, got {other}"),
     };
@@ -434,15 +541,15 @@ fn construct_solution<C: Cost>(
     });
 }
 
-fn parenthesization(chain: &Chain, i: usize, j: usize, splits: &[Vec<usize>]) -> String {
+fn parenthesization<C>(chain: &Chain, i: usize, j: usize, grid: &CellGrid<C>) -> String {
     if i == j {
         return chain.factor(i).to_string();
     }
-    let k = splits[i][j];
+    let k = grid.cell(i, j).split;
     format!(
         "({} {})",
-        parenthesization(chain, i, k, splits),
-        parenthesization(chain, k + 1, j, splits)
+        parenthesization(chain, i, k, grid),
+        parenthesization(chain, k + 1, j, grid)
     )
 }
 
@@ -681,14 +788,34 @@ mod tests {
         let registry = KernelRegistry::blas_lapack();
         let gmc = GmcOptimizer::new(&registry, FlopCount);
         let mut rng = StdRng::seed_from_u64(99);
-        for _ in 0..30 {
-            // Random square chain with random ops and properties.
-            let n = rng.gen_range(2..=7);
-            let dim = rng.gen_range(2..=6usize) * 10;
+        // Both formulations share one workspace each across all chains
+        // to also exercise the reset path.
+        let mut ws_bu = GmcWorkspace::new();
+        let mut ws_td = GmcWorkspace::new();
+        for _ in 0..60 {
+            // Random chain of length up to 12 mixing matrices and
+            // vectors: boundary dimension 1 produces column/row-vector
+            // operands and outer-product / GEMV sub-problems.
+            let n = rng.gen_range(2..=12);
+            let dims: Vec<usize> = (0..=n)
+                .map(|_| {
+                    if rng.gen_bool(0.15) {
+                        1
+                    } else {
+                        rng.gen_range(2..=6usize) * 10
+                    }
+                })
+                .collect();
             let factors: Vec<Factor> = (0..n)
                 .map(|i| {
-                    let mut op = Operand::square(format!("M{i}"), dim);
-                    if rng.gen_bool(0.5) {
+                    let (rows, cols) = (dims[i], dims[i + 1]);
+                    let transposed = rng.gen_bool(0.25);
+                    let mut op = if transposed {
+                        Operand::matrix(format!("M{i}"), cols, rows)
+                    } else {
+                        Operand::matrix(format!("M{i}"), rows, cols)
+                    };
+                    if rows == cols && rows > 1 && rng.gen_bool(0.5) {
                         let p = [
                             Property::Diagonal,
                             Property::LowerTriangular,
@@ -698,18 +825,24 @@ mod tests {
                         ][rng.gen_range(0..5usize)];
                         op = op.with_property(p);
                     }
-                    let u = [
-                        UnaryOp::None,
-                        UnaryOp::Transpose,
-                        UnaryOp::Inverse,
-                        UnaryOp::InverseTranspose,
-                    ][rng.gen_range(0..4usize)];
+                    let u = if rows == cols && rng.gen_bool(0.3) {
+                        if transposed {
+                            [UnaryOp::InverseTranspose, UnaryOp::Transpose]
+                                [rng.gen_range(0..2usize)]
+                        } else {
+                            [UnaryOp::Inverse, UnaryOp::None][rng.gen_range(0..2usize)]
+                        }
+                    } else if transposed {
+                        UnaryOp::Transpose
+                    } else {
+                        UnaryOp::None
+                    };
                     Factor::new(op, u)
                 })
                 .collect();
             let chain = Chain::new(factors).unwrap();
-            let bottom_up = gmc.solve(&chain).unwrap();
-            let top_down = gmc.solve_top_down(&chain).unwrap();
+            let bottom_up = gmc.solve_with(&chain, &mut ws_bu).unwrap();
+            let top_down = gmc.solve_top_down_with(&chain, &mut ws_td).unwrap();
             assert_eq!(bottom_up.cost(), top_down.cost(), "chain {chain}");
             assert_eq!(
                 bottom_up.parenthesization(),
@@ -717,6 +850,26 @@ mod tests {
                 "chain {chain}"
             );
             assert_eq!(bottom_up.kernel_names(), top_down.kernel_names());
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_equivalent_to_fresh_solves() {
+        // Solving chains of *decreasing* length through one workspace
+        // must not leak stale cells from the larger solve.
+        let registry = KernelRegistry::blas_lapack();
+        let gmc = GmcOptimizer::new(&registry, FlopCount);
+        let mut ws = GmcWorkspace::new();
+        for n in [9usize, 5, 3, 2] {
+            let ops: Vec<Operand> = (0..n)
+                .map(|i| Operand::matrix(format!("M{i}"), 10 + 7 * i, 10 + 7 * (i + 1)))
+                .collect();
+            let chain = Chain::new(ops.into_iter().map(Factor::plain).collect()).unwrap();
+            let fresh = gmc.solve(&chain).unwrap();
+            let reused = gmc.solve_with(&chain, &mut ws).unwrap();
+            assert_eq!(fresh.cost(), reused.cost());
+            assert_eq!(fresh.parenthesization(), reused.parenthesization());
+            assert_eq!(fresh.kernel_names(), reused.kernel_names());
         }
     }
 

@@ -40,6 +40,7 @@
 mod gmc;
 pub mod mcp;
 mod metric;
+pub mod reference;
 
-pub use gmc::{GmcError, GmcOptimizer, GmcSolution, InferenceMode, Step};
+pub use gmc::{GmcError, GmcOptimizer, GmcSolution, GmcWorkspace, InferenceMode, Step};
 pub use metric::{Cost, CostMetric, FlopCount, FlopsThenKernels, FnMetric, Lex2, TimeModel};

@@ -160,13 +160,12 @@ impl TimeModel {
 
     fn size_ramp(op: &KernelOp) -> f64 {
         // Small problems do not reach asymptotic efficiency; saturate
-        // around a characteristic dimension of ~64.
-        let s = op
-            .operands()
-            .iter()
-            .map(|o| o.shape().rows().min(o.shape().cols()))
-            .max()
-            .unwrap_or(1) as f64;
+        // around a characteristic dimension of ~64. Visits operands
+        // without allocating: this runs once per split candidate on the
+        // optimizer's hot path.
+        let mut s = 1usize;
+        op.for_each_operand(|o| s = s.max(o.shape().rows().min(o.shape().cols())));
+        let s = s as f64;
         s / (s + 64.0)
     }
 }

@@ -9,7 +9,7 @@
 //! verifies.
 
 use crate::generator::{random_chains, GeneratorConfig};
-use gmc::{FlopCount, GmcOptimizer};
+use gmc::{FlopCount, GmcOptimizer, GmcWorkspace};
 use gmc_expr::Chain;
 use gmc_kernels::KernelRegistry;
 use std::time::Instant;
@@ -27,14 +27,17 @@ pub struct GenTimeStats {
     pub min: f64,
 }
 
-/// Times `GmcOptimizer::solve` on each chain (one cold run per chain).
+/// Times `GmcOptimizer::solve_with` on each chain (one run per chain,
+/// DP tables amortized across the batch through a shared
+/// [`GmcWorkspace`] — the production configuration for bulk solving).
 pub fn measure_generation_time(chains: &[Chain], registry: &KernelRegistry) -> GenTimeStats {
     let optimizer = GmcOptimizer::new(registry, FlopCount);
+    let mut workspace = GmcWorkspace::new();
     let mut times = Vec::with_capacity(chains.len());
     for chain in chains {
         let start = Instant::now();
         let solution = optimizer
-            .solve(chain)
+            .solve_with(chain, &mut workspace)
             .expect("full registry computes all chains");
         let elapsed = start.elapsed().as_secs_f64();
         // Keep the solution alive so the optimizer cannot be optimized

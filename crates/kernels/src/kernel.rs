@@ -144,6 +144,21 @@ impl KernelMatch<'_> {
     }
 }
 
+/// A kernel selected for a binary product by
+/// [`best_product_match`](crate::KernelRegistry::best_product_match):
+/// a [`KernelMatch`] with the metric cost of the instantiated operation
+/// computed exactly once and threaded along, instead of being
+/// re-evaluated per comparison and once more by the caller.
+#[derive(Debug)]
+pub struct ProductMatch<'r, C> {
+    /// The matched kernel.
+    pub kernel: &'r Kernel,
+    /// The concrete operation (with operands and flags filled in).
+    pub op: KernelOp,
+    /// The metric cost of `op`.
+    pub cost: C,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

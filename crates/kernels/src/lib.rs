@@ -37,6 +37,7 @@ mod kernel;
 mod op;
 mod registry;
 
-pub use kernel::{Constraint, Kernel, KernelMatch, OpBuilder};
+pub use gmc_pattern::FlatTermScratch;
+pub use kernel::{Constraint, Kernel, KernelMatch, OpBuilder, ProductMatch};
 pub use op::{InvKind, KernelFamily, KernelOp, Side, Uplo};
 pub use registry::{KernelRegistry, RegistryBuilder};

@@ -455,6 +455,42 @@ impl KernelOp {
             KernelOp::Inv { a, .. } => vec![a],
         }
     }
+
+    /// Visits the operands referenced by this operation, in argument
+    /// order, without allocating — the hot-path alternative to
+    /// [`operands`](Self::operands) for per-candidate cost metrics.
+    pub fn for_each_operand(&self, mut visit: impl FnMut(&Operand)) {
+        match self {
+            KernelOp::Gemm { a, b, .. }
+            | KernelOp::Trmm { a, b, .. }
+            | KernelOp::Symm { a, b, .. }
+            | KernelOp::Trsm { a, b, .. }
+            | KernelOp::Gesv { a, b, .. }
+            | KernelOp::Posv { a, b, .. }
+            | KernelOp::InvPair { a, b, .. } => {
+                visit(a);
+                visit(b);
+            }
+            KernelOp::Diag { d, b, .. } => {
+                visit(d);
+                visit(b);
+            }
+            KernelOp::Syrk { a, .. } => visit(a),
+            KernelOp::Gemv { a, x, .. }
+            | KernelOp::Trmv { a, x, .. }
+            | KernelOp::Symv { a, x }
+            | KernelOp::Trsv { a, x, .. } => {
+                visit(a);
+                visit(x);
+            }
+            KernelOp::Ger { x, y } | KernelOp::Dot { x, y } => {
+                visit(x);
+                visit(y);
+            }
+            KernelOp::Copy { b } => visit(b),
+            KernelOp::Inv { a, .. } => visit(a),
+        }
+    }
 }
 
 fn apply_t(t: bool, s: Shape) -> Shape {

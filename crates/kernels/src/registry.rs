@@ -1,10 +1,10 @@
 //! The kernel registry `K`: the set of available kernels, compiled into
 //! a discrimination net for many-to-one matching.
 
-use crate::kernel::{Constraint, Kernel, KernelMatch};
+use crate::kernel::{Constraint, Kernel, KernelMatch, ProductMatch};
 use crate::op::{KernelFamily, KernelOp, Side, Uplo};
 use gmc_expr::{Expr, Operand, Property, UnaryOp};
-use gmc_pattern::{Bindings, DiscriminationNet, Pattern, Var};
+use gmc_pattern::{Bindings, DiscriminationNet, FlatTermScratch, Pattern, Var};
 use std::collections::BTreeSet;
 
 /// The first (usually structured) pattern variable.
@@ -125,12 +125,80 @@ impl KernelRegistry {
     /// The match minimizing FLOPs, breaking ties in favor of higher
     /// kernel specificity (so `GEMV` beats `GEMM` on matrix-vector
     /// products of equal cost).
+    ///
+    /// Each candidate's FLOP count is computed once up front rather
+    /// than re-derived inside every `min_by` comparison.
     pub fn best_by_flops(&self, expr: &Expr) -> Option<KernelMatch<'_>> {
-        self.match_expr(expr).into_iter().min_by(|p, q| {
-            p.flops()
-                .total_cmp(&q.flops())
-                .then_with(|| q.kernel.specificity().cmp(&p.kernel.specificity()))
-        })
+        self.match_expr(expr)
+            .into_iter()
+            .map(|m| {
+                let flops = m.flops();
+                (m, flops)
+            })
+            .min_by(|(p, fp), (q, fq)| {
+                fp.total_cmp(fq)
+                    .then_with(|| q.kernel.specificity().cmp(&p.kernel.specificity()))
+            })
+            .map(|(m, _)| m)
+    }
+
+    /// The cheapest kernel for the binary product `left · right` under
+    /// `metric` — the allocation-free GMC hot path.
+    ///
+    /// Streams candidates straight off the discrimination net via
+    /// [`DiscriminationNet::match_product_with`]: no owned
+    /// `Expr::Times` is built, no `Vec` of matches is collected, and
+    /// constraint checks are folded into the walk. Each surviving
+    /// candidate's cost is computed exactly once and the winner's is
+    /// returned in the [`ProductMatch`].
+    ///
+    /// Selection is equivalent to running [`match_expr`](Self::match_expr)
+    /// and taking the `min_by` over `metric` with ties broken by
+    /// descending specificity and then earliest registration — the
+    /// exact kernel the collecting implementation chooses.
+    pub fn best_product_match<C, F>(
+        &self,
+        left: &Expr,
+        right: &Expr,
+        scratch: &mut FlatTermScratch,
+        mut metric: F,
+    ) -> Option<ProductMatch<'_, C>>
+    where
+        C: PartialOrd,
+        F: FnMut(&KernelOp) -> C,
+    {
+        use std::cmp::Ordering;
+        let mut best: Option<(ProductMatch<'_, C>, usize)> = None;
+        self.net
+            .match_product_with(left, right, scratch, |&id, bindings| {
+                let kernel = &self.kernels[id];
+                if !kernel.constraints().iter().all(|c| c.check(bindings)) {
+                    return;
+                }
+                let op = kernel.instantiate(bindings);
+                let cost = metric(&op);
+                // Matches stream in trie order, so replicate a min_by
+                // scan over ascending registration ids: replace on a
+                // strictly better candidate, and on full ties keep the
+                // lowest id.
+                let replace = match &best {
+                    None => true,
+                    Some((incumbent, incumbent_id)) => {
+                        let ord = incumbent
+                            .cost
+                            .partial_cmp(&cost)
+                            .unwrap_or(Ordering::Equal)
+                            .then_with(|| {
+                                kernel.specificity().cmp(&incumbent.kernel.specificity())
+                            });
+                        ord == Ordering::Greater || (ord == Ordering::Equal && id < *incumbent_id)
+                    }
+                };
+                if replace {
+                    best = Some((ProductMatch { kernel, op, cost }, id));
+                }
+            });
+        best.map(|(m, _)| m)
     }
 }
 
@@ -902,6 +970,68 @@ mod tests {
         assert_eq!(text.lines().count(), r.len() + 2); // header + separator
         assert!(text.contains("TRSM_LLN"));
         assert!(text.contains("is LowerTriangular(?0)"));
+    }
+
+    #[test]
+    fn best_product_match_agrees_with_collecting_selection() {
+        let r = registry();
+        let l = Operand::square("L", 10).with_property(Property::LowerTriangular);
+        let d = Operand::square("D", 10).with_property(Property::Diagonal);
+        let s = Operand::square("S", 10).with_property(Property::SymmetricPositiveDefinite);
+        let a = Operand::matrix("A", 10, 6);
+        let b = Operand::matrix("B", 10, 4);
+        let x = Operand::col_vector("x", 10);
+        let y = Operand::col_vector("y", 4);
+        let cases: Vec<(Expr, Expr)> = vec![
+            (l.expr(), b.expr()),
+            (l.inverse(), b.expr()),
+            (s.inverse(), b.expr()),
+            (d.expr(), b.expr()),
+            (a.transpose(), a.expr()),
+            (a.transpose(), b.expr()),
+            (a.expr(), y.transpose()),
+            (x.expr(), y.transpose()),
+            (x.transpose(), x.expr()),
+            (l.expr(), x.expr()),
+            (b.transpose(), s.inverse_transpose()),
+        ];
+        let mut scratch = FlatTermScratch::new();
+        for (le, re) in cases {
+            let product = Expr::times([le.clone(), re.clone()]);
+            let collected = r
+                .match_expr(&product)
+                .into_iter()
+                .min_by(|p, q| {
+                    p.flops()
+                        .partial_cmp(&q.flops())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| q.kernel.specificity().cmp(&p.kernel.specificity()))
+                })
+                .expect("all cases are computable");
+            let streamed = r
+                .best_product_match(&le, &re, &mut scratch, KernelOp::flops)
+                .expect("all cases are computable");
+            assert_eq!(
+                streamed.kernel.name(),
+                collected.kernel.name(),
+                "selection diverged on {product}"
+            );
+            assert_eq!(streamed.op, collected.op, "op diverged on {product}");
+            assert_eq!(streamed.cost, collected.op.flops());
+        }
+    }
+
+    #[test]
+    fn best_product_match_returns_none_without_candidates() {
+        let r = KernelRegistry::builder()
+            .only_families([KernelFamily::Gemm])
+            .build();
+        let a = Operand::square("A", 10);
+        let b = Operand::matrix("B", 10, 4);
+        let mut scratch = FlatTermScratch::new();
+        assert!(r
+            .best_product_match(&a.inverse(), &b.expr(), &mut scratch, KernelOp::flops)
+            .is_none());
     }
 
     #[test]

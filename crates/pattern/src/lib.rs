@@ -42,5 +42,5 @@
 mod net;
 mod pattern;
 
-pub use net::{DiscriminationNet, Match};
+pub use net::{DiscriminationNet, FlatTermScratch, Match};
 pub use pattern::{Bindings, Pattern, Var};

@@ -31,10 +31,15 @@ enum PatTok {
 }
 
 /// One token of a flattened subject expression.
+///
+/// Symbols are held by value: [`Operand`] is reference counted, so the
+/// clone is a refcount bump, not a heap allocation — which is what lets
+/// a [`FlatTermScratch`] buffer be reused across queries of different
+/// lifetimes.
 #[derive(Clone, Debug)]
-enum SubTok<'e> {
+enum SubTok {
     Op(OpTok),
-    Sym(&'e Operand),
+    Sym(Operand),
 }
 
 fn flatten_pattern(p: &Pattern, out: &mut Vec<PatTok>) {
@@ -67,9 +72,9 @@ fn flatten_pattern(p: &Pattern, out: &mut Vec<PatTok>) {
     }
 }
 
-fn flatten_subject<'e>(e: &'e Expr, out: &mut Vec<SubTok<'e>>) {
+fn flatten_subject(e: &Expr, out: &mut Vec<SubTok>) {
     match e {
-        Expr::Symbol(op) => out.push(SubTok::Sym(op)),
+        Expr::Symbol(op) => out.push(SubTok::Sym(op.clone())),
         Expr::Transpose(inner) => {
             out.push(SubTok::Op(OpTok::Transpose));
             flatten_subject(inner, out);
@@ -212,9 +217,11 @@ impl<P> DiscriminationNet<P> {
     pub fn matches(&self, expr: &Expr) -> Vec<Match<'_, P>> {
         let mut flat = Vec::new();
         flatten_subject(expr, &mut flat);
-        let mut out = Vec::new();
+        let mut out: Vec<(usize, Bindings)> = Vec::new();
         let mut bindings = Bindings::new();
-        self.walk(0, &flat, 0, &mut bindings, &mut out);
+        self.walk(0, &flat, 0, &mut bindings, &mut |id, b| {
+            out.push((id, b.clone()));
+        });
         // Report matches in pattern insertion order for determinism.
         out.sort_by_key(|(id, _)| *id);
         out.into_iter()
@@ -225,6 +232,60 @@ impl<P> DiscriminationNet<P> {
             .collect()
     }
 
+    /// Streaming query of the binary product `left · right` — the GMC
+    /// hot path (paper Fig. 4 line 6) — without constructing an owned
+    /// `Expr::Times`.
+    ///
+    /// The subject flatterm is built in `scratch`, whose buffer is
+    /// reused across queries, so a warm scratch makes the query
+    /// allocation-free. Matches are yielded to `visit` as
+    /// `(payload, bindings)` in **trie order**, which is *not* the
+    /// insertion order reported by [`DiscriminationNet::matches`];
+    /// order-sensitive callers must disambiguate via the payload (see
+    /// `gmc_kernels::KernelRegistry::best_product_match`). The borrowed
+    /// bindings are only valid for the duration of the call.
+    ///
+    /// The subject is the product [`Expr::times`] would build from the
+    /// two factors: a factor that is itself a product contributes its
+    /// factors to the parent (the GMC DP never produces one, but the
+    /// equivalence with [`matches`](Self::matches) holds regardless).
+    pub fn match_product_with<F>(
+        &self,
+        left: &Expr,
+        right: &Expr,
+        scratch: &mut FlatTermScratch,
+        mut visit: F,
+    ) where
+        F: FnMut(&P, &Bindings),
+    {
+        fn arity(e: &Expr) -> usize {
+            match e {
+                Expr::Times(fs) => fs.len(),
+                _ => 1,
+            }
+        }
+        fn flatten_factor(e: &Expr, out: &mut Vec<SubTok>) {
+            match e {
+                Expr::Times(fs) => {
+                    for f in fs {
+                        flatten_subject(f, out);
+                    }
+                }
+                other => flatten_subject(other, out),
+            }
+        }
+        scratch.flat.clear();
+        scratch
+            .flat
+            .push(SubTok::Op(OpTok::Times(arity(left) + arity(right))));
+        flatten_factor(left, &mut scratch.flat);
+        flatten_factor(right, &mut scratch.flat);
+        let mut bindings = Bindings::new();
+        self.walk(0, &scratch.flat, 0, &mut bindings, &mut |id, b| {
+            visit(&self.payloads[id], b);
+        });
+    }
+
     /// Whether any pattern matches `expr`.
     pub fn any_match(&self, expr: &Expr) -> bool {
         !self.matches(expr).is_empty()
@@ -233,14 +294,14 @@ impl<P> DiscriminationNet<P> {
     fn walk(
         &self,
         node: usize,
-        flat: &[SubTok<'_>],
+        flat: &[SubTok],
         pos: usize,
         bindings: &mut Bindings,
-        out: &mut Vec<(usize, Bindings)>,
+        visit: &mut dyn FnMut(usize, &Bindings),
     ) {
         if pos == flat.len() {
             for &id in &self.nodes[node].terminal {
-                out.push((id, bindings.clone()));
+                visit(id, bindings);
             }
             return;
         }
@@ -248,7 +309,7 @@ impl<P> DiscriminationNet<P> {
             SubTok::Op(op) => {
                 for &(tok, child) in &self.nodes[node].op_edges {
                     if tok == *op {
-                        self.walk(child, flat, pos + 1, bindings, out);
+                        self.walk(child, flat, pos + 1, bindings, visit);
                     }
                 }
             }
@@ -256,7 +317,7 @@ impl<P> DiscriminationNet<P> {
                 for &(var, child) in &self.nodes[node].wild_edges {
                     let was_bound = bindings.get(var).is_some();
                     if bindings.bind(var, operand) {
-                        self.walk(child, flat, pos + 1, bindings, out);
+                        self.walk(child, flat, pos + 1, bindings, visit);
                         if !was_bound {
                             bindings.unbind(var);
                         }
@@ -264,6 +325,23 @@ impl<P> DiscriminationNet<P> {
                 }
             }
         }
+    }
+}
+
+/// A reusable flatterm buffer for [`DiscriminationNet::match_product_with`].
+///
+/// Queries clear and refill the buffer, so its capacity — a handful of
+/// tokens for the bounded products the GMC DP emits — is allocated once
+/// and amortized over the O(n³) split candidates of a solve.
+#[derive(Debug, Default)]
+pub struct FlatTermScratch {
+    flat: Vec<SubTok>,
+}
+
+impl FlatTermScratch {
+    /// Creates an empty scratch buffer.
+    pub fn new() -> Self {
+        FlatTermScratch::default()
     }
 }
 
@@ -407,6 +485,80 @@ mod tests {
         assert_eq!(*hits[0].payload, "xy");
         assert_eq!(hits[0].bindings.get(x()).unwrap().name(), "A");
         assert_eq!(hits[0].bindings.get(y()).unwrap().name(), "B");
+    }
+
+    #[test]
+    fn match_product_streams_without_owned_times() {
+        let mut net = DiscriminationNet::new();
+        net.insert(
+            Pattern::times2(Pattern::var(x()), Pattern::var(y())),
+            "general",
+        );
+        net.insert(
+            Pattern::times2(Pattern::var(x()), Pattern::var(x())),
+            "squared",
+        );
+        let a = Operand::square("A", 3);
+        let mut scratch = FlatTermScratch::new();
+        let mut seen = Vec::new();
+        net.match_product_with(&a.expr(), &a.expr(), &mut scratch, |p, b| {
+            seen.push((*p, b.get(x()).unwrap().name().to_owned()));
+        });
+        seen.sort();
+        assert_eq!(
+            seen,
+            vec![("general", "A".to_owned()), ("squared", "A".to_owned())]
+        );
+        // The same scratch serves queries over different operands.
+        let b = Operand::square("B", 3);
+        let mut count = 0;
+        net.match_product_with(&a.expr(), &b.expr(), &mut scratch, |_, _| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn match_product_flattens_nested_product_factors() {
+        // A factor that is itself a product behaves as in
+        // Expr::times: the binary pattern must NOT match the
+        // resulting ternary product, exactly like `matches`.
+        let mut net = DiscriminationNet::new();
+        net.insert(Pattern::times2(Pattern::var(x()), Pattern::var(y())), "mm");
+        let a = Operand::square("A", 3);
+        let b = Operand::square("B", 3);
+        let c = Operand::square("C", 3);
+        let left = a.expr() * b.expr();
+        assert!(net
+            .matches(&Expr::times([left.clone(), c.expr()]))
+            .is_empty());
+        let mut scratch = FlatTermScratch::new();
+        let mut count = 0;
+        net.match_product_with(&left, &c.expr(), &mut scratch, |_, _| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn match_product_agrees_with_matches_on_unary_factors() {
+        let mut net = DiscriminationNet::new();
+        net.insert(
+            Pattern::times2(Pattern::inverse(Pattern::var(x())), Pattern::var(y())),
+            "solve",
+        );
+        net.insert(
+            Pattern::times2(Pattern::var(x()), Pattern::var(y())),
+            "general",
+        );
+        let a = Operand::square("A", 3);
+        let b = Operand::matrix("B", 3, 2);
+        let owned = net.matches(&(a.inverse() * b.expr()));
+        let mut streamed = Vec::new();
+        let mut scratch = FlatTermScratch::new();
+        net.match_product_with(&a.inverse(), &b.expr(), &mut scratch, |p, _| {
+            streamed.push(*p);
+        });
+        streamed.sort_unstable();
+        let mut owned_payloads: Vec<&str> = owned.iter().map(|m| *m.payload).collect();
+        owned_payloads.sort_unstable();
+        assert_eq!(streamed, owned_payloads);
     }
 
     #[test]

@@ -267,6 +267,40 @@ proptest! {
         }
     }
 
+    /// The allocation-free solver is bit-identical to the retained
+    /// naive reference implementation (`gmc::reference`): same cost,
+    /// same parenthesization, same kernel sequence — in both inference
+    /// modes, and for the top-down formulation as well.
+    #[test]
+    fn solve_matches_naive_reference(seed in 0u64..1_000_000) {
+        use gmc::{GmcWorkspace, InferenceMode};
+        use gmc::reference::solve_reference;
+        let config = GeneratorConfig::measured_scale();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chain = random_chain(&config, &mut rng);
+        let registry = KernelRegistry::blas_lapack();
+        let mut ws = GmcWorkspace::new();
+        for mode in [InferenceMode::Compositional, InferenceMode::Deep] {
+            let optimizer = GmcOptimizer::new(&registry, FlopCount).with_inference(mode);
+            let reference = solve_reference(&registry, &FlopCount, mode, &chain)
+                .expect("full registry computes all chains");
+            let fast = optimizer.solve_with(&chain, &mut ws)
+                .expect("full registry computes all chains");
+            prop_assert_eq!(fast.cost(), reference.cost(), "cost diverged ({:?}) on {}", mode, &chain);
+            prop_assert_eq!(
+                fast.parenthesization(),
+                reference.parenthesization(),
+                "parenthesization diverged ({:?}) on {}", mode, &chain
+            );
+            prop_assert_eq!(fast.kernel_names(), reference.kernel_names());
+            let top_down = optimizer.solve_top_down_with(&chain, &mut ws)
+                .expect("full registry computes all chains");
+            prop_assert_eq!(top_down.cost(), reference.cost());
+            prop_assert_eq!(top_down.parenthesization(), reference.parenthesization());
+            prop_assert_eq!(top_down.kernel_names(), reference.kernel_names());
+        }
+    }
+
     /// On a classic chain — all operands dense, unstructured and
     /// un-operated — GMC degenerates exactly to the textbook MCP DP:
     /// both find the same minimal FLOP count (GEMM at `2mnk` matches

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates the tracked generation-time benchmark numbers in
+# BENCH_gentime.json (median seconds per solve by chain length; see
+# README § Performance).
+#
+#   tools/bench_gentime.sh              # full run
+#   tools/bench_gentime.sh --quick      # CI smoke: few samples
+#   tools/bench_gentime.sh --out /tmp/b.json
+#
+# The "before" slot drives the retained pre-refactor implementation
+# (gmc::reference::solve_reference) and the "after" slot the
+# allocation-free hot path, interleaved in one process, so the
+# recorded speedups are robust to machine-condition drift.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p gmc-bench --bin gentime_json -- "$@"
