@@ -39,9 +39,11 @@
 
 mod infer;
 mod predicates;
+pub mod symbolic;
 
 pub use infer::{canonical_transpose, infer_properties};
 pub use predicates::{
     is_diagonal, is_full_rank, is_identity, is_lower_triangular, is_orthogonal, is_permutation,
     is_spd, is_symmetric, is_unit_diagonal, is_upper_triangular, is_zero,
 };
+pub use symbolic::Tri;

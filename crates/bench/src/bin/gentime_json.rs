@@ -13,13 +13,18 @@
 //! slot from the allocation-free hot path (`GmcOptimizer::solve`,
 //! plus `solve_with` on a reused [`gmc::GmcWorkspace`]) — in the same
 //! process, interleaved per chain length, so the speedups are immune
-//! to machine-condition drift between runs. `--quick` cuts the sample
-//! count for CI smoke runs.
+//! to machine-condition drift between runs. The `plan_cache` group
+//! measures the symbolic pipeline (ISSUE 3): a cold symbolic solve
+//! (structure miss, records the region plan) vs a cached instantiate
+//! at fresh sizes in the same region, with the hit-vs-concrete-solve
+//! speedup tracked per length. `--quick` cuts the sample count for CI
+//! smoke runs.
 
 use gmc::reference::solve_reference;
 use gmc::{FlopCount, GmcOptimizer, GmcWorkspace, InferenceMode};
-use gmc_bench::length_chain;
+use gmc_bench::{length_bindings, length_chain, symbolic_length_chain};
 use gmc_kernels::KernelRegistry;
+use gmc_plan::{PlanCache, PlanOutcome};
 use serde::Value;
 use std::time::Instant;
 
@@ -70,6 +75,9 @@ fn main() {
     let mut after_medians: Vec<(String, Value)> = Vec::new();
     let mut reuse_medians: Vec<(String, Value)> = Vec::new();
     let mut speedups: Vec<(String, Value)> = Vec::new();
+    let mut plan_cold_medians: Vec<(String, Value)> = Vec::new();
+    let mut plan_warm_medians: Vec<(String, Value)> = Vec::new();
+    let mut plan_speedups: Vec<(String, Value)> = Vec::new();
     for n in LENGTHS {
         let chain = length_chain(n);
         let before = measure(samples, || {
@@ -85,17 +93,50 @@ fn main() {
         let reused = measure(samples, || {
             std::hint::black_box(optimizer.solve_with(&chain, &mut ws).expect("computable"));
         });
+
+        // Plan-cache group: cold symbolic solve (structure miss,
+        // records the region plan) vs cached instantiate at *different*
+        // sizes in the same region (the serving hot path).
+        let sym = symbolic_length_chain(n);
+        let base = length_bindings(n, 1);
+        let scaled = length_bindings(n, 2);
+        let plan_cold = measure(samples, || {
+            let mut cache = PlanCache::new(&registry, InferenceMode::default());
+            std::hint::black_box(cache.solve(&sym, &base).expect("computable"));
+        });
+        let mut cache = PlanCache::new(&registry, InferenceMode::default());
+        cache.solve(&sym, &base).expect("computable");
+        let (_, outcome) = cache.solve(&sym, &scaled).expect("computable");
+        assert_eq!(
+            outcome,
+            PlanOutcome::Hit,
+            "scaled sizes must share the region"
+        );
+        let mut flip = false;
+        let plan_warm = measure(samples, || {
+            // Alternate two bindings so no per-binding state is warm.
+            flip = !flip;
+            let b = if flip { &scaled } else { &base };
+            std::hint::black_box(cache.solve(&sym, b).expect("computable"));
+        });
+
         eprintln!(
-            "n={n:<3} reference {:>9.1} us   solve {:>9.1} us   solve_with(reused) {:>9.1} us   speedup {:.2}x",
+            "n={n:<3} reference {:>9.1} us   solve {:>9.1} us   solve_with(reused) {:>9.1} us   speedup {:.2}x   plan cold {:>9.1} us   plan hit {:>9.1} us   hit vs solve {:.2}x",
             before * 1e6,
             after * 1e6,
             reused * 1e6,
-            before / after
+            before / after,
+            plan_cold * 1e6,
+            plan_warm * 1e6,
+            after / plan_warm
         );
         before_medians.push((n.to_string(), Value::Number(before)));
         after_medians.push((n.to_string(), Value::Number(after)));
         reuse_medians.push((n.to_string(), Value::Number(reused)));
         speedups.push((n.to_string(), Value::Number(before / after)));
+        plan_cold_medians.push((n.to_string(), Value::Number(plan_cold)));
+        plan_warm_medians.push((n.to_string(), Value::Number(plan_warm)));
+        plan_speedups.push((n.to_string(), Value::Number(after / plan_warm)));
     }
 
     let doc = Value::Object(vec![
@@ -135,6 +176,23 @@ fn main() {
             ]),
         ),
         ("speedup_median".to_owned(), Value::Object(speedups)),
+        (
+            "plan_cache".to_owned(),
+            Value::Object(vec![
+                (
+                    "cold_symbolic_solve_median_seconds_by_length".to_owned(),
+                    Value::Object(plan_cold_medians),
+                ),
+                (
+                    "cached_instantiate_median_seconds_by_length".to_owned(),
+                    Value::Object(plan_warm_medians),
+                ),
+                (
+                    "instantiate_speedup_vs_concrete_solve".to_owned(),
+                    Value::Object(plan_speedups),
+                ),
+            ]),
+        ),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("finite numbers only");
     std::fs::write(&out_path, json + "\n").expect("write bench json");

@@ -5,7 +5,7 @@
 #![forbid(unsafe_code)]
 
 use gmc_experiments::generator::{random_chains, GeneratorConfig};
-use gmc_expr::{Chain, Factor, Operand};
+use gmc_expr::{Chain, Dim, DimBindings, Factor, Operand, SymChain, SymFactor, SymOperand};
 
 /// The dense chain measured by `generation_time_by_length/<n>` — shared
 /// by the Criterion bench and the `gentime_json` bin so
@@ -16,6 +16,34 @@ pub fn length_chain(n: usize) -> Chain {
         .map(|i| Operand::matrix(format!("M{i}"), 100 + 50 * i, 100 + 50 * (i + 1)))
         .collect();
     Chain::new(ops.into_iter().map(Factor::plain).collect()).expect("dense chain is well-formed")
+}
+
+/// The symbolic counterpart of [`length_chain`]: every boundary
+/// dimension is a distinct variable `d0..dn`. [`length_bindings`] with
+/// `scale = 1` reproduces exactly the sizes of `length_chain(n)`, and
+/// any positive `scale` stays in the same size region (the dimensions
+/// remain strictly increasing), so scaled bindings exercise the plan
+/// cache's instantiate path.
+pub fn symbolic_length_chain(n: usize) -> SymChain {
+    let factors: Vec<SymFactor> = (0..n)
+        .map(|i| {
+            SymFactor::plain(SymOperand::new(
+                format!("M{i}"),
+                Dim::var(&format!("d{i}")),
+                Dim::var(&format!("d{}", i + 1)),
+            ))
+        })
+        .collect();
+    SymChain::new(factors).expect("dense chain is well-formed")
+}
+
+/// Bindings for [`symbolic_length_chain`]: `d<i> = scale · (100 + 50·i)`.
+pub fn length_bindings(n: usize, scale: usize) -> DimBindings {
+    let mut b = DimBindings::new();
+    for i in 0..=n {
+        b.set(&format!("d{i}"), scale * (100 + 50 * i));
+    }
+    b
 }
 
 /// A small, deterministic set of representative test chains at

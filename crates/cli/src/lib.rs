@@ -7,10 +7,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use gmc::{FlopCount, GmcOptimizer, GmcWorkspace, TimeModel};
-use gmc_codegen::{Emitter, JuliaEmitter, PseudoEmitter, RustEmitter};
-use gmc_expr::Chain;
+use gmc::{FlopCount, GmcOptimizer, GmcWorkspace, InferenceMode, TimeModel};
+use gmc_codegen::{emit_size_generic_rust, Emitter, JuliaEmitter, PseudoEmitter, RustEmitter};
+use gmc_expr::{Chain, DimBindings};
+use gmc_frontend::SymbolicProblem;
 use gmc_kernels::KernelRegistry;
+use gmc_plan::PlanCache;
 use gmc_runtime::{validate_against_reference, Env};
 use std::fmt::Write as _;
 
@@ -71,6 +73,9 @@ pub struct Options {
     /// Execute the generated program on random inputs and validate it
     /// against the reference evaluation.
     pub check: bool,
+    /// Dimension-variable bindings (`--bind n=2000`) for problems with
+    /// symbolic dimensions.
+    pub bind: Vec<(String, usize)>,
 }
 
 impl Default for Options {
@@ -79,6 +84,7 @@ impl Default for Options {
             emit: Emit::Julia,
             metric: Metric::Flops,
             check: false,
+            bind: Vec::new(),
         }
     }
 }
@@ -93,6 +99,9 @@ impl Default for Options {
 pub fn compile(input: &str, options: &Options) -> Result<String, String> {
     let problem = gmc_frontend::parse(input).map_err(|e| gmc_frontend::render_error(input, &e))?;
     let registry = KernelRegistry::blas_lapack();
+    // Mixed problems: concrete assignments compile exactly as in a
+    // fully concrete problem, then the symbolic ones go through the
+    // plan cache.
     let mut out = String::new();
     // Both metrics cost in f64, so one workspace amortizes the DP
     // tables across every assignment of the problem.
@@ -143,6 +152,82 @@ pub fn compile(input: &str, options: &Options) -> Result<String, String> {
         }
         out.push('\n');
     }
+    if let Some(symbolic) = &problem.symbolic {
+        if !symbolic.chains.is_empty() {
+            out.push_str(&compile_symbolic(symbolic, &registry, options)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Compiles the symbolic assignments of a problem: every chain
+/// structure is solved through a [`PlanCache`] at the sizes given by
+/// `--bind`, so assignments sharing a structure hit the cached plan.
+fn compile_symbolic(
+    problem: &SymbolicProblem,
+    registry: &KernelRegistry,
+    options: &Options,
+) -> Result<String, String> {
+    if options.metric != Metric::Flops {
+        return Err(
+            "symbolic problems support only the flops metric (polynomial costs)".to_owned(),
+        );
+    }
+    let mut bindings = DimBindings::new();
+    for (name, value) in &options.bind {
+        bindings.set(name, *value);
+    }
+    let mut cache = PlanCache::new(registry, InferenceMode::Compositional);
+    let mut out = String::new();
+    for (target, chain) in &problem.chains {
+        let missing: Vec<String> = chain
+            .vars()
+            .iter()
+            .filter(|v| bindings.get(**v).is_none())
+            .map(|v| v.name().to_owned())
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "assignment `{target}`: unbound dimension variables {} (pass --bind NAME=SIZE)",
+                missing.join(", ")
+            ));
+        }
+        let (solution, outcome) = cache
+            .solve(chain, &bindings)
+            .map_err(|e| format!("assignment `{target}`: {e}"))?;
+        let program = solution.program();
+        writeln!(out, "# {target} := {chain}   [at {bindings}]").expect("string write");
+        writeln!(out, "# parenthesization: {}", solution.parenthesization()).expect("string write");
+        writeln!(out, "# cost: {:.4e} flops", solution.flops()).expect("string write");
+        if let Some(summary) = cache.region_summary(chain, &bindings) {
+            writeln!(
+                out,
+                "# plan: {outcome}; cells: {summary}; regions split on <= {} shape questions",
+                gmc_plan::undecided_shape_questions(chain)
+            )
+            .expect("string write");
+        }
+        let code = match options.emit {
+            Emit::Julia => JuliaEmitter::default().emit(&program),
+            // Symbolic problems emit the size-generic form: one
+            // function per assignment, parameterized by the dims.
+            Emit::Rust => emit_size_generic_rust(&program, chain),
+            Emit::Pseudo => PseudoEmitter.emit(&program),
+        };
+        out.push_str(&code);
+        out.push('\n');
+        if options.check {
+            let concrete = chain
+                .bind(&bindings)
+                .map_err(|e| format!("assignment `{target}`: {e}"))?;
+            let env = Env::random_for_chain(&concrete, 0xC60);
+            validate_against_reference(&program, &concrete, &env, 1e-6)
+                .map_err(|e| format!("assignment `{target}`: validation failed: {e}"))?;
+            writeln!(out, "# check: OK (matches reference evaluation)").expect("string write");
+        }
+        out.push('\n');
+    }
+    writeln!(out, "# plan cache: {}", cache.stats()).expect("string write");
     Ok(out)
 }
 
@@ -222,6 +307,88 @@ X := A^-1 * B
     fn parse_errors_are_surfaced() {
         let err = compile("Matrix A (5, 5)\nX := A * Q\n", &Options::default()).unwrap_err();
         assert!(err.contains("not defined"));
+    }
+
+    const TABLE2_SYMBOLIC: &str = "\
+Matrix A (n, n) <SPD>
+Matrix B (n, m)
+Matrix C (m, m) <LowerTriangular>
+X := A^-1 * B * C^T
+Y := A^-1 * B * C^T
+";
+
+    #[test]
+    fn symbolic_problem_compiles_through_plan_cache() {
+        let out = compile(
+            TABLE2_SYMBOLIC,
+            &Options {
+                bind: vec![("n".into(), 2000), ("m".into(), 200)],
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        // Same kernel sequence as the concrete Table 2 problem.
+        assert!(out.contains("trmm!"), "{out}");
+        assert!(out.contains("posv!"), "{out}");
+        // The second assignment shares the structure: a cache hit.
+        assert!(out.contains("plan: hit"), "{out}");
+        assert!(out.contains("plan cache: 2 requests: 1 hits"), "{out}");
+    }
+
+    #[test]
+    fn symbolic_rust_emission_is_size_generic() {
+        let out = compile(
+            TABLE2_SYMBOLIC,
+            &Options {
+                emit: Emit::Rust,
+                bind: vec![("n".into(), 40), ("m".into(), 20)],
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(out.contains("pub fn compute(n: usize, m: usize"), "{out}");
+    }
+
+    #[test]
+    fn symbolic_check_mode_validates() {
+        let out = compile(
+            "Matrix A (n, n) <SPD>\nMatrix B (n, m)\nX := A^-1 * B\n",
+            &Options {
+                check: true,
+                bind: vec![("n".into(), 30), ("m".into(), 10)],
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(out.contains("check: OK"), "{out}");
+    }
+
+    #[test]
+    fn symbolic_missing_binding_is_reported() {
+        let err = compile(
+            TABLE2_SYMBOLIC,
+            &Options {
+                bind: vec![("n".into(), 2000)],
+                ..Options::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("unbound dimension variables m"), "{err}");
+        assert!(err.contains("--bind"), "{err}");
+    }
+
+    #[test]
+    fn symbolic_time_metric_rejected() {
+        let err = compile(
+            TABLE2_SYMBOLIC,
+            &Options {
+                metric: Metric::Time,
+                bind: vec![("n".into(), 10), ("m".into(), 10)],
+                ..Options::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("flops metric"), "{err}");
     }
 
     #[test]

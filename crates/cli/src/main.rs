@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! gmcc [FILE] [--emit julia|rust|pseudo] [--metric flops|time] [--check]
+//!      [--bind NAME=SIZE[,NAME=SIZE...]]
 //! ```
 //!
 //! Reads a problem description in the paper's input language (from FILE
 //! or stdin), runs the Generalized Matrix Chain algorithm on every
 //! assignment and prints generated code with cost annotations.
+//! Problems with symbolic dimensions (`Matrix A (n, m)`) are compiled
+//! through the `gmc-plan` cache at the sizes given by `--bind`.
 
 use gmc_cli::{compile, Emit, Metric, Options};
 use std::io::Read;
@@ -41,9 +44,31 @@ fn main() -> ExitCode {
                 }
             },
             "--check" => options.check = true,
+            "--bind" => match args.next() {
+                Some(spec) => {
+                    for part in spec.split(',') {
+                        match part.split_once('=').and_then(|(name, value)| {
+                            let name = name.trim();
+                            let value = value.trim().parse::<usize>().ok()?;
+                            (!name.is_empty()).then(|| (name.to_owned(), value))
+                        }) {
+                            Some(binding) => options.bind.push(binding),
+                            None => {
+                                eprintln!("gmcc: --bind expects NAME=SIZE, got `{part}`");
+                                return ExitCode::from(2);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    eprintln!("gmcc: --bind needs a value (NAME=SIZE[,NAME=SIZE...])");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: gmcc [FILE] [--emit julia|rust|pseudo] [--metric flops|time] [--check]"
+                    "usage: gmcc [FILE] [--emit julia|rust|pseudo] [--metric flops|time] \
+                     [--check] [--bind NAME=SIZE[,NAME=SIZE...]]"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -37,11 +37,13 @@ mod julia;
 mod program;
 mod pseudo;
 mod rust;
+mod sym;
 
 pub use julia::JuliaEmitter;
 pub use program::{Instruction, Program};
 pub use pseudo::{math_form, PseudoEmitter};
 pub use rust::RustEmitter;
+pub use sym::emit_size_generic_rust;
 
 /// Translates a [`Program`] into source text for some target language.
 pub trait Emitter {

@@ -30,6 +30,19 @@ impl fmt::Display for GmcError {
     }
 }
 
+impl GmcError {
+    /// Builds a [`GmcError::NotComputable`] for a chain's display form.
+    ///
+    /// The enum is `#[non_exhaustive]`, so out-of-crate solvers that
+    /// share this error type (the symbolic planner in `gmc-plan`) need a
+    /// constructor.
+    pub fn not_computable(chain: impl Into<String>) -> GmcError {
+        GmcError::NotComputable {
+            chain: chain.into(),
+        }
+    }
+}
+
 impl std::error::Error for GmcError {}
 
 /// How temporaries' properties are derived (DESIGN.md ablation #1).
@@ -71,14 +84,14 @@ pub struct GmcSolution<C> {
 }
 
 impl<C: Cost> GmcSolution<C> {
-    /// Assembles a solution from its parts (used by the retained
-    /// reference implementation in [`crate::reference`]).
-    pub(crate) fn from_parts(
-        steps: Vec<Step<C>>,
-        total_cost: C,
-        total_flops: f64,
-        paren: String,
-    ) -> Self {
+    /// Assembles a solution from its parts.
+    ///
+    /// Used by the retained reference implementation in
+    /// [`crate::reference`] and by the symbolic plan instantiation path
+    /// in `gmc-plan`, both of which reproduce the optimizer's output
+    /// through independent code paths.
+    #[doc(hidden)]
+    pub fn from_parts(steps: Vec<Step<C>>, total_cost: C, total_flops: f64, paren: String) -> Self {
         GmcSolution {
             steps,
             total_cost,

@@ -39,17 +39,23 @@
 #![warn(missing_docs)]
 
 mod chain;
+mod dim;
 mod error;
 mod expr;
 mod operand;
+mod poly;
 mod properties;
 mod shape;
 mod simplify;
+mod sym;
 
 pub use chain::{Chain, Factor, UnaryOp};
+pub use dim::{Dim, DimBindings, DimError, DimVar};
 pub use error::ExprError;
 pub use expr::Expr;
 pub use operand::{Operand, OperandKind};
+pub use poly::CostPoly;
 pub use properties::{ParsePropertyError, Property, PropertySet};
-pub use shape::Shape;
+pub use shape::{GenShape, Shape, ShapeError, SymShape};
 pub use simplify::simplify;
+pub use sym::{SymChain, SymChainError, SymFactor, SymOperand};

@@ -1,0 +1,349 @@
+//! Multivariate cost polynomials over dimension variables.
+//!
+//! Symbolic FLOP counts (and any polynomial cost metric) are represented
+//! as [`CostPoly`]: a sum of monomials in the chain's [`DimVar`]s with
+//! `f64` coefficients. The GMC recurrence only needs addition and
+//! comparison of costs; for polynomials the comparison is a *partial*
+//! order, decided by dominance on the positive orthant: `p ≤ q` for all
+//! dimension assignments `≥ 1` whenever `q − p`, re-expanded around the
+//! point `(1, …, 1)` (substituting `v → 1 + v'` for every variable), has
+//! only non-negative coefficients. Splits whose cost polynomials are not
+//! comparable under this order are *deferred* by the symbolic optimizer
+//! and decided at bind time.
+
+use crate::dim::{Dim, DimBindings, DimError, DimVar};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monomial: variables with positive exponents, sorted by variable.
+type Monomial = Vec<(DimVar, u32)>;
+
+/// A multivariate polynomial cost in the dimension variables.
+///
+/// # Example
+///
+/// ```
+/// use gmc_expr::{CostPoly, Dim, DimBindings};
+///
+/// // 2·n·m + n²
+/// let n = CostPoly::from_dim(Dim::var("n"));
+/// let m = CostPoly::from_dim(Dim::var("m"));
+/// let p = n.mul(&m).scale(2.0).add(&n.mul(&n));
+/// let b = DimBindings::new().with("n", 3).with("m", 4);
+/// assert_eq!(p.eval(&b).unwrap(), 33.0);
+/// // n² + 2nm dominates n² on the positive orthant…
+/// assert!(n.mul(&n).dominated_by(&p));
+/// // …but n² and m² are incomparable.
+/// assert!(!n.mul(&n).dominated_by(&m.mul(&m)));
+/// assert!(!m.mul(&m).dominated_by(&n.mul(&n)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CostPoly {
+    terms: BTreeMap<Monomial, f64>,
+}
+
+impl CostPoly {
+    /// The zero polynomial.
+    pub fn zero() -> CostPoly {
+        CostPoly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: f64) -> CostPoly {
+        let mut p = CostPoly::zero();
+        if c != 0.0 {
+            p.terms.insert(Vec::new(), c);
+        }
+        p
+    }
+
+    /// The polynomial `d` (a constant or a single variable).
+    pub fn from_dim(d: Dim) -> CostPoly {
+        match d {
+            Dim::Const(v) => CostPoly::constant(v as f64),
+            Dim::Var(v) => {
+                let mut p = CostPoly::zero();
+                p.terms.insert(vec![(v, 1)], 1.0);
+                p
+            }
+        }
+    }
+
+    /// Whether the polynomial is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The coefficient of the constant monomial.
+    pub fn constant_term(&self) -> f64 {
+        self.terms.get(&Vec::new()).copied().unwrap_or(0.0)
+    }
+
+    /// The total degree of the polynomial (0 for constants and zero).
+    pub fn degree(&self) -> u32 {
+        self.terms
+            .keys()
+            .map(|m| m.iter().map(|(_, e)| e).sum())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The distinct variables appearing with non-zero coefficient.
+    pub fn vars(&self) -> Vec<DimVar> {
+        let mut out: Vec<DimVar> = Vec::new();
+        for m in self.terms.keys() {
+            for (v, _) in m {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Sum of two polynomials.
+    #[must_use]
+    pub fn add(&self, other: &CostPoly) -> CostPoly {
+        let mut out = self.clone();
+        for (m, c) in &other.terms {
+            let e = out.terms.entry(m.clone()).or_insert(0.0);
+            *e += c;
+            if *e == 0.0 {
+                out.terms.remove(m);
+            }
+        }
+        out
+    }
+
+    /// Difference `self − other`.
+    #[must_use]
+    pub fn sub(&self, other: &CostPoly) -> CostPoly {
+        self.add(&other.scale(-1.0))
+    }
+
+    /// Product of two polynomials.
+    #[must_use]
+    pub fn mul(&self, other: &CostPoly) -> CostPoly {
+        let mut out = CostPoly::zero();
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &other.terms {
+                let m = merge_monomials(ma, mb);
+                let e = out.terms.entry(m.clone()).or_insert(0.0);
+                *e += ca * cb;
+                if *e == 0.0 {
+                    out.terms.remove(&m);
+                }
+            }
+        }
+        out
+    }
+
+    /// Scalar multiple.
+    #[must_use]
+    pub fn scale(&self, s: f64) -> CostPoly {
+        if s == 0.0 {
+            return CostPoly::zero();
+        }
+        CostPoly {
+            terms: self.terms.iter().map(|(m, c)| (m.clone(), c * s)).collect(),
+        }
+    }
+
+    /// Evaluates the polynomial under `bindings`.
+    ///
+    /// Note that this is *reference* evaluation for reports and tests:
+    /// the plan-cache hot path evaluates kernel costs through the exact
+    /// per-kernel FLOP formulas instead, so that instantiated costs are
+    /// bit-identical to the concrete optimizer's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DimError::UnboundVar`] for unbound variables.
+    pub fn eval(&self, bindings: &DimBindings) -> Result<f64, DimError> {
+        let mut total = 0.0;
+        for (m, c) in &self.terms {
+            let mut v = *c;
+            for (var, e) in m {
+                let x = bindings.get(*var).ok_or(DimError::UnboundVar(*var))? as f64;
+                for _ in 0..*e {
+                    v *= x;
+                }
+            }
+            total += v;
+        }
+        Ok(total)
+    }
+
+    /// Whether `self ≤ other` for every assignment of values `≥ 1` to
+    /// the variables (dominance on the positive orthant).
+    ///
+    /// Decided by a sufficient criterion that is exact for the FLOP
+    /// polynomials arising here: expand `other − self` around the point
+    /// `(1, …, 1)` (substitute `v → 1 + v'`); if every coefficient of
+    /// the shifted polynomial is non-negative, the difference is
+    /// non-negative and monotone for all `v ≥ 1`.
+    pub fn dominated_by(&self, other: &CostPoly) -> bool {
+        other.sub(self).shifted_coeffs_nonneg()
+    }
+
+    /// Whether `self ≤ other` everywhere *and* `self < other` for every
+    /// assignment `≥ 1` (the shifted difference has a strictly positive
+    /// constant term, its minimum over the orthant).
+    pub fn strictly_dominated_by(&self, other: &CostPoly) -> bool {
+        let diff = other.sub(self);
+        let shifted = diff.shifted();
+        shifted.terms.values().all(|&c| c >= 0.0) && shifted.constant_term() > 0.0
+    }
+
+    /// Re-expands the polynomial in `v' = v − 1` for every variable.
+    fn shifted(&self) -> CostPoly {
+        let mut out = CostPoly::zero();
+        for (m, c) in &self.terms {
+            // Π (1 + v')^e expands via repeated multiplication.
+            let mut term = CostPoly::constant(*c);
+            for (var, e) in m {
+                let one_plus = CostPoly::constant(1.0).add(&CostPoly::from_dim(Dim::Var(*var)));
+                for _ in 0..*e {
+                    term = term.mul(&one_plus);
+                }
+            }
+            out = out.add(&term);
+        }
+        out
+    }
+
+    fn shifted_coeffs_nonneg(&self) -> bool {
+        self.shifted().terms.values().all(|&c| c >= 0.0)
+    }
+}
+
+fn merge_monomials(a: &Monomial, b: &Monomial) -> Monomial {
+    let mut out: BTreeMap<DimVar, u32> = BTreeMap::new();
+    for (v, e) in a.iter().chain(b.iter()) {
+        *out.entry(*v).or_insert(0) += e;
+    }
+    out.into_iter().collect()
+}
+
+impl fmt::Display for CostPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        // Highest-degree terms first reads like big-O notation.
+        let mut terms: Vec<(&Monomial, &f64)> = self.terms.iter().collect();
+        terms.sort_by(|(ma, _), (mb, _)| {
+            let da: u32 = ma.iter().map(|(_, e)| e).sum();
+            let db: u32 = mb.iter().map(|(_, e)| e).sum();
+            db.cmp(&da).then_with(|| ma.cmp(mb))
+        });
+        for (i, (m, c)) in terms.into_iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if m.is_empty() {
+                write!(f, "{c}")?;
+            } else {
+                if (*c - 1.0).abs() > f64::EPSILON {
+                    write!(f, "{c:.4} ")?;
+                }
+                for (j, (v, e)) in m.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, " ")?;
+                    }
+                    if *e == 1 {
+                        write!(f, "{v}")?;
+                    } else {
+                        write!(f, "{v}^{e}")?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> CostPoly {
+        CostPoly::from_dim(Dim::var(name))
+    }
+
+    #[test]
+    fn arithmetic_and_eval() {
+        let n = v("pn");
+        let m = v("pm");
+        // (n + m)·n = n² + nm
+        let p = n.add(&m).mul(&n);
+        let b = DimBindings::new().with("pn", 2).with("pm", 5);
+        assert_eq!(p.eval(&b).unwrap(), 4.0 + 10.0);
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.sub(&p), CostPoly::zero());
+        assert!(p.sub(&p).is_zero());
+    }
+
+    #[test]
+    fn dominance_with_mixed_signs_in_raw_basis() {
+        // m²·n − m·n has a negative raw coefficient but is non-negative
+        // for m, n ≥ 1: the shifted expansion certifies it.
+        let m = v("pm");
+        let n = v("pn");
+        let big = m.mul(&m).mul(&n);
+        let small = m.mul(&n);
+        assert!(small.dominated_by(&big));
+        assert!(!big.dominated_by(&small));
+    }
+
+    #[test]
+    fn incomparable_polynomials() {
+        let n = v("pn");
+        let m = v("pm");
+        assert!(!n.dominated_by(&m));
+        assert!(!m.dominated_by(&n));
+        // 2mn vs m² + n²: by AM–GM m²+n² ≥ 2mn, and the criterion
+        // certifies it is NOT decidable coefficient-wise (it requires
+        // the square completion), so dominance conservatively fails.
+        let p = m.mul(&n).scale(2.0);
+        let q = m.mul(&m).add(&n.mul(&n));
+        assert!(!p.dominated_by(&q));
+    }
+
+    #[test]
+    fn strict_dominance_needs_positive_gap_at_one() {
+        let n = v("pn");
+        // n ≤ n²: equality at n = 1, so not strict.
+        assert!(n.dominated_by(&n.mul(&n)));
+        assert!(!n.strictly_dominated_by(&n.mul(&n)));
+        // n + 1 strictly dominates n… in the other direction.
+        let n_plus = n.add(&CostPoly::constant(1.0));
+        assert!(n.strictly_dominated_by(&n_plus));
+    }
+
+    #[test]
+    fn reflexive_dominance() {
+        let p = v("pn").mul(&v("pm")).scale(2.0);
+        assert!(p.dominated_by(&p));
+        assert!(!p.strictly_dominated_by(&p));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let n = v("pn");
+        let m = v("pm");
+        let p = n.mul(&n).mul(&m).scale(2.0).add(&CostPoly::constant(3.0));
+        let s = p.to_string();
+        assert!(s.contains("pn^2"), "{s}");
+        assert!(s.contains("3"), "{s}");
+        assert_eq!(CostPoly::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn constants_fold() {
+        let p = CostPoly::from_dim(Dim::Const(4)).mul(&CostPoly::from_dim(Dim::Const(5)));
+        assert_eq!(p, CostPoly::constant(20.0));
+        assert_eq!(p.eval(&DimBindings::new()).unwrap(), 20.0);
+    }
+}

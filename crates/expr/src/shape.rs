@@ -1,8 +1,17 @@
-//! Matrix shapes.
+//! Matrix shapes, generic over the dimension type.
+//!
+//! [`GenShape<D>`] is a pair of dimensions; the two instantiations used
+//! throughout the pipeline are [`Shape`] (`D = usize`, fully concrete)
+//! and [`SymShape`] (`D = Dim`, dimensions may be variables). Concrete
+//! shapes keep the exact API they had before the refactor; symbolic
+//! shapes answer structural questions (squareness, vector-ness) only
+//! when they are decidable from the dimension pattern, and
+//! [`SymShape::bind`] resolves them to concrete shapes.
 
+use crate::dim::{Dim, DimBindings, DimError};
 use std::fmt;
 
-/// The dimensions of a matrix.
+/// The dimensions of a matrix, generic over the dimension type `D`.
 ///
 /// Vectors are represented as matrices of size `n×1` (column vectors) or
 /// `1×n` (row vectors), exactly as in Sec. 1.1 of the paper. Scalars
@@ -21,9 +30,62 @@ use std::fmt;
 /// assert_eq!(s.transposed(), Shape::new(50, 100));
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Shape {
-    rows: usize,
-    cols: usize,
+pub struct GenShape<D> {
+    rows: D,
+    cols: D,
+}
+
+/// A fully concrete shape (the dimension type is `usize`).
+pub type Shape = GenShape<usize>;
+
+/// A shape whose dimensions may be symbolic ([`Dim`]).
+pub type SymShape = GenShape<Dim>;
+
+/// Error returned by [`Shape::try_new`] for degenerate dimensions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShapeError {
+    /// The offending row count.
+    pub rows: usize,
+    /// The offending column count.
+    pub cols: usize,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matrix dimensions must be positive, got {}x{}",
+            self.rows, self.cols
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl<D> GenShape<D> {
+    /// Builds a shape from its dimensions without validation; concrete
+    /// callers should prefer [`Shape::new`] / [`Shape::try_new`].
+    pub const fn from_dims(rows: D, cols: D) -> Self {
+        GenShape { rows, cols }
+    }
+
+    /// A reference to the row dimension.
+    pub fn rows_dim(&self) -> &D {
+        &self.rows
+    }
+
+    /// A reference to the column dimension.
+    pub fn cols_dim(&self) -> &D {
+        &self.cols
+    }
+
+    /// Maps both dimensions through `f` (e.g. `usize → Dim`).
+    pub fn map<E>(self, mut f: impl FnMut(D) -> E) -> GenShape<E> {
+        GenShape {
+            rows: f(self.rows),
+            cols: f(self.cols),
+        }
+    }
 }
 
 impl Shape {
@@ -32,10 +94,24 @@ impl Shape {
     /// # Panics
     ///
     /// Panics if either dimension is zero; empty matrices are not
-    /// meaningful operands for the matrix chain problem.
+    /// meaningful operands for the matrix chain problem. Fallible
+    /// callers (e.g. parsers of untrusted input) should use
+    /// [`try_new`](Self::try_new).
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Shape { rows, cols }
+        Shape::try_new(rows, cols).expect("matrix dimensions must be positive")
+    }
+
+    /// Creates a shape, rejecting zero dimensions with an error instead
+    /// of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if either dimension is zero.
+    pub fn try_new(rows: usize, cols: usize) -> Result<Self, ShapeError> {
+        if rows == 0 || cols == 0 {
+            return Err(ShapeError { rows, cols });
+        }
+        Ok(Shape { rows, cols })
     }
 
     /// Creates the shape of a square `n×n` matrix.
@@ -114,15 +190,81 @@ impl Shape {
     pub fn times(&self, rhs: Shape) -> Option<Shape> {
         (self.cols == rhs.rows).then(|| Shape::new(self.rows, rhs.cols))
     }
+
+    /// This shape with both dimensions lifted to constant [`Dim`]s.
+    pub fn to_sym(self) -> SymShape {
+        self.map(Dim::Const)
+    }
 }
 
-impl fmt::Debug for Shape {
+impl SymShape {
+    /// Creates a symbolic shape from two dimensions.
+    pub fn new(rows: Dim, cols: Dim) -> Self {
+        SymShape { rows, cols }
+    }
+
+    /// The shape of a structurally square `n×n` matrix.
+    pub fn square(n: Dim) -> Self {
+        SymShape { rows: n, cols: n }
+    }
+
+    /// The row dimension.
+    pub fn rows(&self) -> Dim {
+        self.rows
+    }
+
+    /// The column dimension.
+    pub fn cols(&self) -> Dim {
+        self.cols
+    }
+
+    /// The shape of the transpose.
+    pub fn transposed(&self) -> SymShape {
+        SymShape {
+            rows: self.cols,
+            cols: self.rows,
+        }
+    }
+
+    /// Whether the shape is *structurally* square: both dimensions are
+    /// the same [`Dim`]. A `n×m` shape may still be square under a
+    /// binding with `n = m`; structural squareness is the property that
+    /// holds under **every** binding.
+    pub fn is_square_structural(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Whether the shape contains a dimension variable.
+    pub fn is_symbolic(&self) -> bool {
+        self.rows.is_var() || self.cols.is_var()
+    }
+
+    /// Resolves the shape under `bindings`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DimError`] for unbound variables or zero sizes.
+    pub fn bind(&self, bindings: &DimBindings) -> Result<Shape, DimError> {
+        Ok(Shape {
+            rows: self.rows.bind(bindings)?,
+            cols: self.cols.bind(bindings)?,
+        })
+    }
+
+    /// The shape of the product `self · rhs`, if the inner dimensions
+    /// agree *structurally*.
+    pub fn times(&self, rhs: SymShape) -> Option<SymShape> {
+        (self.cols == rhs.rows).then(|| SymShape::new(self.rows, rhs.cols))
+    }
+}
+
+impl<D: fmt::Display> fmt::Debug for GenShape<D> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}x{}", self.rows, self.cols)
     }
 }
 
-impl fmt::Display for Shape {
+impl<D: fmt::Display> fmt::Display for GenShape<D> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}x{}", self.rows, self.cols)
     }
@@ -131,6 +273,12 @@ impl fmt::Display for Shape {
 impl From<(usize, usize)> for Shape {
     fn from((rows, cols): (usize, usize)) -> Self {
         Shape::new(rows, cols)
+    }
+}
+
+impl From<(Dim, Dim)> for SymShape {
+    fn from((rows, cols): (Dim, Dim)) -> Self {
+        SymShape::new(rows, cols)
     }
 }
 
@@ -185,6 +333,16 @@ mod tests {
     }
 
     #[test]
+    fn try_new_reports_zero_dimensions() {
+        assert_eq!(Shape::try_new(0, 3), Err(ShapeError { rows: 0, cols: 3 }));
+        assert_eq!(Shape::try_new(3, 0), Err(ShapeError { rows: 3, cols: 0 }));
+        let s = Shape::try_new(3, 4).unwrap();
+        assert_eq!(s, Shape::new(3, 4));
+        let msg = ShapeError { rows: 0, cols: 3 }.to_string();
+        assert!(msg.contains("0x3"));
+    }
+
+    #[test]
     fn display_format() {
         assert_eq!(Shape::new(10, 20).to_string(), "10x20");
         assert_eq!(format!("{:?}", Shape::new(1, 2)), "1x2");
@@ -194,5 +352,38 @@ mod tests {
     fn from_tuple() {
         let s: Shape = (4, 5).into();
         assert_eq!(s, Shape::new(4, 5));
+    }
+
+    #[test]
+    fn symbolic_shape_basics() {
+        let n = Dim::var("sh_n");
+        let m = Dim::var("sh_m");
+        let s = SymShape::new(n, m);
+        assert_eq!(s.transposed(), SymShape::new(m, n));
+        assert!(SymShape::square(n).is_square_structural());
+        assert!(!s.is_square_structural());
+        assert!(s.is_symbolic());
+        assert!(!Shape::new(2, 3).to_sym().is_symbolic());
+        assert_eq!(s.to_string(), "sh_nxsh_m");
+        assert_eq!(s.times(SymShape::new(m, n)), Some(SymShape::new(n, n)));
+        assert_eq!(s.times(SymShape::new(n, n)), None);
+    }
+
+    #[test]
+    fn symbolic_bind() {
+        let s = SymShape::new(Dim::var("sh_n"), Dim::Const(4));
+        let b = DimBindings::new().with("sh_n", 9);
+        assert_eq!(s.bind(&b).unwrap(), Shape::new(9, 4));
+        assert!(s.bind(&DimBindings::new()).is_err());
+        let z = DimBindings::new().with("sh_n", 0);
+        assert!(s.bind(&z).is_err());
+    }
+
+    #[test]
+    fn generic_map_round_trips() {
+        let s = Shape::new(2, 3).to_sym();
+        assert_eq!(s, SymShape::new(Dim::Const(2), Dim::Const(3)));
+        let back = s.bind(&DimBindings::new()).unwrap();
+        assert_eq!(back, Shape::new(2, 3));
     }
 }

@@ -31,5 +31,5 @@ mod parser;
 mod render;
 
 pub use lexer::{lex, LexError, Tok, Token};
-pub use parser::{parse, ParseError, Problem};
-pub use render::render_error;
+pub use parser::{parse, ParseError, Problem, SymbolicProblem};
+pub use render::{render_error, render_problem};

@@ -1,11 +1,13 @@
 //! Recursive-descent parser and lowering for the input language.
 //!
-//! Grammar (paper Fig. 1–2, with explicit `*` for products and a
-//! Matlab-style `'` transpose shorthand):
+//! Grammar (paper Fig. 1–2, with explicit `*` for products, a
+//! Matlab-style `'` transpose shorthand, and dimensions that may be
+//! *identifiers* — symbolic size variables):
 //!
 //! ```text
 //! problem     → definition+ assignment+
-//! definition  → ("Matrix" | "Vector") name "(" int ("," int)? ")" properties?
+//! definition  → ("Matrix" | "Vector") name "(" dim ("," dim)? ")" properties?
+//! dim         → int | name
 //! properties  → "<" name ("," name)* ">"
 //! assignment  → name ":=" expr
 //! expr        → term ("+" term)*
@@ -13,25 +15,63 @@
 //! factor      → primary ("^T" | "^-1" | "^-T" | "'")*
 //! primary     → name | "(" expr ")"
 //! ```
+//!
+//! A problem whose definitions are all concrete lowers to [`Operand`]s
+//! and [`Expr`]s exactly as before. As soon as one dimension is an
+//! identifier (`Matrix A (n, m)`), the problem lowers to a
+//! [`SymbolicProblem`] instead: symbolic operands plus one [`SymChain`]
+//! per assignment, ready for `gmc-plan`'s cache. Symbolic assignments
+//! must be products (sums have no chain form).
 
 use crate::lexer::{lex, LexError, Tok, Token};
-use gmc_expr::{Expr, Operand, Property, Shape};
+use gmc_expr::{Dim, Expr, Operand, Property, Shape, SymChain, SymFactor, SymOperand};
 use std::collections::HashMap;
 use std::fmt;
 
 /// A parsed problem: operand definitions plus assignments.
+///
+/// Assignments are split by what they reference: those touching only
+/// concretely-sized operands lower to [`Expr`]s in `assignments`
+/// (exactly as before symbolic dimensions existed), while assignments
+/// referencing at least one symbolically-sized operand lower to
+/// [`SymChain`]s in `symbolic`. `symbolic` is `Some` iff any
+/// definition uses an identifier dimension; its `operands` list always
+/// carries *every* definition (concrete ones with constant dims).
 #[derive(Clone, Debug)]
 pub struct Problem {
-    /// Defined operands, in definition order.
+    /// Concretely-sized operands, in definition order.
     pub operands: Vec<Operand>,
-    /// `(target name, right-hand side)` pairs, in order.
+    /// Assignments referencing only concrete operands, in order.
     pub assignments: Vec<(String, Expr)>,
+    /// The symbolic lowering, when any dimension is an identifier.
+    pub symbolic: Option<SymbolicProblem>,
+}
+
+/// A problem with symbolic dimensions.
+#[derive(Clone, Debug)]
+pub struct SymbolicProblem {
+    /// Defined operands, in definition order.
+    pub operands: Vec<SymOperand>,
+    /// `(target name, chain)` pairs, in order.
+    pub chains: Vec<(String, SymChain)>,
+}
+
+impl SymbolicProblem {
+    /// Looks up a defined operand by name.
+    pub fn operand(&self, name: &str) -> Option<&SymOperand> {
+        self.operands.iter().find(|o| o.name() == name)
+    }
 }
 
 impl Problem {
-    /// Looks up a defined operand by name.
+    /// Looks up a defined concrete operand by name.
     pub fn operand(&self, name: &str) -> Option<&Operand> {
         self.operands.iter().find(|o| o.name() == name)
+    }
+
+    /// Whether the problem uses symbolic dimensions.
+    pub fn is_symbolic(&self) -> bool {
+        self.symbolic.is_some()
     }
 }
 
@@ -68,14 +108,25 @@ impl From<LexError> for ParseError {
     }
 }
 
+/// The structural right-hand side of an assignment, before lowering.
+#[derive(Clone, Debug)]
+enum RawExpr {
+    Ref(String),
+    Mul(Vec<RawExpr>),
+    Add(Vec<RawExpr>),
+    Transpose(Box<RawExpr>),
+    Inverse(Box<RawExpr>),
+    InverseTranspose(Box<RawExpr>),
+}
+
 /// Parses a complete problem description.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] with the source position of the first
 /// offending token; lowering errors (unknown operand, duplicate
-/// definition, unknown property, property on a non-square matrix) are
-/// reported the same way.
+/// definition, unknown property, property on a non-square matrix, zero
+/// dimensions, malformed symbolic chains) are reported the same way.
 pub fn parse(input: &str) -> Result<Problem, ParseError> {
     let tokens = lex(input)?;
     Parser {
@@ -90,7 +141,7 @@ pub fn parse(input: &str) -> Result<Problem, ParseError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
-    operands: HashMap<String, Operand>,
+    operands: HashMap<String, SymOperand>,
     order: Vec<String>,
 }
 
@@ -153,45 +204,112 @@ impl Parser {
         }
     }
 
-    fn int(&mut self) -> Result<usize, ParseError> {
+    /// A dimension: an integer literal or a size-variable identifier.
+    fn dim(&mut self) -> Result<(Dim, usize, usize), ParseError> {
         match self.peek().cloned() {
             Some(Token {
-                tok: Tok::Int(v), ..
+                tok: Tok::Int(v),
+                line,
+                col,
             }) => {
                 self.next();
-                Ok(v)
+                Ok((Dim::Const(v), line, col))
             }
-            _ => Err(self.error_at("expected integer")),
+            Some(Token {
+                tok: Tok::Ident(name),
+                line,
+                col,
+            }) => {
+                self.next();
+                Ok((Dim::var(&name), line, col))
+            }
+            _ => Err(self.error_at("expected a dimension (integer or identifier)")),
         }
     }
 
     fn problem(mut self) -> Result<Problem, ParseError> {
-        let mut assignments = Vec::new();
+        let mut raw_assignments: Vec<(String, usize, usize, RawExpr)> = Vec::new();
         while self.peek().is_some() {
             match self.peek().map(|t| t.tok.clone()) {
                 Some(Tok::Matrix) | Some(Tok::Vector) => self.definition()?,
                 Some(Tok::Ident(_)) => {
-                    let (target, expr) = self.assignment()?;
-                    assignments.push((target, expr));
+                    let (target, line, col) = self.ident()?;
+                    self.expect(&Tok::Assign)?;
+                    let raw = self.expr()?;
+                    raw_assignments.push((target, line, col, raw));
                 }
                 _ => return Err(self.error_at("expected a definition or an assignment")),
             }
         }
-        if assignments.is_empty() {
+        if raw_assignments.is_empty() {
             return Err(ParseError {
                 message: "problem contains no assignment".into(),
                 line: 0,
                 col: 0,
             });
         }
-        let operands = self
+
+        let symbolic_problem = self
             .order
             .iter()
-            .map(|n| self.operands[n].clone())
+            .any(|n| self.operands[n].shape().is_symbolic());
+
+        // Concretely-sized operands lower eagerly; assignments that
+        // reference only these stay on the concrete path even when
+        // other definitions are symbolic.
+        let concrete: HashMap<String, Operand> = self
+            .operands
+            .iter()
+            .filter(|(_, op)| !op.shape().is_symbolic())
+            .map(|(n, op)| {
+                let bound = op
+                    .bind(&gmc_expr::DimBindings::new())
+                    .expect("concrete operands have validated positive dimensions");
+                (n.clone(), bound)
+            })
             .collect();
+        let operands: Vec<Operand> = self
+            .order
+            .iter()
+            .filter_map(|n| concrete.get(n).cloned())
+            .collect();
+
+        let mut assignments = Vec::new();
+        let mut chains = Vec::new();
+        for (target, line, col, raw) in raw_assignments {
+            let mut refs_symbolic = false;
+            collect_refs(&raw, &mut |name| {
+                refs_symbolic |= self.operands[name].shape().is_symbolic();
+            });
+            if !refs_symbolic {
+                assignments.push((target, lower_expr(&raw, &concrete)));
+                continue;
+            }
+            let factors = lower_sym_factors(&raw, &self.operands).map_err(|m| ParseError {
+                message: format!("assignment `{target}`: {m}"),
+                line,
+                col,
+            })?;
+            let chain = SymChain::new(factors).map_err(|e| ParseError {
+                message: format!("assignment `{target}`: {e}"),
+                line,
+                col,
+            })?;
+            chains.push((target, chain));
+        }
+
+        let symbolic = symbolic_problem.then(|| SymbolicProblem {
+            operands: self
+                .order
+                .iter()
+                .map(|n| self.operands[n].clone())
+                .collect(),
+            chains,
+        });
         Ok(Problem {
             operands,
             assignments,
+            symbolic,
         })
     }
 
@@ -210,17 +328,42 @@ impl Parser {
             });
         }
         self.expect(&Tok::LParen)?;
-        let rows = self.int()?;
-        let shape = if is_vector {
+        let (rows, rline, rcol) = self.dim()?;
+        let cols = if is_vector {
             self.expect(&Tok::RParen)?;
-            Shape::col_vector(rows)
+            Dim::Const(1)
         } else {
             self.expect(&Tok::Comma)?;
-            let cols = self.int()?;
+            let (cols, _, _) = self.dim()?;
             self.expect(&Tok::RParen)?;
-            Shape::new(rows, cols)
+            cols
         };
-        let mut operand = Operand::with_shape(&name, shape);
+        // Zero sizes are rejected here rather than panicking later:
+        // concrete pairs go through `Shape::try_new`, and constant
+        // components of symbolic shapes are checked individually.
+        match (rows.as_const(), cols.as_const()) {
+            (Some(r), Some(c)) => {
+                Shape::try_new(r, c).map_err(|e| ParseError {
+                    message: format!("operand `{name}`: {e}"),
+                    line: rline,
+                    col: rcol,
+                })?;
+            }
+            _ => {
+                for d in [rows, cols] {
+                    if d.as_const() == Some(0) {
+                        return Err(ParseError {
+                            message: format!(
+                                "operand `{name}`: matrix dimensions must be positive"
+                            ),
+                            line: rline,
+                            col: rcol,
+                        });
+                    }
+                }
+            }
+        }
+        let mut operand = SymOperand::new(&name, rows, cols);
         if self.peek().map(|t| &t.tok) == Some(&Tok::LAngle) {
             self.next();
             loop {
@@ -230,16 +373,14 @@ impl Parser {
                     line: pline,
                     col: pcol,
                 })?;
-                if property.requires_square() && !shape.is_square() {
-                    return Err(ParseError {
-                        message: format!(
-                            "property {property} requires a square matrix, but `{name}` is {shape}"
-                        ),
-                        line: pline,
-                        col: pcol,
-                    });
-                }
-                operand = operand.with_property(property);
+                let shape = operand.shape();
+                operand = operand.with_property(property).map_err(|_| ParseError {
+                    message: format!(
+                        "property {property} requires a square matrix, but `{name}` is {shape}"
+                    ),
+                    line: pline,
+                    col: pcol,
+                })?;
                 match self.peek().map(|t| t.tok.clone()) {
                     Some(Tok::Comma) => {
                         self.next();
@@ -257,46 +398,47 @@ impl Parser {
         Ok(())
     }
 
-    fn assignment(&mut self) -> Result<(String, Expr), ParseError> {
-        let (target, _, _) = self.ident()?;
-        self.expect(&Tok::Assign)?;
-        let expr = self.expr()?;
-        Ok((target, expr))
-    }
-
-    fn expr(&mut self) -> Result<Expr, ParseError> {
+    fn expr(&mut self) -> Result<RawExpr, ParseError> {
         let mut terms = vec![self.term()?];
         while self.peek().map(|t| &t.tok) == Some(&Tok::Plus) {
             self.next();
             terms.push(self.term()?);
         }
-        Ok(Expr::plus(terms))
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("len checked")
+        } else {
+            RawExpr::Add(terms)
+        })
     }
 
-    fn term(&mut self) -> Result<Expr, ParseError> {
+    fn term(&mut self) -> Result<RawExpr, ParseError> {
         let mut factors = vec![self.factor()?];
         while self.peek().map(|t| &t.tok) == Some(&Tok::Star) {
             self.next();
             factors.push(self.factor()?);
         }
-        Ok(Expr::times(factors))
+        Ok(if factors.len() == 1 {
+            factors.pop().expect("len checked")
+        } else {
+            RawExpr::Mul(factors)
+        })
     }
 
-    fn factor(&mut self) -> Result<Expr, ParseError> {
+    fn factor(&mut self) -> Result<RawExpr, ParseError> {
         let mut e = self.primary()?;
         loop {
             match self.peek().map(|t| t.tok.clone()) {
                 Some(Tok::Transpose) | Some(Tok::Tick) => {
                     self.next();
-                    e = Expr::transpose(e);
+                    e = RawExpr::Transpose(Box::new(e));
                 }
                 Some(Tok::Inverse) => {
                     self.next();
-                    e = Expr::inverse(e);
+                    e = RawExpr::Inverse(Box::new(e));
                 }
                 Some(Tok::InverseTranspose) => {
                     self.next();
-                    e = Expr::inverse_transpose(e);
+                    e = RawExpr::InverseTranspose(Box::new(e));
                 }
                 _ => break,
             }
@@ -304,7 +446,7 @@ impl Parser {
         Ok(e)
     }
 
-    fn primary(&mut self) -> Result<Expr, ParseError> {
+    fn primary(&mut self) -> Result<RawExpr, ParseError> {
         match self.peek().map(|t| t.tok.clone()) {
             Some(Tok::LParen) => {
                 self.next();
@@ -314,16 +456,99 @@ impl Parser {
             }
             Some(Tok::Ident(_)) => {
                 let (name, line, col) = self.ident()?;
-                match self.operands.get(&name) {
-                    Some(op) => Ok(op.expr()),
-                    None => Err(ParseError {
+                if !self.operands.contains_key(&name) {
+                    return Err(ParseError {
                         message: format!("operand `{name}` is not defined"),
                         line,
                         col,
-                    }),
+                    });
                 }
+                Ok(RawExpr::Ref(name))
             }
             _ => Err(self.error_at("expected an operand or `(`")),
+        }
+    }
+}
+
+/// Visits every operand reference in a raw expression.
+fn collect_refs(raw: &RawExpr, visit: &mut impl FnMut(&str)) {
+    match raw {
+        RawExpr::Ref(name) => visit(name),
+        RawExpr::Mul(es) | RawExpr::Add(es) => {
+            for e in es {
+                collect_refs(e, visit);
+            }
+        }
+        RawExpr::Transpose(e) | RawExpr::Inverse(e) | RawExpr::InverseTranspose(e) => {
+            collect_refs(e, visit)
+        }
+    }
+}
+
+/// Lowers a raw expression over concrete operands, applying the same
+/// constructors (and hence the same simplifications) the parser used to
+/// apply directly.
+fn lower_expr(raw: &RawExpr, operands: &HashMap<String, Operand>) -> Expr {
+    match raw {
+        RawExpr::Ref(name) => operands[name].expr(),
+        RawExpr::Mul(fs) => Expr::times(fs.iter().map(|f| lower_expr(f, operands))),
+        RawExpr::Add(ts) => Expr::plus(ts.iter().map(|t| lower_expr(t, operands))),
+        RawExpr::Transpose(e) => Expr::transpose(lower_expr(e, operands)),
+        RawExpr::Inverse(e) => Expr::inverse(lower_expr(e, operands)),
+        RawExpr::InverseTranspose(e) => Expr::inverse_transpose(lower_expr(e, operands)),
+    }
+}
+
+/// Lowers a raw expression to symbolic chain factors, normalizing unary
+/// operators down to the factors (`(A·B)ᵀ → Bᵀ·Aᵀ`, `(A·B)⁻¹ →
+/// B⁻¹·A⁻¹`, …). Sums have no chain form and are rejected.
+fn lower_sym_factors(
+    raw: &RawExpr,
+    operands: &HashMap<String, SymOperand>,
+) -> Result<Vec<SymFactor>, String> {
+    match raw {
+        RawExpr::Ref(name) => Ok(vec![SymFactor::plain(operands[name].clone())]),
+        RawExpr::Mul(fs) => {
+            let mut out = Vec::new();
+            for f in fs {
+                out.extend(lower_sym_factors(f, operands)?);
+            }
+            Ok(out)
+        }
+        RawExpr::Add(_) => {
+            Err("sums are not supported with symbolic dimensions (chains are products)".into())
+        }
+        RawExpr::Transpose(e) => {
+            let mut fs = lower_sym_factors(e, operands)?;
+            fs.reverse();
+            Ok(fs
+                .into_iter()
+                .map(|f| {
+                    let op = f.op().then_transpose();
+                    SymFactor::new(f.operand().clone(), op)
+                })
+                .collect())
+        }
+        RawExpr::Inverse(e) => {
+            let mut fs = lower_sym_factors(e, operands)?;
+            fs.reverse();
+            Ok(fs
+                .into_iter()
+                .map(|f| {
+                    let op = f.op().then_inverse();
+                    SymFactor::new(f.operand().clone(), op)
+                })
+                .collect())
+        }
+        RawExpr::InverseTranspose(e) => {
+            // e⁻ᵀ = (e⁻¹)ᵀ: two reversals cancel.
+            Ok(lower_sym_factors(e, operands)?
+                .into_iter()
+                .map(|f| {
+                    let op = f.op().then_inverse().then_transpose();
+                    SymFactor::new(f.operand().clone(), op)
+                })
+                .collect())
         }
     }
 }
@@ -331,7 +556,7 @@ impl Parser {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gmc_expr::Chain;
+    use gmc_expr::{Chain, DimBindings};
 
     const TABLE2: &str = "\
 Matrix A (2000, 2000) <SPD>
@@ -343,6 +568,7 @@ X := A^-1 * B * C^T
     #[test]
     fn parses_paper_table2_problem() {
         let p = parse(TABLE2).unwrap();
+        assert!(!p.is_symbolic());
         assert_eq!(p.operands.len(), 3);
         assert_eq!(p.assignments.len(), 1);
         let (target, expr) = &p.assignments[0];
@@ -430,5 +656,96 @@ X := A^-1 * B * C^T
         let p = parse("Matrix A (5, 5)\nMatrix B (5, 5)\nX := (A * B)^-1").unwrap();
         let chain = Chain::from_expr(&p.assignments[0].1).unwrap();
         assert_eq!(chain.to_string(), "B^-1 A^-1");
+    }
+
+    #[test]
+    fn error_zero_dimension_is_a_parse_error() {
+        let err = parse("Matrix A (0, 5)\nX := A * A").unwrap_err();
+        assert!(err.message.contains("must be positive"), "{err}");
+        assert_eq!(err.line, 1);
+        let err = parse("Matrix A (n, 0)\nX := A * A").unwrap_err();
+        assert!(err.message.contains("must be positive"), "{err}");
+    }
+
+    #[test]
+    fn symbolic_dimensions_lower_to_sym_chains() {
+        let p = parse(
+            "Matrix A (n, n) <SPD>\nMatrix B (n, m)\nMatrix C (m, m) <LowerTriangular>\n\
+             X := A^-1 * B * C^T\n",
+        )
+        .unwrap();
+        assert!(p.is_symbolic());
+        assert!(p.operands.is_empty() && p.assignments.is_empty());
+        let sym = p.symbolic.as_ref().unwrap();
+        assert_eq!(sym.operands.len(), 3);
+        let (target, chain) = &sym.chains[0];
+        assert_eq!(target, "X");
+        assert_eq!(chain.to_string(), "A^-1 B C^T");
+        assert_eq!(chain.vars().len(), 2);
+        // Binding reproduces the concrete Table 2 chain.
+        let bound = chain
+            .bind(&DimBindings::new().with("n", 2000).with("m", 200))
+            .unwrap();
+        assert_eq!(bound.sizes(), vec![2000, 2000, 200, 200]);
+    }
+
+    #[test]
+    fn mixed_problem_keeps_concrete_assignments_concrete() {
+        // One symbolic definition must not poison assignments that only
+        // reference concrete operands — sums included.
+        let p = parse(
+            "Matrix A (n, n)\nMatrix D (5, 5)\nMatrix E (5, 5)\n\
+             X := A * A\nY := D + E\nZ := D * E\n",
+        )
+        .unwrap();
+        assert!(p.is_symbolic());
+        // Concrete side: D, E and the Y/Z assignments.
+        assert_eq!(p.operands.len(), 2);
+        assert!(p.operand("D").is_some() && p.operand("E").is_some());
+        let targets: Vec<&str> = p.assignments.iter().map(|(t, _)| t.as_str()).collect();
+        assert_eq!(targets, vec!["Y", "Z"]);
+        assert_eq!(p.assignments[0].1.to_string(), "D + E");
+        // Symbolic side: all definitions plus the X chain.
+        let sym = p.symbolic.as_ref().unwrap();
+        assert_eq!(sym.operands.len(), 3);
+        assert_eq!(sym.chains.len(), 1);
+        assert_eq!(sym.chains[0].0, "X");
+    }
+
+    #[test]
+    fn symbolic_vector_and_tick() {
+        let p = parse("Matrix A (m, n)\nVector v (n)\ny := (v' * A')'").unwrap();
+        let sym = p.symbolic.as_ref().unwrap();
+        let (_, chain) = &sym.chains[0];
+        // (vᵀ Aᵀ)ᵀ = A v.
+        assert_eq!(chain.to_string(), "A v");
+    }
+
+    #[test]
+    fn symbolic_inverse_of_product_distributes() {
+        let p = parse("Matrix A (n, n)\nMatrix B (n, n)\nX := (A * B)^-1").unwrap();
+        let sym = p.symbolic.as_ref().unwrap();
+        assert_eq!(sym.chains[0].1.to_string(), "B^-1 A^-1");
+    }
+
+    #[test]
+    fn symbolic_sum_is_rejected() {
+        let err = parse("Matrix A (n, n)\nMatrix B (n, n)\nX := A + B").unwrap_err();
+        assert!(err.message.contains("sums are not supported"), "{err}");
+    }
+
+    #[test]
+    fn symbolic_structural_mismatch_is_reported() {
+        let err = parse("Matrix A (n, m)\nMatrix B (n, m)\nX := A * B").unwrap_err();
+        assert!(
+            err.message.contains("structural dimension mismatch"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn symbolic_square_property_needs_structural_squareness() {
+        let err = parse("Matrix A (n, m) <Symmetric>\nX := A").unwrap_err();
+        assert!(err.message.contains("requires a square matrix"), "{err}");
     }
 }

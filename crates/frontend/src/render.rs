@@ -1,6 +1,10 @@
-//! Caret-style rendering of frontend errors against the source text.
+//! Rendering: caret-style error display against the source text, and
+//! rendering a parsed [`Problem`] back to input-language source
+//! (including symbolic dimension identifiers).
 
-use crate::parser::ParseError;
+use crate::parser::Problem;
+use crate::ParseError;
+use gmc_expr::{Dim, Expr, SymChain};
 
 /// Renders a parse error with the offending source line and a caret:
 ///
@@ -27,6 +31,160 @@ pub fn render_error(source: &str, error: &ParseError) -> String {
         out.push_str(&format!(" {pad} | {caret_pad}^\n"));
     }
     out
+}
+
+/// Renders a parsed problem back to input-language source text.
+///
+/// Round-trips through [`crate::parse`]: definitions (with symbolic
+/// dimension identifiers rendered as such, `n×1` shapes rendered as
+/// `Vector` definitions, properties in `<...>` lists) followed by the
+/// assignments. In mixed problems the concrete assignments render
+/// before the symbolic ones, matching how [`Problem`] partitions them.
+///
+/// ```
+/// use gmc_frontend::{parse, render_problem};
+///
+/// let src = "Matrix A (n, n) <SPD>\nMatrix B (n, m)\nX := A^-1 * B\n";
+/// let rendered = render_problem(&parse(src).unwrap());
+/// assert_eq!(rendered, src);
+/// ```
+pub fn render_problem(problem: &Problem) -> String {
+    let mut out = String::new();
+    match &problem.symbolic {
+        // `symbolic.operands` carries every definition (concrete dims
+        // as constants), so it is the single source for definitions.
+        Some(sym) => {
+            for op in &sym.operands {
+                render_definition(
+                    &mut out,
+                    op.name(),
+                    op.shape().rows(),
+                    op.shape().cols(),
+                    op.properties(),
+                );
+            }
+        }
+        None => {
+            for op in &problem.operands {
+                render_definition(
+                    &mut out,
+                    op.name(),
+                    Dim::Const(op.shape().rows()),
+                    Dim::Const(op.shape().cols()),
+                    op.properties(),
+                );
+            }
+        }
+    }
+    for (target, expr) in &problem.assignments {
+        out.push_str(&format!("{target} := {}\n", render_expr(expr)));
+    }
+    if let Some(sym) = &problem.symbolic {
+        for (target, chain) in &sym.chains {
+            out.push_str(&format!("{target} := {}\n", render_chain(chain)));
+        }
+    }
+    out
+}
+
+fn render_definition(
+    out: &mut String,
+    name: &str,
+    rows: Dim,
+    cols: Dim,
+    props: gmc_expr::PropertySet,
+) {
+    let mut line = if cols == Dim::Const(1) && rows != Dim::Const(1) {
+        format!("Vector {name} ({rows})")
+    } else {
+        format!("Matrix {name} ({rows}, {cols})")
+    };
+    line.push_str(&render_properties(props));
+    out.push_str(&line);
+    out.push('\n');
+}
+
+fn render_properties(ps: gmc_expr::PropertySet) -> String {
+    if ps.is_empty() {
+        return String::new();
+    }
+    // Render only the generators: drop properties implied by another
+    // member, so `<SPD>` does not round-trip as `<Symmetric, SPD, ...>`.
+    let members: Vec<_> = ps.iter().collect();
+    let generators: Vec<&str> = members
+        .iter()
+        .filter(|p| {
+            !members
+                .iter()
+                .any(|q| q != *p && gmc_expr::PropertySet::new().with(*q).contains(**p))
+        })
+        .map(|p| p.name())
+        .collect();
+    format!(" <{}>", generators.join(", "))
+}
+
+/// Renders an expression in input-language syntax (explicit `*`).
+fn render_expr(e: &Expr) -> String {
+    fn prec(e: &Expr) -> u8 {
+        match e {
+            Expr::Plus(_) => 0,
+            Expr::Times(_) => 1,
+            Expr::Transpose(_) | Expr::Inverse(_) | Expr::InverseTranspose(_) => 2,
+            Expr::Symbol(_) => 3,
+        }
+    }
+    fn go(e: &Expr, min: u8, out: &mut String) {
+        let parens = prec(e) < min;
+        if parens {
+            out.push('(');
+        }
+        match e {
+            Expr::Symbol(op) => out.push_str(op.name()),
+            Expr::Times(fs) => {
+                for (i, f) in fs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" * ");
+                    }
+                    go(f, 2, out);
+                }
+            }
+            Expr::Plus(ts) => {
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" + ");
+                    }
+                    go(t, 1, out);
+                }
+            }
+            Expr::Transpose(inner) => {
+                go(inner, 3, out);
+                out.push_str("^T");
+            }
+            Expr::Inverse(inner) => {
+                go(inner, 3, out);
+                out.push_str("^-1");
+            }
+            Expr::InverseTranspose(inner) => {
+                go(inner, 3, out);
+                out.push_str("^-T");
+            }
+        }
+        if parens {
+            out.push(')');
+        }
+    }
+    let mut out = String::new();
+    go(e, 0, &mut out);
+    out
+}
+
+fn render_chain(chain: &SymChain) -> String {
+    chain
+        .factors()
+        .iter()
+        .map(|f| format!("{}{}", f.operand().name(), f.op().suffix()))
+        .collect::<Vec<_>>()
+        .join(" * ")
 }
 
 #[cfg(test)]
@@ -65,5 +223,41 @@ mod tests {
         let text = render_error(source, &err);
         assert!(text.contains("unexpected character"));
         assert!(text.contains("2 | X := A $ B"));
+    }
+
+    #[test]
+    fn concrete_problem_round_trips() {
+        let src = "Matrix A (2000, 2000) <SPD>\nMatrix B (2000, 200)\n\
+                   Matrix C (200, 200) <LowerTriangular>\nX := A^-1 * B * C^T\n";
+        let rendered = render_problem(&parse(src).unwrap());
+        assert_eq!(rendered, src);
+        // Idempotent: parse(render(p)) renders identically.
+        assert_eq!(render_problem(&parse(&rendered).unwrap()), rendered);
+    }
+
+    #[test]
+    fn symbolic_problem_round_trips() {
+        let src = "Matrix A (n, n) <SPD>\nMatrix B (n, m)\nVector v (m)\nX := A^-1 * B * v\n";
+        let p = parse(src).unwrap();
+        assert!(p.is_symbolic());
+        let rendered = render_problem(&p);
+        assert_eq!(rendered, src);
+        assert_eq!(render_problem(&parse(&rendered).unwrap()), rendered);
+    }
+
+    #[test]
+    fn expression_rendering_parenthesizes() {
+        let src = "Matrix A (5, 5)\nMatrix B (5, 5)\nX := (A + B) * B^T\n";
+        let rendered = render_problem(&parse(src).unwrap());
+        assert_eq!(rendered, src);
+    }
+
+    #[test]
+    fn normalized_symbolic_assignments_render_flat() {
+        // The parser distributes unary operators over symbolic
+        // products, so the rendered form is the normalized chain.
+        let p = parse("Matrix A (n, n)\nMatrix B (n, n)\nX := (A * B)^-1\n").unwrap();
+        let rendered = render_problem(&p);
+        assert!(rendered.contains("X := B^-1 * A^-1"), "{rendered}");
     }
 }

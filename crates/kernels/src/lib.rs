@@ -36,8 +36,10 @@
 mod kernel;
 mod op;
 mod registry;
+mod sym;
 
 pub use gmc_pattern::FlatTermScratch;
 pub use kernel::{Constraint, Kernel, KernelMatch, OpBuilder, ProductMatch};
 pub use op::{InvKind, KernelFamily, KernelOp, Side, Uplo};
 pub use registry::{KernelRegistry, RegistryBuilder};
+pub use sym::FlopFormula;

@@ -200,6 +200,35 @@ impl KernelRegistry {
             });
         best.map(|(m, _)| m)
     }
+
+    /// Streams *every* constraint-satisfying kernel match for the
+    /// binary product `left · right`, in discrimination-net order,
+    /// without instantiating operations or computing costs.
+    ///
+    /// `visit` receives the kernel's registration index (its position
+    /// in [`kernels`](Self::kernels)), the kernel, and the variable
+    /// bindings of the match. This is the enumeration underlying
+    /// [`best_product_match`](Self::best_product_match); the symbolic
+    /// plan recorder of `gmc-plan` uses it to capture the full
+    /// candidate set of a DP cell once, so later instantiations can
+    /// re-rank candidates by evaluated cost without re-matching.
+    pub fn for_each_product_match<F>(
+        &self,
+        left: &Expr,
+        right: &Expr,
+        scratch: &mut FlatTermScratch,
+        mut visit: F,
+    ) where
+        F: FnMut(usize, &Kernel, &Bindings),
+    {
+        self.net
+            .match_product_with(left, right, scratch, |&id, bindings| {
+                let kernel = &self.kernels[id];
+                if kernel.constraints().iter().all(|c| c.check(bindings)) {
+                    visit(id, kernel, bindings);
+                }
+            });
+    }
 }
 
 /// Configures which kernels go into a [`KernelRegistry`].

@@ -1,0 +1,275 @@
+//! The structure-keyed plan cache.
+
+use crate::key::{region_signature, structure_key, StructureKey};
+use crate::plan::{instantiate, record_region, PlanSummary, PlanWorkspace, RegionPlan};
+use gmc::{GmcError, GmcSolution, InferenceMode};
+use gmc_expr::{DimBindings, SymChain, SymChainError};
+use gmc_kernels::{FlatTermScratch, KernelRegistry};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How a request was served by the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanOutcome {
+    /// First request for this chain structure: a full symbolic solve
+    /// was recorded.
+    MissStructure,
+    /// Known structure, new size region: a new region plan was recorded.
+    MissRegion,
+    /// Cached region plan instantiated — the fast path.
+    Hit,
+}
+
+impl fmt::Display for PlanOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanOutcome::MissStructure => write!(f, "miss (new structure)"),
+            PlanOutcome::MissRegion => write!(f, "miss (new region)"),
+            PlanOutcome::Hit => write!(f, "hit"),
+        }
+    }
+}
+
+/// Cumulative cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests that recorded a brand-new structure plan.
+    pub structure_misses: u64,
+    /// Requests that recorded a new region for a known structure.
+    pub region_misses: u64,
+    /// Requests served by instantiating a cached region plan.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Total number of requests observed.
+    pub fn requests(&self) -> u64 {
+        self.structure_misses + self.region_misses + self.hits
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} requests: {} hits, {} region misses, {} structure misses",
+            self.requests(),
+            self.hits,
+            self.region_misses,
+            self.structure_misses
+        )
+    }
+}
+
+/// Errors surfaced by [`PlanCache::solve`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// The chain failed to bind (unbound variable, zero size, …).
+    Chain(SymChainError),
+    /// No kernel sequence computes the chain (same condition as the
+    /// concrete optimizer's error).
+    Solve(GmcError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Chain(e) => e.fmt(f),
+            PlanError::Solve(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<SymChainError> for PlanError {
+    fn from(e: SymChainError) -> Self {
+        PlanError::Chain(e)
+    }
+}
+
+impl From<GmcError> for PlanError {
+    fn from(e: GmcError) -> Self {
+        PlanError::Solve(e)
+    }
+}
+
+/// A symbolic plan for one chain structure: one recorded [`RegionPlan`]
+/// per size region encountered so far.
+#[derive(Debug, Default)]
+pub struct SymbolicPlan {
+    regions: HashMap<Vec<i8>, RegionPlan>,
+}
+
+impl SymbolicPlan {
+    /// Number of size regions recorded for this structure.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Iterates over the recorded regions' classification summaries.
+    pub fn region_summaries(&self) -> impl Iterator<Item = PlanSummary> + '_ {
+        self.regions.values().map(RegionPlan::summary)
+    }
+}
+
+/// A plan cache: compile a chain *structure* once, serve every request
+/// that differs only in sizes by instantiating the cached symbolic
+/// plan.
+///
+/// Keyed by (chain structure ⨯ operand properties ⨯ dimension-variable
+/// pattern) at the outer level and by size *region* (the ordering
+/// pattern of the bound dimensions) at the inner level. Instantiation
+/// reproduces the concrete optimizer bit for bit — same cost, same
+/// parenthesization, same kernel sequence — while skipping all pattern
+/// matching and (for symbolically resolved cells) the candidate scan.
+///
+/// The cache is tied to one [`KernelRegistry`] and one
+/// [`InferenceMode`]; the cost metric is the paper's FLOP count, the
+/// one metric with an exact symbolic (polynomial) form.
+///
+/// # Example
+///
+/// ```
+/// use gmc::InferenceMode;
+/// use gmc_expr::{Dim, DimBindings, SymChain, SymFactor, SymOperand};
+/// use gmc_kernels::KernelRegistry;
+/// use gmc_plan::{PlanCache, PlanOutcome};
+///
+/// let registry = KernelRegistry::blas_lapack();
+/// let mut cache = PlanCache::new(&registry, InferenceMode::Compositional);
+///
+/// let (n, k, m) = (Dim::var("n"), Dim::var("k"), Dim::var("m"));
+/// let chain = SymChain::new(vec![
+///     SymFactor::plain(SymOperand::new("A", n, k)),
+///     SymFactor::plain(SymOperand::new("B", k, m)),
+/// ])
+/// .unwrap();
+///
+/// let b1 = DimBindings::new().with("n", 10).with("k", 20).with("m", 30);
+/// let (sol, outcome) = cache.solve(&chain, &b1).unwrap();
+/// assert_eq!(outcome, PlanOutcome::MissStructure);
+/// assert_eq!(sol.kernel_names(), vec!["GEMM_NN"]);
+///
+/// // Same ordering pattern, different sizes: cached instantiate.
+/// let b2 = DimBindings::new().with("n", 100).with("k", 200).with("m", 300);
+/// let (sol, outcome) = cache.solve(&chain, &b2).unwrap();
+/// assert_eq!(outcome, PlanOutcome::Hit);
+/// assert_eq!(sol.flops(), 2.0 * 100.0 * 300.0 * 200.0);
+/// ```
+#[derive(Debug)]
+pub struct PlanCache<'r> {
+    registry: &'r KernelRegistry,
+    inference: InferenceMode,
+    plans: HashMap<StructureKey, SymbolicPlan>,
+    stats: CacheStats,
+    scratch: FlatTermScratch,
+    workspace: PlanWorkspace,
+}
+
+impl<'r> PlanCache<'r> {
+    /// Creates an empty cache over `registry` with the given inference
+    /// mode.
+    pub fn new(registry: &'r KernelRegistry, inference: InferenceMode) -> Self {
+        PlanCache {
+            registry,
+            inference,
+            plans: HashMap::new(),
+            stats: CacheStats::default(),
+            scratch: FlatTermScratch::new(),
+            workspace: PlanWorkspace::default(),
+        }
+    }
+
+    /// The inference mode this cache compiles under.
+    pub fn inference(&self) -> InferenceMode {
+        self.inference
+    }
+
+    /// Cumulative hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of distinct chain structures cached.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// The cached plan for a chain structure, if any.
+    pub fn plan_for(&self, chain: &SymChain) -> Option<&SymbolicPlan> {
+        self.plans.get(&structure_key(chain, self.inference))
+    }
+
+    /// The classification summary of the region serving `bindings`, if
+    /// that region has been recorded.
+    pub fn region_summary(&self, chain: &SymChain, bindings: &DimBindings) -> Option<PlanSummary> {
+        let sizes = chain.bind_dims(bindings).ok()?;
+        self.plans
+            .get(&structure_key(chain, self.inference))?
+            .regions
+            .get(&region_signature(&sizes))
+            .map(RegionPlan::summary)
+    }
+
+    /// Solves `chain` at `bindings`, through the cache.
+    ///
+    /// The returned solution is bit-identical (cost, parenthesization,
+    /// kernel sequence) to `GmcOptimizer::new(registry,
+    /// FlopCount).with_inference(mode).solve(&chain.bind(bindings)?)`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Chain`] if the binding is incomplete or degenerate;
+    /// [`PlanError::Solve`] if no kernel sequence computes the chain
+    /// (the unsolvability is itself cached per region).
+    pub fn solve(
+        &mut self,
+        chain: &SymChain,
+        bindings: &DimBindings,
+    ) -> Result<(GmcSolution<f64>, PlanOutcome), PlanError> {
+        let concrete = chain.bind(bindings)?;
+        let key = structure_key(chain, self.inference);
+        let sig = region_signature(&concrete.sizes());
+
+        let structure_known = self.plans.contains_key(&key);
+        let plan = self.plans.entry(key).or_default();
+
+        if let Some(region) = plan.regions.get(&sig) {
+            self.stats.hits += 1;
+            let solution = instantiate(
+                self.registry,
+                self.inference,
+                region,
+                &concrete,
+                bindings,
+                &mut self.scratch,
+                &mut self.workspace,
+            )?;
+            return Ok((solution, PlanOutcome::Hit));
+        }
+
+        let (region, solution) = record_region(
+            self.registry,
+            self.inference,
+            chain,
+            &concrete,
+            &mut self.scratch,
+        );
+        plan.regions.insert(sig, region);
+        let outcome = if structure_known {
+            self.stats.region_misses += 1;
+            PlanOutcome::MissRegion
+        } else {
+            self.stats.structure_misses += 1;
+            PlanOutcome::MissStructure
+        };
+        Ok((solution?, outcome))
+    }
+}

@@ -1,0 +1,75 @@
+//! Symbolic GMC plans: compile a matrix-chain *structure* once over
+//! dimension variables, cache the result, and instantiate it per
+//! request at concrete sizes.
+//!
+//! The concrete GMC optimizer (`gmc::GmcOptimizer`) solves one chain
+//! with fixed operand sizes. A production front door, however, sees
+//! *streams* of requests that share a chain structure and differ only
+//! in sizes — and the follow-up literature ("Compilation of Generalized
+//! Matrix Chains with Symbolic Sizes"; "On the Parenthesisations of
+//! Matrix Chains") shows that few parenthesizations are ever optimal,
+//! so one symbolic solve can serve many concrete instantiations. This
+//! crate provides that layer:
+//!
+//! * [`PlanCache`] — keyed by (chain structure, operand properties,
+//!   dimension-variable pattern) and, per structure, by size *region*
+//!   (the ordering pattern of the bound dimensions).
+//! * Symbolic solving — where FLOP-polynomial comparison is decidable
+//!   (dominance on the positive orthant), DP cells are *resolved* at
+//!   compile time; ambiguous splits are *deferred* and decided at bind
+//!   time by evaluating the cached exact FLOP formulas.
+//! * Bit-identical instantiation — the served solution matches a
+//!   from-scratch concrete solve exactly: same `f64` cost, same
+//!   parenthesization, same kernel sequence, in both inference modes.
+//!
+//! # Example
+//!
+//! ```
+//! use gmc::InferenceMode;
+//! use gmc_expr::{Dim, DimBindings, Property, SymChain, SymFactor, SymOperand, UnaryOp};
+//! use gmc_kernels::KernelRegistry;
+//! use gmc_plan::{PlanCache, PlanOutcome};
+//!
+//! // X := A⁻¹ B Cᵀ with symbolic sizes (paper Table 2, symbolically).
+//! let n = Dim::var("n");
+//! let m = Dim::var("m");
+//! let a = SymOperand::square("A", n)
+//!     .with_property(Property::SymmetricPositiveDefinite)
+//!     .unwrap();
+//! let b = SymOperand::new("B", n, m);
+//! let c = SymOperand::square("C", m)
+//!     .with_property(Property::LowerTriangular)
+//!     .unwrap();
+//! let chain = SymChain::new(vec![
+//!     SymFactor::new(a, UnaryOp::Inverse),
+//!     SymFactor::plain(b),
+//!     SymFactor::new(c, UnaryOp::Transpose),
+//! ])
+//! .unwrap();
+//!
+//! let registry = KernelRegistry::blas_lapack();
+//! let mut cache = PlanCache::new(&registry, InferenceMode::Compositional);
+//!
+//! // Cold: symbolic solve, recorded.
+//! let big = DimBindings::new().with("n", 2000).with("m", 200);
+//! let (sol, outcome) = cache.solve(&chain, &big).unwrap();
+//! assert_eq!(outcome, PlanOutcome::MissStructure);
+//! assert_eq!(sol.kernel_names(), vec!["TRMM_RLT", "POSV_LN"]);
+//!
+//! // Warm: same region, new sizes — cached instantiate.
+//! let bigger = DimBindings::new().with("n", 4000).with("m", 400);
+//! let (sol, outcome) = cache.solve(&chain, &bigger).unwrap();
+//! assert_eq!(outcome, PlanOutcome::Hit);
+//! assert_eq!(sol.kernel_names(), vec!["TRMM_RLT", "POSV_LN"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod key;
+mod plan;
+
+pub use cache::{CacheStats, PlanCache, PlanError, PlanOutcome, SymbolicPlan};
+pub use key::{region_signature, structure_key, undecided_shape_questions, StructureKey};
+pub use plan::{PlanSummary, RegionPlan};

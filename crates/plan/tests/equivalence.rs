@@ -1,0 +1,201 @@
+//! Plan-cache vs concrete-optimizer equivalence on handcrafted chains:
+//! every served solution must match a from-scratch `GmcOptimizer::solve`
+//! bit for bit (cost, parenthesization, kernel sequence), across size
+//! regions, inference modes and cache temperatures.
+
+use gmc::{FlopCount, GmcOptimizer, InferenceMode};
+use gmc_expr::{Dim, DimBindings, Property, SymChain, SymFactor, SymOperand, UnaryOp};
+use gmc_kernels::KernelRegistry;
+use gmc_plan::{PlanCache, PlanOutcome};
+
+fn check_equivalent(chain: &SymChain, bindings_list: &[DimBindings]) {
+    let registry = KernelRegistry::blas_lapack();
+    for mode in [InferenceMode::Compositional, InferenceMode::Deep] {
+        let optimizer = GmcOptimizer::new(&registry, FlopCount).with_inference(mode);
+        let mut cache = PlanCache::new(&registry, mode);
+        // Two passes so every binding is also exercised as a pure hit.
+        for pass in 0..2 {
+            for b in bindings_list {
+                let concrete = chain.bind(b).expect("binding covers all variables");
+                let reference = optimizer.solve(&concrete);
+                let served = cache.solve(chain, b);
+                match (reference, served) {
+                    (Ok(want), Ok((got, outcome))) => {
+                        assert_eq!(
+                            want.cost().to_bits(),
+                            got.cost().to_bits(),
+                            "cost diverged for {concrete} under {mode:?} ({outcome})"
+                        );
+                        assert_eq!(
+                            want.parenthesization(),
+                            got.parenthesization(),
+                            "paren diverged for {concrete} under {mode:?}"
+                        );
+                        assert_eq!(
+                            want.kernel_names(),
+                            got.kernel_names(),
+                            "kernels diverged for {concrete} under {mode:?}"
+                        );
+                        assert_eq!(want.flops(), got.flops());
+                        if pass == 1 {
+                            assert_eq!(outcome, PlanOutcome::Hit, "second pass must hit");
+                        }
+                    }
+                    (Err(_), Err(_)) => {}
+                    (want, got) => {
+                        panic!("solvability diverged for {concrete} under {mode:?}: concrete {want:?}, plan {got:?}")
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn plain(name: &str, r: Dim, c: Dim) -> SymFactor {
+    SymFactor::plain(SymOperand::new(name, r, c))
+}
+
+#[test]
+fn dense_chain_regions_flip_parenthesization() {
+    let (n, m, k) = (Dim::var("eq_n"), Dim::var("eq_m"), Dim::var("eq_k"));
+    let chain = SymChain::new(vec![plain("A", n, m), plain("B", m, k), plain("C", k, n)]).unwrap();
+    let b = |nv, mv, kv| {
+        DimBindings::new()
+            .with("eq_n", nv)
+            .with("eq_m", mv)
+            .with("eq_k", kv)
+    };
+    check_equivalent(
+        &chain,
+        &[
+            b(10, 200, 30),
+            b(12, 240, 36), // same region, different sizes
+            b(300, 20, 100),
+            b(5, 5, 5),   // all-equal region
+            b(1, 50, 20), // row-vector-ish boundary (dimension 1)
+            b(40, 1, 7),
+        ],
+    );
+}
+
+#[test]
+fn structured_chain_with_properties_and_inverse() {
+    let (n, m) = (Dim::var("eq2_n"), Dim::var("eq2_m"));
+    let a = SymOperand::square("A", n)
+        .with_property(Property::SymmetricPositiveDefinite)
+        .unwrap();
+    let b = SymOperand::new("B", n, m);
+    let c = SymOperand::square("C", m)
+        .with_property(Property::LowerTriangular)
+        .unwrap();
+    let chain = SymChain::new(vec![
+        SymFactor::new(a, UnaryOp::Inverse),
+        SymFactor::plain(b),
+        SymFactor::new(c, UnaryOp::Transpose),
+    ])
+    .unwrap();
+    let bind = |nv, mv| DimBindings::new().with("eq2_n", nv).with("eq2_m", mv);
+    check_equivalent(
+        &chain,
+        &[bind(2000, 200), bind(100, 800), bind(7, 7), bind(3, 1)],
+    );
+}
+
+#[test]
+fn aliased_gram_chain_uses_syrk() {
+    // Aᵀ A B: SYRK applies only because both factors are the same A.
+    let (n, m) = (Dim::var("eq3_n"), Dim::var("eq3_m"));
+    let a = SymOperand::new("A", n, n);
+    let b = SymOperand::new("B", n, m);
+    let chain = SymChain::new(vec![
+        SymFactor::new(a.clone(), UnaryOp::Transpose),
+        SymFactor::plain(a),
+        SymFactor::plain(b),
+    ])
+    .unwrap();
+    let bind = |nv, mv| DimBindings::new().with("eq3_n", nv).with("eq3_m", mv);
+    check_equivalent(&chain, &[bind(20, 15), bind(200, 3), bind(4, 400)]);
+}
+
+#[test]
+fn vector_chain_gemv_cascade() {
+    let (n, m) = (Dim::var("eq4_n"), Dim::var("eq4_m"));
+    let chain = SymChain::new(vec![
+        plain("M1", n, n),
+        plain("M2", n, n),
+        plain("v1", n, Dim::Const(1)),
+        SymFactor::new(SymOperand::new("v2", m, Dim::Const(1)), UnaryOp::Transpose),
+    ])
+    .unwrap();
+    let bind = |nv, mv| DimBindings::new().with("eq4_n", nv).with("eq4_m", mv);
+    check_equivalent(&chain, &[bind(500, 400), bind(30, 700), bind(2, 2)]);
+}
+
+#[test]
+fn triangular_propagation_chain() {
+    // L1 L2 B with both factors lower triangular: temp property
+    // propagation decides TRMM applicability downstream.
+    let (n, m) = (Dim::var("eq5_n"), Dim::var("eq5_m"));
+    let l1 = SymOperand::square("L1", n)
+        .with_property(Property::LowerTriangular)
+        .unwrap();
+    let l2 = SymOperand::square("L2", n)
+        .with_property(Property::LowerTriangular)
+        .unwrap();
+    let b = SymOperand::new("B", n, m);
+    let chain = SymChain::new(vec![
+        SymFactor::plain(l1),
+        SymFactor::plain(l2),
+        SymFactor::plain(b),
+    ])
+    .unwrap();
+    let bind = |nv, mv| DimBindings::new().with("eq5_n", nv).with("eq5_m", mv);
+    check_equivalent(&chain, &[bind(100, 80), bind(10, 1000), bind(50, 50)]);
+}
+
+#[test]
+fn uncomputable_chains_stay_uncomputable() {
+    let registry = KernelRegistry::builder()
+        .only_families([gmc_kernels::KernelFamily::Gemm])
+        .build();
+    let n = Dim::var("eq6_n");
+    let a = SymOperand::square("A", n);
+    let b = SymOperand::new("B", n, Dim::Const(4));
+    let chain = SymChain::new(vec![
+        SymFactor::new(a, UnaryOp::Inverse),
+        SymFactor::plain(b),
+    ])
+    .unwrap();
+    let mut cache = PlanCache::new(&registry, InferenceMode::Compositional);
+    let bindings = DimBindings::new().with("eq6_n", 10);
+    assert!(cache.solve(&chain, &bindings).is_err());
+    // The unsolvable region is cached; a second request errors again
+    // (served from the cached region).
+    assert!(cache.solve(&chain, &bindings).is_err());
+    assert_eq!(cache.stats().requests(), 2);
+    assert_eq!(cache.stats().hits, 1);
+}
+
+#[test]
+fn longer_dense_chain_with_shared_vars() {
+    let (n, m) = (Dim::var("eq7_n"), Dim::var("eq7_m"));
+    let chain = SymChain::new(vec![
+        plain("A", n, m),
+        plain("B", m, n),
+        plain("C", n, m),
+        plain("D", m, n),
+        plain("E", n, m),
+    ])
+    .unwrap();
+    let bind = |nv, mv| DimBindings::new().with("eq7_n", nv).with("eq7_m", mv);
+    check_equivalent(
+        &chain,
+        &[
+            bind(10, 100),
+            bind(100, 10),
+            bind(33, 33),
+            bind(1, 9),
+            bind(17, 170),
+        ],
+    );
+}

@@ -9,6 +9,7 @@
 //! * [`gmc_pattern`] — discrimination-net pattern matching
 //! * [`gmc_kernels`] — the kernel registry `K`
 //! * [`gmc`] — the MCP and GMC algorithms and cost metrics
+//! * [`gmc_plan`] — symbolic plans and the structure-keyed plan cache
 //! * [`gmc_codegen`] — program IR and emitters
 //! * [`gmc_linalg`] — the dense linear algebra substrate
 //! * [`gmc_runtime`] — program execution and validation
@@ -26,4 +27,5 @@ pub use gmc_frontend;
 pub use gmc_kernels;
 pub use gmc_linalg;
 pub use gmc_pattern;
+pub use gmc_plan;
 pub use gmc_runtime;

@@ -1,4 +1,4 @@
-//! Smoke test: all five `examples/` binaries run to completion with a
+//! Smoke test: all `examples/` binaries run to completion with a
 //! zero exit status.
 //!
 //! `cargo test` builds every example before running integration tests,
@@ -11,12 +11,13 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 5] = [
+const EXAMPLES: [&str; 6] = [
     "quickstart",
     "cost_metrics",
     "ensemble_kalman",
     "generalized_eigenproblem",
     "triangular_inverse",
+    "symbolic_reuse",
 ];
 
 /// `target/<profile>/examples`, derived from this test binary's path

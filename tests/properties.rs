@@ -321,3 +321,122 @@ proptest! {
         prop_assert_eq!(gmc.flops(), mcp.flops());
     }
 }
+
+/// A random symbolic chain for the plan-cache equivalence property:
+/// boundary dimensions mix constants (including 1, producing vector
+/// and outer-product sub-problems) with variables drawn from a small
+/// pool (so variables repeat and structurally square factors arise),
+/// factors randomly carry transposes, inverses and properties.
+fn random_symbolic_chain(rng: &mut StdRng) -> gmc_expr::SymChain {
+    use gmc_expr::{Dim, SymChain, SymFactor, SymOperand};
+    use rand::Rng;
+    let n = rng.gen_range(2..=8usize);
+    let pool = ["sp_a", "sp_b", "sp_c"];
+    let dims: Vec<Dim> = (0..=n)
+        .map(|_| {
+            if rng.gen_bool(0.35) {
+                if rng.gen_bool(0.2) {
+                    Dim::Const(1)
+                } else {
+                    Dim::Const(rng.gen_range(2..=6usize) * 10)
+                }
+            } else {
+                Dim::var(pool[rng.gen_range(0..pool.len())])
+            }
+        })
+        .collect();
+    let factors: Vec<SymFactor> = (0..n)
+        .map(|i| {
+            let (r, c) = (dims[i], dims[i + 1]);
+            let square = r == c;
+            let transposed = rng.gen_bool(0.25);
+            let (or, oc) = if transposed { (c, r) } else { (r, c) };
+            let mut op = SymOperand::new(format!("M{i}"), or, oc);
+            if square && rng.gen_bool(0.4) {
+                let p = [
+                    Property::Diagonal,
+                    Property::LowerTriangular,
+                    Property::UpperTriangular,
+                    Property::Symmetric,
+                    Property::SymmetricPositiveDefinite,
+                ][rng.gen_range(0..5usize)];
+                op = op.with_property(p).expect("structurally square");
+            }
+            let unary = if square && rng.gen_bool(0.3) {
+                if transposed {
+                    [UnaryOp::InverseTranspose, UnaryOp::Transpose][rng.gen_range(0..2usize)]
+                } else {
+                    [UnaryOp::Inverse, UnaryOp::None][rng.gen_range(0..2usize)]
+                }
+            } else if transposed {
+                UnaryOp::Transpose
+            } else {
+                UnaryOp::None
+            };
+            SymFactor::new(op, unary)
+        })
+        .collect();
+    SymChain::new(factors).expect("dims line up by construction")
+}
+
+proptest! {
+    /// ISSUE 3 acceptance: for random chains with symbolic dimensions,
+    /// binding the variables and instantiating the cached symbolic plan
+    /// is bit-identical — cost, parenthesization, kernel sequence — to
+    /// a from-scratch concrete solve, in both inference modes, across
+    /// several bindings (different size regions included) and when the
+    /// same binding is served again as a pure cache hit.
+    #[test]
+    fn symbolic_plan_matches_concrete_solve(seed in 0u64..1_000_000) {
+        use gmc::InferenceMode;
+        use gmc_expr::DimBindings;
+        use gmc_plan::{PlanCache, PlanOutcome};
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eb011c);
+        let chain = random_symbolic_chain(&mut rng);
+        let registry = KernelRegistry::blas_lapack();
+        let sizes = [1usize, 2, 3, 7, 10, 40, 100];
+        let bindings_list: Vec<DimBindings> = (0..3)
+            .map(|_| {
+                let mut b = DimBindings::new();
+                for v in chain.vars() {
+                    b.set_var(v, sizes[rng.gen_range(0..sizes.len())]);
+                }
+                b
+            })
+            .collect();
+        for mode in [InferenceMode::Compositional, InferenceMode::Deep] {
+            let optimizer = GmcOptimizer::new(&registry, FlopCount).with_inference(mode);
+            let mut cache = PlanCache::new(&registry, mode);
+            for pass in 0..2 {
+                for bindings in &bindings_list {
+                    let concrete = chain.bind(bindings).expect("all variables bound");
+                    let reference = optimizer.solve(&concrete);
+                    match (reference, cache.solve(&chain, bindings)) {
+                        (Ok(want), Ok((got, outcome))) => {
+                            prop_assert_eq!(
+                                want.cost().to_bits(), got.cost().to_bits(),
+                                "cost diverged ({:?}, {}) on {}", mode, outcome, &concrete
+                            );
+                            prop_assert_eq!(
+                                want.parenthesization(), got.parenthesization(),
+                                "parenthesization diverged ({:?}) on {}", mode, &concrete
+                            );
+                            prop_assert_eq!(want.kernel_names(), got.kernel_names());
+                            prop_assert_eq!(want.flops(), got.flops());
+                            if pass == 1 {
+                                prop_assert_eq!(outcome, PlanOutcome::Hit);
+                            }
+                        }
+                        (Err(_), Err(_)) => {}
+                        (want, got) => prop_assert!(
+                            false,
+                            "solvability diverged ({:?}) on {}: {:?} vs {:?}",
+                            mode, &concrete, want.map(|s| s.cost()), got.map(|(s, o)| (s.cost(), o))
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}

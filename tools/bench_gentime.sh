@@ -10,7 +10,9 @@
 # The "before" slot drives the retained pre-refactor implementation
 # (gmc::reference::solve_reference) and the "after" slot the
 # allocation-free hot path, interleaved in one process, so the
-# recorded speedups are robust to machine-condition drift.
+# recorded speedups are robust to machine-condition drift. The
+# "plan_cache" group tracks the symbolic pipeline: cold symbolic solve
+# vs cached instantiate at fresh sizes in the same region.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo run --release -p gmc-bench --bin gentime_json -- "$@"
