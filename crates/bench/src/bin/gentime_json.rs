@@ -17,19 +17,42 @@
 //! measures the symbolic pipeline (ISSUE 3): a cold symbolic solve
 //! (structure miss, records the region plan) vs a cached instantiate
 //! at fresh sizes in the same region, with the hit-vs-concrete-solve
-//! speedup tracked per length. `--quick` cuts the sample count for CI
-//! smoke runs.
+//! speedup tracked per length. The `serve_throughput` group (ISSUE 5)
+//! drives the `gmc-serve` front door end to end — submission channel,
+//! batching dispatcher, worker pool, shared concurrent cache — at 1, 2,
+//! 4 and 8 workers over a hit-ratio sweep, recording requests/second
+//! and the scaling relative to one worker. The host's available
+//! parallelism is recorded alongside: on a single-core container the
+//! sweep measures contention overhead (scaling ≈ 1.0 is the best
+//! possible there), while multi-core hosts show the lock-free hit
+//! path scaling with workers. `--quick` cuts the sample and request
+//! counts for CI smoke runs.
 
 use gmc::reference::solve_reference;
 use gmc::{FlopCount, GmcOptimizer, GmcWorkspace, InferenceMode};
 use gmc_bench::{length_bindings, length_chain, symbolic_length_chain};
+use gmc_expr::{DimBindings, SymChain};
 use gmc_kernels::KernelRegistry;
 use gmc_plan::{PlanCache, PlanOutcome};
+use gmc_serve::{ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::Value;
+use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Chain lengths tracked by the benchmark (ISSUE 2 acceptance set).
 const LENGTHS: [usize; 4] = [10, 20, 40, 80];
+
+/// Chain length driven through the serving front door.
+const SERVE_CHAIN_LEN: usize = 10;
+
+/// Worker-pool sizes of the `serve_throughput` sweep.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Hit ratios of the `serve_throughput` sweep.
+const HIT_RATIOS: [f64; 2] = [1.0, 0.5];
 
 fn median(mut times: Vec<f64>) -> f64 {
     times.sort_by(f64::total_cmp);
@@ -55,6 +78,117 @@ fn measure(samples: usize, mut run: impl FnMut()) -> f64 {
     median(times)
 }
 
+/// A binding assigning the permuted dimension ladder
+/// `scale · (100 + 50·perm[i])` to `d<i>`: distinct permutations give
+/// distinct size regions; one permutation at different scales stays in
+/// its region (the serving hit path).
+fn permuted_bindings(perm: &[usize], scale: usize) -> DimBindings {
+    let mut b = DimBindings::new();
+    for (i, &p) in perm.iter().enumerate() {
+        b.set(&format!("d{i}"), scale * (100 + 50 * p));
+    }
+    b
+}
+
+/// Fisher–Yates permutation of `0..len`.
+fn random_perm(rng: &mut StdRng, len: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// A deterministic request stream at the given hit ratio: hits cycle
+/// over the pre-warmed regions at fresh scales, misses each open a
+/// brand-new region (a fresh permutation).
+fn serve_request_stream(
+    rng: &mut StdRng,
+    warm_perms: &[Vec<usize>],
+    used: &mut BTreeSet<Vec<usize>>,
+    total: usize,
+    hit_ratio: f64,
+) -> Vec<DimBindings> {
+    let dims = warm_perms[0].len();
+    let mut out = Vec::with_capacity(total);
+    let mut hit_cursor = 0usize;
+    for i in 0..total {
+        let hits_before = (i as f64 * hit_ratio).floor() as usize;
+        let hits_after = ((i + 1) as f64 * hit_ratio).floor() as usize;
+        if hits_after > hits_before {
+            let perm = &warm_perms[hit_cursor % warm_perms.len()];
+            // A fresh scale per hit keeps every binding distinct, so
+            // the measured hit path is real instantiates, not
+            // dispatcher coalescing of identical requests.
+            let scale = 2 + hit_cursor / warm_perms.len();
+            hit_cursor += 1;
+            out.push(permuted_bindings(perm, scale));
+        } else {
+            let perm = loop {
+                let p = random_perm(rng, dims);
+                if used.insert(p.clone()) {
+                    break p;
+                }
+            };
+            out.push(permuted_bindings(&perm, 1));
+        }
+    }
+    out
+}
+
+struct ServeRun {
+    requests_per_second: f64,
+    achieved_hit_ratio: f64,
+    coalesced: u64,
+}
+
+/// Drives `requests` through a fresh front door with `workers` workers
+/// (cache pre-warmed with `warm_perms`) and measures end-to-end
+/// throughput: submission channel, dispatcher grouping, worker-pool
+/// instantiates, reply channels.
+fn run_serve_throughput(
+    registry: &Arc<KernelRegistry>,
+    chain: &SymChain,
+    workers: usize,
+    warm_perms: &[Vec<usize>],
+    requests: &[DimBindings],
+) -> ServeRun {
+    let server = Server::start(
+        registry.clone(),
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+    );
+    server.register("X", chain.clone()).expect("register");
+    for perm in warm_perms {
+        server
+            .cache()
+            .solve(chain, &permuted_bindings(perm, 1))
+            .expect("warm-up solve");
+    }
+    let before = server.stats().cache;
+    let handle = server.handle();
+    let start = Instant::now();
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|b| handle.submit("X", b.clone()))
+        .collect();
+    for t in tickets {
+        t.wait().result.expect("served");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = server.stats();
+    let after = stats.cache;
+    server.shutdown();
+    ServeRun {
+        requests_per_second: requests.len() as f64 / elapsed,
+        achieved_hit_ratio: (after.hits - before.hits) as f64 / requests.len() as f64,
+        coalesced: stats.coalesced,
+    }
+}
+
 fn main() {
     let mut quick = false;
     let mut out_path = "BENCH_gentime.json".to_owned();
@@ -68,7 +202,7 @@ fn main() {
     }
     let samples = if quick { 5 } else { 25 };
 
-    let registry = KernelRegistry::blas_lapack();
+    let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
     let optimizer = GmcOptimizer::new(&registry, FlopCount);
 
     let mut before_medians: Vec<(String, Value)> = Vec::new();
@@ -101,10 +235,10 @@ fn main() {
         let base = length_bindings(n, 1);
         let scaled = length_bindings(n, 2);
         let plan_cold = measure(samples, || {
-            let mut cache = PlanCache::new(&registry, InferenceMode::default());
+            let cache = PlanCache::new(registry.clone(), InferenceMode::default());
             std::hint::black_box(cache.solve(&sym, &base).expect("computable"));
         });
-        let mut cache = PlanCache::new(&registry, InferenceMode::default());
+        let cache = PlanCache::new(registry.clone(), InferenceMode::default());
         cache.solve(&sym, &base).expect("computable");
         let (_, outcome) = cache.solve(&sym, &scaled).expect("computable");
         assert_eq!(
@@ -138,6 +272,93 @@ fn main() {
         plan_warm_medians.push((n.to_string(), Value::Number(plan_warm)));
         plan_speedups.push((n.to_string(), Value::Number(after / plan_warm)));
     }
+
+    // serve_throughput group: the gmc-serve front door end to end, by
+    // worker count and hit ratio.
+    let serve_chain = symbolic_length_chain(SERVE_CHAIN_LEN);
+    let warm_regions = if quick { 8 } else { 16 };
+    let request_count = if quick { 120 } else { 1200 };
+    let mut rng = StdRng::seed_from_u64(0x5E11E);
+    let mut used: BTreeSet<Vec<usize>> = BTreeSet::new();
+    let mut warm_perms: Vec<Vec<usize>> = Vec::new();
+    while warm_perms.len() < warm_regions {
+        let p = random_perm(&mut rng, SERVE_CHAIN_LEN + 1);
+        if used.insert(p.clone()) {
+            warm_perms.push(p);
+        }
+    }
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut ratio_groups: Vec<(String, Value)> = Vec::new();
+    for ratio in HIT_RATIOS {
+        let requests = serve_request_stream(&mut rng, &warm_perms, &mut used, request_count, ratio);
+        let mut rps: Vec<(String, Value)> = Vec::new();
+        let mut scaling: Vec<(String, Value)> = Vec::new();
+        let mut base_rps = 0.0f64;
+        let mut achieved = 0.0f64;
+        for workers in WORKER_COUNTS {
+            let run =
+                run_serve_throughput(&registry, &serve_chain, workers, &warm_perms, &requests);
+            if workers == 1 {
+                base_rps = run.requests_per_second;
+            }
+            achieved = run.achieved_hit_ratio;
+            eprintln!(
+                "serve_throughput hit_ratio={ratio:.2} workers={workers} {:>10.0} req/s   scaling {:.2}x   achieved hit ratio {:.2}   coalesced {}",
+                run.requests_per_second,
+                run.requests_per_second / base_rps,
+                run.achieved_hit_ratio,
+                run.coalesced
+            );
+            rps.push((workers.to_string(), Value::Number(run.requests_per_second)));
+            scaling.push((
+                workers.to_string(),
+                Value::Number(run.requests_per_second / base_rps),
+            ));
+        }
+        ratio_groups.push((
+            format!("hit_ratio_{ratio:.2}"),
+            Value::Object(vec![
+                (
+                    "requests_per_second_by_workers".to_owned(),
+                    Value::Object(rps),
+                ),
+                ("scaling_vs_1_worker".to_owned(), Value::Object(scaling)),
+                ("achieved_hit_ratio".to_owned(), Value::Number(achieved)),
+            ]),
+        ));
+    }
+    let mut serve_group = vec![
+        (
+            "description".to_owned(),
+            Value::String(
+                "gmc-serve front door end to end (submission channel, batching dispatcher, \
+                 worker pool, shared concurrent PlanCache): requests/second by worker count \
+                 over a hit-ratio sweep. Hits instantiate cached region plans of the \
+                 length-10 symbolic chain; misses each record a brand-new size region. \
+                 Scaling is relative to 1 worker on the same host; host_parallelism records \
+                 the cores available (on a 1-core container, flat scaling = no contention \
+                 loss on the lock-free hit path; >= 2x at 4 workers is expected from \
+                 host_parallelism >= 4)."
+                    .into(),
+            ),
+        ),
+        (
+            "chain_length".to_owned(),
+            Value::Number(SERVE_CHAIN_LEN as f64),
+        ),
+        (
+            "warm_regions".to_owned(),
+            Value::Number(warm_regions as f64),
+        ),
+        ("requests".to_owned(), Value::Number(request_count as f64)),
+        (
+            "host_parallelism".to_owned(),
+            Value::Number(host_parallelism as f64),
+        ),
+    ];
+    serve_group.append(&mut ratio_groups);
 
     let doc = Value::Object(vec![
         (
@@ -191,8 +412,18 @@ fn main() {
                     "instantiate_speedup_vs_concrete_solve".to_owned(),
                     Value::Object(plan_speedups),
                 ),
+                (
+                    "instantiate_path".to_owned(),
+                    Value::String(
+                        "hits replay per-region plans with pre-materialized temporary names \
+                         and recorded winner-only property inference (per candidate split), \
+                         on a thread-local allocation-free workspace"
+                            .into(),
+                    ),
+                ),
             ]),
         ),
+        ("serve_throughput".to_owned(), Value::Object(serve_group)),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("finite numbers only");
     std::fs::write(&out_path, json + "\n").expect("write bench json");

@@ -7,6 +7,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod serve;
+
+pub use serve::{run_request, run_serve_batch, serve_listen, ServeOptions};
+
 use gmc::{FlopCount, GmcOptimizer, GmcWorkspace, InferenceMode, TimeModel};
 use gmc_codegen::{emit_size_generic_rust, Emitter, JuliaEmitter, PseudoEmitter, RustEmitter};
 use gmc_expr::{Chain, DimBindings};
@@ -15,6 +19,7 @@ use gmc_kernels::KernelRegistry;
 use gmc_plan::PlanCache;
 use gmc_runtime::{validate_against_reference, Env};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Output language selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,6 +81,9 @@ pub struct Options {
     /// Dimension-variable bindings (`--bind n=2000`) for problems with
     /// symbolic dimensions.
     pub bind: Vec<(String, usize)>,
+    /// Plan-store path (`--plan-store cache.json`): warm-start the plan
+    /// cache from it before compiling and save it back after.
+    pub plan_store: Option<String>,
 }
 
 impl Default for Options {
@@ -85,6 +93,7 @@ impl Default for Options {
             metric: Metric::Flops,
             check: false,
             bind: Vec::new(),
+            plan_store: None,
         }
     }
 }
@@ -98,7 +107,7 @@ impl Default for Options {
 /// failures.
 pub fn compile(input: &str, options: &Options) -> Result<String, String> {
     let problem = gmc_frontend::parse(input).map_err(|e| gmc_frontend::render_error(input, &e))?;
-    let registry = KernelRegistry::blas_lapack();
+    let registry = Arc::new(KernelRegistry::blas_lapack());
     // Mixed problems: concrete assignments compile exactly as in a
     // fully concrete problem, then the symbolic ones go through the
     // plan cache.
@@ -165,7 +174,7 @@ pub fn compile(input: &str, options: &Options) -> Result<String, String> {
 /// `--bind`, so assignments sharing a structure hit the cached plan.
 fn compile_symbolic(
     problem: &SymbolicProblem,
-    registry: &KernelRegistry,
+    registry: &Arc<KernelRegistry>,
     options: &Options,
 ) -> Result<String, String> {
     if options.metric != Metric::Flops {
@@ -177,8 +186,13 @@ fn compile_symbolic(
     for (name, value) in &options.bind {
         bindings.set(name, *value);
     }
-    let mut cache = PlanCache::new(registry, InferenceMode::Compositional);
+    let cache = PlanCache::new(registry.clone(), InferenceMode::Compositional);
     let mut out = String::new();
+    if let Some(store) = &options.plan_store {
+        if let Some(line) = serve::warm_start_plan_store(&cache, store)? {
+            out.push_str(&line);
+        }
+    }
     for (target, chain) in &problem.chains {
         let missing: Vec<String> = chain
             .vars()
@@ -228,6 +242,9 @@ fn compile_symbolic(
         out.push('\n');
     }
     writeln!(out, "# plan cache: {}", cache.stats()).expect("string write");
+    if let Some(store) = &options.plan_store {
+        out.push_str(&serve::save_plan_store(&cache, store)?);
+    }
     Ok(out)
 }
 

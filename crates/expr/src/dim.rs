@@ -177,7 +177,7 @@ impl fmt::Display for Dim {
 /// assert_eq!(Dim::var("n").bind(&b), Ok(100));
 /// assert!(Dim::var("q").bind(&b).is_err());
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct DimBindings {
     values: BTreeMap<DimVar, usize>,
 }

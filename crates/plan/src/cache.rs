@@ -1,12 +1,38 @@
-//! The structure-keyed plan cache.
+//! The structure-keyed plan cache: concurrent, sharded, copy-on-write.
+//!
+//! # Concurrency architecture
+//!
+//! The cache is designed so the serving hot path (a cache **hit**) is a
+//! pure read that many threads can take simultaneously:
+//!
+//! * Structures are **sharded** by the hash of their [`StructureKey`];
+//!   each shard holds an immutable snapshot
+//!   (`Arc<HashMap<StructureKey, Arc<SymbolicPlan>>>`) behind a
+//!   many-reader lock that is only ever held for the pointer
+//!   clone/swap, never across a solve.
+//! * A hit clones the shard snapshot (one `Arc` bump), looks up the
+//!   region plan, and instantiates it on a **thread-local** workspace
+//!   (DP tables + pattern-matching scratch), so concurrent hits share
+//!   no mutable state and allocate no fresh tables.
+//! * Misses go through a per-shard **write mutex**: the miss records
+//!   the region plan, rebuilds the shard map copy-on-write (structure
+//!   entries are `Arc`-shared with the old snapshot; only the touched
+//!   structure's region map is cloned) and swaps the snapshot in. A
+//!   thread that lost the race to record the same region finds it
+//!   present after acquiring the mutex and serves it as a hit — the
+//!   recording is coalesced, never duplicated, and no update is lost.
 
 use crate::key::{region_signature, structure_key, StructureKey};
 use crate::plan::{instantiate, record_region, PlanSummary, PlanWorkspace, RegionPlan};
 use gmc::{GmcError, GmcSolution, InferenceMode};
-use gmc_expr::{DimBindings, SymChain, SymChainError};
+use gmc_expr::{Dim, DimBindings, SymChain, SymChainError};
 use gmc_kernels::{FlatTermScratch, KernelRegistry};
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// How a request was served by the cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,6 +96,10 @@ pub enum PlanError {
     /// No kernel sequence computes the chain (same condition as the
     /// concrete optimizer's error).
     Solve(GmcError),
+    /// The chain is too large for exhaustive region pre-enumeration.
+    Enumeration(String),
+    /// A plan-store snapshot failed to save, load or validate.
+    Store(String),
 }
 
 impl fmt::Display for PlanError {
@@ -77,6 +107,8 @@ impl fmt::Display for PlanError {
         match self {
             PlanError::Chain(e) => e.fmt(f),
             PlanError::Solve(e) => e.fmt(f),
+            PlanError::Enumeration(msg) => write!(f, "region pre-enumeration: {msg}"),
+            PlanError::Store(msg) => write!(f, "plan store: {msg}"),
         }
     }
 }
@@ -95,11 +127,18 @@ impl From<GmcError> for PlanError {
     }
 }
 
+impl From<gmc_expr::DimError> for PlanError {
+    fn from(e: gmc_expr::DimError) -> Self {
+        PlanError::Chain(SymChainError::from(e))
+    }
+}
+
 /// A symbolic plan for one chain structure: one recorded [`RegionPlan`]
-/// per size region encountered so far.
-#[derive(Debug, Default)]
+/// per size region encountered so far. Region plans are `Arc`-shared
+/// between cache snapshots, so cloning a `SymbolicPlan` is cheap.
+#[derive(Clone, Debug, Default)]
 pub struct SymbolicPlan {
-    regions: HashMap<Vec<i8>, RegionPlan>,
+    pub(crate) regions: HashMap<Vec<i8>, Arc<RegionPlan>>,
 }
 
 impl SymbolicPlan {
@@ -110,13 +149,75 @@ impl SymbolicPlan {
 
     /// Iterates over the recorded regions' classification summaries.
     pub fn region_summaries(&self) -> impl Iterator<Item = PlanSummary> + '_ {
-        self.regions.values().map(RegionPlan::summary)
+        self.regions.values().map(|r| r.summary())
     }
 }
 
+/// One shard: an immutable snapshot swapped under a write mutex.
+#[derive(Debug, Default)]
+struct Shard {
+    /// The current snapshot. The lock is held only to clone or swap the
+    /// `Arc`, never across a record or instantiate.
+    map: RwLock<Arc<StructMap>>,
+    /// Serializes recording within the shard, so concurrent misses on
+    /// the same region coalesce into one symbolic solve.
+    write: Mutex<()>,
+}
+
+type StructMap = HashMap<StructureKey, Arc<SymbolicPlan>>;
+
+use crate::sync::{mutex_lock, read_lock, write_lock};
+
+impl Shard {
+    fn snapshot(&self) -> Arc<StructMap> {
+        Arc::clone(&read_lock(&self.map))
+    }
+
+    /// Publishes `region` under `(key, sig)` copy-on-write. Caller must
+    /// hold the shard's write mutex.
+    fn publish(&self, key: StructureKey, sig: Vec<i8>, region: Arc<RegionPlan>) {
+        let current = self.snapshot();
+        let mut next: StructMap = (*current).clone();
+        let plan = Arc::make_mut(next.entry(key).or_default());
+        plan.regions.insert(sig, region);
+        *write_lock(&self.map) = Arc::new(next);
+    }
+}
+
+thread_local! {
+    /// Per-thread solve state: pattern-matching scratch and the DP
+    /// workspace. Thread-local rather than cache-held so concurrent
+    /// workers instantiate allocation-free without sharing any mutable
+    /// state (and without a lock on the hot path).
+    static SCRATCH: RefCell<(FlatTermScratch, PlanWorkspace)> =
+        RefCell::new((FlatTermScratch::new(), PlanWorkspace::default()));
+}
+
+fn with_scratch<R>(f: impl FnOnce(&mut FlatTermScratch, &mut PlanWorkspace) -> R) -> R {
+    SCRATCH.with(|cell| {
+        let mut guard = cell.borrow_mut();
+        let (scratch, workspace) = &mut *guard;
+        f(scratch, workspace)
+    })
+}
+
+/// Number of shards. A fixed power of two: enough to keep writers from
+/// serializing behind one mutex, small enough that full-cache
+/// operations (snapshots, len) stay trivial.
+const SHARDS: usize = 16;
+
+/// Hard cap on the number of representative bindings
+/// [`PlanCache::pre_enumerate_regions`] will try.
+const MAX_ENUMERATION_ASSIGNMENTS: usize = 20_000;
+
+/// Largest chain length eligible for region pre-enumeration.
+const MAX_ENUMERATION_FACTORS: usize = 8;
+
 /// A plan cache: compile a chain *structure* once, serve every request
 /// that differs only in sizes by instantiating the cached symbolic
-/// plan.
+/// plan. Safe to share across threads (`&self` everywhere): hits are
+/// pure reads of an immutable snapshot, misses record behind per-shard
+/// write mutexes (see the module docs for the architecture).
 ///
 /// Keyed by (chain structure ⨯ operand properties ⨯ dimension-variable
 /// pattern) at the outer level and by size *region* (the ordering
@@ -136,9 +237,10 @@ impl SymbolicPlan {
 /// use gmc_expr::{Dim, DimBindings, SymChain, SymFactor, SymOperand};
 /// use gmc_kernels::KernelRegistry;
 /// use gmc_plan::{PlanCache, PlanOutcome};
+/// use std::sync::Arc;
 ///
-/// let registry = KernelRegistry::blas_lapack();
-/// let mut cache = PlanCache::new(&registry, InferenceMode::Compositional);
+/// let registry = Arc::new(KernelRegistry::blas_lapack());
+/// let cache = PlanCache::new(registry, InferenceMode::Compositional);
 ///
 /// let (n, k, m) = (Dim::var("n"), Dim::var("k"), Dim::var("m"));
 /// let chain = SymChain::new(vec![
@@ -159,26 +261,26 @@ impl SymbolicPlan {
 /// assert_eq!(sol.flops(), 2.0 * 100.0 * 300.0 * 200.0);
 /// ```
 #[derive(Debug)]
-pub struct PlanCache<'r> {
-    registry: &'r KernelRegistry,
+pub struct PlanCache {
+    registry: Arc<KernelRegistry>,
     inference: InferenceMode,
-    plans: HashMap<StructureKey, SymbolicPlan>,
-    stats: CacheStats,
-    scratch: FlatTermScratch,
-    workspace: PlanWorkspace,
+    shards: Vec<Shard>,
+    structure_misses: AtomicU64,
+    region_misses: AtomicU64,
+    hits: AtomicU64,
 }
 
-impl<'r> PlanCache<'r> {
+impl PlanCache {
     /// Creates an empty cache over `registry` with the given inference
     /// mode.
-    pub fn new(registry: &'r KernelRegistry, inference: InferenceMode) -> Self {
+    pub fn new(registry: Arc<KernelRegistry>, inference: InferenceMode) -> Self {
         PlanCache {
             registry,
             inference,
-            plans: HashMap::new(),
-            stats: CacheStats::default(),
-            scratch: FlatTermScratch::new(),
-            workspace: PlanWorkspace::default(),
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+            structure_misses: AtomicU64::new(0),
+            region_misses: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
         }
     }
 
@@ -187,42 +289,96 @@ impl<'r> PlanCache<'r> {
         self.inference
     }
 
+    /// The kernel registry this cache compiles against.
+    pub fn registry(&self) -> &Arc<KernelRegistry> {
+        &self.registry
+    }
+
     /// Cumulative hit/miss counters.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            structure_misses: self.structure_misses.load(Ordering::Relaxed),
+            region_misses: self.region_misses.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of distinct chain structures cached.
     pub fn len(&self) -> usize {
-        self.plans.len()
+        self.shards.iter().map(|s| s.snapshot().len()).sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.plans.is_empty()
+        self.shards.iter().all(|s| s.snapshot().is_empty())
     }
 
-    /// The cached plan for a chain structure, if any.
-    pub fn plan_for(&self, chain: &SymChain) -> Option<&SymbolicPlan> {
-        self.plans.get(&structure_key(chain, self.inference))
+    fn shard_for(&self, key: &StructureKey) -> &Shard {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    /// The cached plan for a chain structure, if any (a snapshot:
+    /// regions recorded later do not appear in it).
+    pub fn plan_for(&self, chain: &SymChain) -> Option<Arc<SymbolicPlan>> {
+        let key = structure_key(chain, self.inference);
+        self.shard_for(&key).snapshot().get(&key).cloned()
+    }
+
+    /// Every cached structure, as `(key, plan)` snapshots.
+    pub(crate) fn structures(&self) -> Vec<(StructureKey, Arc<SymbolicPlan>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let snap = shard.snapshot();
+            out.extend(snap.iter().map(|(k, p)| (k.clone(), Arc::clone(p))));
+        }
+        out
+    }
+
+    /// Publishes a deserialized region plan (plan-store loading).
+    /// Returns whether the region was actually adopted (`false` if it
+    /// was already present).
+    pub(crate) fn adopt_region(
+        &self,
+        key: StructureKey,
+        sig: Vec<i8>,
+        region: Arc<RegionPlan>,
+    ) -> bool {
+        let shard = self.shard_for(&key);
+        let _guard = mutex_lock(&shard.write);
+        if shard
+            .snapshot()
+            .get(&key)
+            .is_some_and(|p| p.regions.contains_key(&sig))
+        {
+            return false;
+        }
+        shard.publish(key, sig, region);
+        true
     }
 
     /// The classification summary of the region serving `bindings`, if
     /// that region has been recorded.
     pub fn region_summary(&self, chain: &SymChain, bindings: &DimBindings) -> Option<PlanSummary> {
         let sizes = chain.bind_dims(bindings).ok()?;
-        self.plans
-            .get(&structure_key(chain, self.inference))?
+        self.plan_for(chain)?
             .regions
             .get(&region_signature(&sizes))
-            .map(RegionPlan::summary)
+            .map(|r| r.summary())
     }
 
     /// Solves `chain` at `bindings`, through the cache.
     ///
     /// The returned solution is bit-identical (cost, parenthesization,
-    /// kernel sequence) to `GmcOptimizer::new(registry,
+    /// kernel sequence) to `GmcOptimizer::new(&registry,
     /// FlopCount).with_inference(mode).solve(&chain.bind(bindings)?)`.
+    ///
+    /// Takes `&self`: any number of threads may call this
+    /// concurrently. Hits never block; concurrent misses on one shard
+    /// serialize their recordings, and a thread that finds its region
+    /// already recorded when its turn comes serves it as a hit instead
+    /// of recording twice.
     ///
     /// # Errors
     ///
@@ -230,46 +386,197 @@ impl<'r> PlanCache<'r> {
     /// [`PlanError::Solve`] if no kernel sequence computes the chain
     /// (the unsolvability is itself cached per region).
     pub fn solve(
-        &mut self,
+        &self,
         chain: &SymChain,
         bindings: &DimBindings,
     ) -> Result<(GmcSolution<f64>, PlanOutcome), PlanError> {
         let concrete = chain.bind(bindings)?;
         let key = structure_key(chain, self.inference);
         let sig = region_signature(&concrete.sizes());
+        let shard = self.shard_for(&key);
 
-        let structure_known = self.plans.contains_key(&key);
-        let plan = self.plans.entry(key).or_default();
+        // Fast path: hit on the immutable snapshot — a pure read.
+        let snapshot = shard.snapshot();
+        if let Some(region) = snapshot.get(&key).and_then(|p| p.regions.get(&sig)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let solution = self.instantiate_region(region, chain, &concrete, bindings)?;
+            return Ok((solution, PlanOutcome::Hit));
+        }
+        drop(snapshot);
 
-        if let Some(region) = plan.regions.get(&sig) {
-            self.stats.hits += 1;
-            let solution = instantiate(
-                self.registry,
-                self.inference,
-                region,
-                &concrete,
-                bindings,
-                &mut self.scratch,
-                &mut self.workspace,
-            )?;
+        // Slow path: record behind the shard's write mutex.
+        let guard = mutex_lock(&shard.write);
+        let snapshot = shard.snapshot();
+        let structure_known = snapshot.contains_key(&key);
+        if let Some(region) = snapshot.get(&key).and_then(|p| p.regions.get(&sig)) {
+            // Another thread recorded this region while we waited: the
+            // recording coalesced, serve it as a hit.
+            drop(guard);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let solution = self.instantiate_region(region, chain, &concrete, bindings)?;
             return Ok((solution, PlanOutcome::Hit));
         }
 
-        let (region, solution) = record_region(
-            self.registry,
-            self.inference,
-            chain,
-            &concrete,
-            &mut self.scratch,
-        );
-        plan.regions.insert(sig, region);
+        let (region, solution) = with_scratch(|scratch, _| {
+            record_region(&self.registry, self.inference, chain, &concrete, scratch)
+        });
+        shard.publish(key, sig, Arc::new(region));
+        drop(guard);
         let outcome = if structure_known {
-            self.stats.region_misses += 1;
+            self.region_misses.fetch_add(1, Ordering::Relaxed);
             PlanOutcome::MissRegion
         } else {
-            self.stats.structure_misses += 1;
+            self.structure_misses.fetch_add(1, Ordering::Relaxed);
             PlanOutcome::MissStructure
         };
         Ok((solution?, outcome))
+    }
+
+    fn instantiate_region(
+        &self,
+        region: &RegionPlan,
+        sym: &SymChain,
+        concrete: &gmc_expr::Chain,
+        bindings: &DimBindings,
+    ) -> Result<GmcSolution<f64>, GmcError> {
+        // Structure keys canonicalize variable *names*, so the request
+        // chain may spell the same structure with different variables
+        // than the chain this region was recorded from — but the
+        // cached formulas reference the recording chain's variables.
+        // Key equality guarantees the two first-occurrence variable
+        // sequences line up positionally, so translate the bindings
+        // when (and only when) the variables differ.
+        let request_vars = sym.vars();
+        let translated = if request_vars == region.vars {
+            None
+        } else {
+            debug_assert_eq!(request_vars.len(), region.vars.len());
+            let mut b = DimBindings::new();
+            for (recorded, requested) in region.vars.iter().zip(&request_vars) {
+                let value = bindings
+                    .get(*requested)
+                    .expect("the request chain bound successfully, so its variables are bound");
+                b.set_var(*recorded, value);
+            }
+            Some(b)
+        };
+        let eval_bindings = translated.as_ref().unwrap_or(bindings);
+        with_scratch(|scratch, workspace| {
+            instantiate(
+                &self.registry,
+                self.inference,
+                region,
+                concrete,
+                eval_bindings,
+                scratch,
+                workspace,
+            )
+        })
+    }
+
+    /// Records a plan for **every** size region `chain` can reach, so
+    /// each subsequent request for this structure is a cache hit.
+    ///
+    /// Every structural branch of the optimizer depends only on order
+    /// comparisons between bound boundary dimensions (and against 1),
+    /// so regions are enumerated by sweeping the dimension variables
+    /// over a small set of representative values that realizes every
+    /// ordering pattern — every weak ordering of the variables
+    /// interleaved with the chain's constant dimensions. Recording at
+    /// representative (small) sizes is sound because plans are
+    /// region-invariant: a plan recorded at sizes `(2, 3)` serves
+    /// `(2000, 3000)` identically.
+    ///
+    /// Returns the number of regions newly recorded (regions already
+    /// cached, including unsolvable ones, are skipped).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Enumeration`] if the chain is too large to
+    /// enumerate (more than 8 factors, or a variable/constant pattern
+    /// needing more than 20 000 representative bindings — the
+    /// follow-up literature's observation that few parenthesisations
+    /// are ever optimal is what makes small chains enumerable).
+    pub fn pre_enumerate_regions(&self, chain: &SymChain) -> Result<usize, PlanError> {
+        if chain.len() > MAX_ENUMERATION_FACTORS {
+            return Err(PlanError::Enumeration(format!(
+                "chain has {} factors, pre-enumeration is limited to {}",
+                chain.len(),
+                MAX_ENUMERATION_FACTORS
+            )));
+        }
+        let vars = chain.vars();
+        let consts: BTreeSet<usize> = chain
+            .dims()
+            .iter()
+            .filter_map(Dim::as_const)
+            .filter(|&c| c > 0)
+            .collect();
+
+        // Representative values: enough below-, between- and
+        // above-constant slots that any weak ordering of the variables
+        // against each other, the constants and 1 is realizable.
+        let mut values: BTreeSet<usize> = (1..=vars.len() + 1).collect();
+        for &c in &consts {
+            for v in c.saturating_sub(vars.len()).max(1)..=c + vars.len() {
+                values.insert(v);
+            }
+        }
+        let values: Vec<usize> = values.into_iter().collect();
+
+        let total = values
+            .len()
+            .checked_pow(vars.len() as u32)
+            .filter(|&t| t <= MAX_ENUMERATION_ASSIGNMENTS)
+            .ok_or_else(|| {
+                PlanError::Enumeration(format!(
+                    "{} variables over {} representative values exceed the {} binding limit",
+                    vars.len(),
+                    values.len(),
+                    MAX_ENUMERATION_ASSIGNMENTS
+                ))
+            })?;
+
+        let key = structure_key(chain, self.inference);
+        let shard = self.shard_for(&key);
+        let mut recorded = 0usize;
+        let mut seen: BTreeSet<Vec<i8>> = BTreeSet::new();
+        // Odometer over value indices, one digit per variable.
+        let mut digits = vec![0usize; vars.len()];
+        for _ in 0..total.max(1) {
+            let mut bindings = DimBindings::new();
+            for (var, &d) in vars.iter().zip(&digits) {
+                bindings.set_var(*var, values[d]);
+            }
+            let sizes = chain.bind_dims(&bindings)?;
+            let sig = region_signature(&sizes);
+            if seen.insert(sig.clone()) {
+                let guard = mutex_lock(&shard.write);
+                let known = shard
+                    .snapshot()
+                    .get(&key)
+                    .is_some_and(|p| p.regions.contains_key(&sig));
+                if !known {
+                    let concrete = chain.bind(&bindings)?;
+                    // Unsolvable regions are recorded too: the cached
+                    // plan *is* the (negative) answer.
+                    let (region, _solution) = with_scratch(|scratch, _| {
+                        record_region(&self.registry, self.inference, chain, &concrete, scratch)
+                    });
+                    shard.publish(key.clone(), sig, Arc::new(region));
+                    recorded += 1;
+                }
+                drop(guard);
+            }
+            // Advance the odometer.
+            for d in digits.iter_mut() {
+                *d += 1;
+                if *d < values.len() {
+                    break;
+                }
+                *d = 0;
+            }
+        }
+        Ok(recorded)
     }
 }

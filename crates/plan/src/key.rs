@@ -25,31 +25,33 @@ use std::collections::HashMap;
 /// A canonical dimension in a structure key: a concrete constant or the
 /// first-occurrence index of a variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-enum KeyDim {
+pub(crate) enum KeyDim {
     Const(usize),
     Var(u16),
 }
 
 /// Per-factor structural signature.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-struct FactorSig {
-    unary: u8,
-    rows: KeyDim,
-    cols: KeyDim,
-    props: u16,
+pub(crate) struct FactorSig {
+    pub(crate) unary: u8,
+    pub(crate) rows: KeyDim,
+    pub(crate) cols: KeyDim,
+    pub(crate) props: u16,
     /// First-occurrence index of the factor's operand (same index ⇔
     /// same operand appears again, e.g. the two `A`s of `AᵀA`).
-    operand_class: u16,
+    pub(crate) operand_class: u16,
 }
 
 /// The structure-level cache key of a symbolic chain.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct StructureKey {
-    deep_inference: bool,
-    factors: Vec<FactorSig>,
+    pub(crate) deep_inference: bool,
+    pub(crate) factors: Vec<FactorSig>,
 }
 
-fn props_bits(ps: PropertySet) -> u16 {
+/// The bitset encoding of a property set — also the persisted form in
+/// the plan store, so key and snapshot can never diverge.
+pub(crate) fn props_bits(ps: PropertySet) -> u16 {
     ps.iter().fold(0u16, |acc, p| acc | (1 << (p as u16)))
 }
 

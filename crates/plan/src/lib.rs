@@ -13,7 +13,16 @@
 //!
 //! * [`PlanCache`] — keyed by (chain structure, operand properties,
 //!   dimension-variable pattern) and, per structure, by size *region*
-//!   (the ordering pattern of the bound dimensions).
+//!   (the ordering pattern of the bound dimensions). The cache is
+//!   concurrent: structures are sharded by key hash, shard snapshots
+//!   are immutable and `Arc`-swapped copy-on-write, so cache hits are
+//!   pure reads that any number of threads take simultaneously while
+//!   misses record behind per-shard write mutexes (see
+//!   [`PlanCache`]'s docs). Plans persist: [`PlanCache::save`] /
+//!   [`PlanCache::load`] snapshot the recorded plans to JSON so a
+//!   serving fleet warm-starts with every stored region a hit, and
+//!   [`PlanCache::pre_enumerate_regions`] records *every* reachable
+//!   region of a small chain up front.
 //! * Symbolic solving — where FLOP-polynomial comparison is decidable
 //!   (dominance on the positive orthant), DP cells are *resolved* at
 //!   compile time; ambiguous splits are *deferred* and decided at bind
@@ -47,8 +56,8 @@
 //! ])
 //! .unwrap();
 //!
-//! let registry = KernelRegistry::blas_lapack();
-//! let mut cache = PlanCache::new(&registry, InferenceMode::Compositional);
+//! let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
+//! let cache = PlanCache::new(registry, InferenceMode::Compositional);
 //!
 //! // Cold: symbolic solve, recorded.
 //! let big = DimBindings::new().with("n", 2000).with("m", 200);
@@ -69,6 +78,8 @@
 mod cache;
 mod key;
 mod plan;
+mod store;
+pub mod sync;
 
 pub use cache::{CacheStats, PlanCache, PlanError, PlanOutcome, SymbolicPlan};
 pub use key::{region_signature, structure_key, undecided_shape_questions, StructureKey};

@@ -44,26 +44,58 @@ const Y: Var = Var::new(1);
 /// Where a kernel operand comes from when re-instantiating a cached
 /// candidate: a chain factor or a DP-cell temporary.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum OperandRef {
+pub(crate) enum OperandRef {
     Factor(usize),
     Temp(usize, usize),
 }
 
 /// One cached kernel candidate of a DP cell.
 #[derive(Clone, Debug)]
-struct Candidate {
-    k: usize,
-    kernel_idx: usize,
-    specificity: u8,
-    formula: FlopFormula,
-    op_poly: CostPoly,
-    total_poly: Option<CostPoly>,
-    var_binds: Vec<(Var, OperandRef)>,
+pub(crate) struct Candidate {
+    pub(crate) k: usize,
+    pub(crate) kernel_idx: usize,
+    pub(crate) specificity: u8,
+    pub(crate) formula: FlopFormula,
+    pub(crate) op_poly: CostPoly,
+    pub(crate) total_poly: Option<CostPoly>,
+    pub(crate) var_binds: Vec<(Var, OperandRef)>,
+}
+
+/// How a deferred cell's temporary gets its property set at bind time.
+///
+/// Within one size region the child expressions of every candidate
+/// split are invariant (a deferred cell has no unstable descendant —
+/// those would have made it [`CellPlan::Dynamic`]), so the inference
+/// result per split is region-invariant and recorded once; the old
+/// implementation re-ran winner-only property inference on every cache
+/// hit instead.
+#[derive(Clone, Debug)]
+pub(crate) enum DeferredProps {
+    /// Every candidate split infers the same property set.
+    Stable(PropertySet),
+    /// Property set by candidate split `k` (compositional inference
+    /// with split-dependent winner properties).
+    PerSplit(Vec<(usize, PropertySet)>),
+}
+
+impl DeferredProps {
+    fn for_split(&self, k: usize) -> PropertySet {
+        match self {
+            DeferredProps::Stable(p) => *p,
+            DeferredProps::PerSplit(by_split) => {
+                by_split
+                    .iter()
+                    .find(|(split, _)| *split == k)
+                    .expect("winner split is a recorded candidate split")
+                    .1
+            }
+        }
+    }
 }
 
 /// The cached decision state of one DP cell.
 #[derive(Clone, Debug)]
-enum CellPlan {
+pub(crate) enum CellPlan {
     /// Diagonal cell (a chain factor).
     Leaf,
     /// No split of this sub-chain is kernel-computable (invariant
@@ -74,11 +106,11 @@ enum CellPlan {
         cand: Box<Candidate>,
         props: PropertySet,
     },
-    /// Candidates are re-ranked numerically at bind time. `props` is
-    /// `Some` when the temporary's property set is split-independent.
+    /// Candidates are re-ranked numerically at bind time; the
+    /// temporary's properties come from the recorded per-split results.
     Deferred {
         cands: Vec<Candidate>,
-        props: Option<PropertySet>,
+        props: DeferredProps,
     },
     /// Re-matched live at bind time (split-dependent descendant
     /// properties under compositional inference).
@@ -88,8 +120,30 @@ enum CellPlan {
 /// A recorded plan for one size region of one chain structure.
 #[derive(Debug)]
 pub struct RegionPlan {
-    n: usize,
-    cells: Vec<CellPlan>,
+    pub(crate) n: usize,
+    pub(crate) cells: Vec<CellPlan>,
+    /// Pre-materialized temporary names `T<i>_<j>` per cell, so a cache
+    /// hit clones instead of re-formatting each destination name.
+    pub(crate) temp_names: Vec<String>,
+    /// The *recording* chain's distinct dimension variables in
+    /// first-occurrence order. Structure keys canonicalize variable
+    /// names, so a request chain may use different names for the same
+    /// structure; its bindings are translated onto these variables
+    /// positionally before any cached formula is evaluated.
+    pub(crate) vars: Vec<gmc_expr::DimVar>,
+}
+
+/// The `T<i>_<j>` temporary names of every cell of an `n`-chain, in
+/// cell-index order — the single source of the naming scheme for the
+/// recorder and the plan store.
+pub(crate) fn build_temp_names(n: usize) -> Vec<String> {
+    let mut names = vec![String::new(); n * (n + 1) / 2];
+    for i in 0..n {
+        for j in i..n {
+            names[cell_index(n, i, j)] = format!("T{i}_{j}");
+        }
+    }
+    names
 }
 
 /// Cell classification counts of a [`RegionPlan`].
@@ -146,7 +200,7 @@ impl RegionPlan {
 }
 
 #[inline]
-fn cell_index(n: usize, i: usize, j: usize) -> usize {
+pub(crate) fn cell_index(n: usize, i: usize, j: usize) -> usize {
     debug_assert!(i <= j && j < n);
     i * (2 * n - i + 1) / 2 + (j - i)
 }
@@ -384,6 +438,7 @@ pub(crate) fn record_region(
     let mut plan_cells: Vec<CellPlan> = vec![CellPlan::Leaf; len];
     let mut total_polys: Vec<Option<CostPoly>> = vec![None; len];
     let mut unstable: Vec<bool> = vec![false; len];
+    let temp_names = build_temp_names(n);
 
     // Operand name → symbolic shape (for formulas) and → provenance
     // (for re-instantiation). Factors first; temporaries as created.
@@ -483,7 +538,8 @@ pub(crate) fn record_region(
                 .clone()
                 .expect("winner");
             let props = infer_cell_props(inference, chain, &wle, &wre, i, j);
-            let temp = Operand::temporary(format!("T{i}_{j}"), raw[wi].op.result_shape(), props);
+            let temp =
+                Operand::temporary(temp_names[idx].clone(), raw[wi].op.result_shape(), props);
             // A sub-chain result always has shape d[i] × d[j+1],
             // independent of how it is parenthesized.
             sym_shapes.insert(temp.name().to_owned(), SymShape::new(dims[i], dims[j + 1]));
@@ -590,26 +646,37 @@ pub(crate) fn record_region(
                 continue;
             }
 
-            // Deferred: decide property stability across splits.
-            let stable_props = match inference {
-                InferenceMode::Deep => Some(props),
+            // Deferred: record the winner-only property inference per
+            // candidate split. A deferred cell has no unstable
+            // descendant, so each split's child expressions — and hence
+            // its inferred property set — are region-invariant; bind
+            // time only looks the winner's split up.
+            let deferred_props = match inference {
+                InferenceMode::Deep => DeferredProps::Stable(props),
                 InferenceMode::Compositional => {
                     let mut splits: Vec<usize> = cands.iter().map(|c| c.k).collect();
                     splits.dedup();
-                    let all_agree = splits.iter().all(|&k| {
-                        let le = solved.expr[cell_index(n, i, k)].as_ref().expect("split");
-                        let re = solved.expr[cell_index(n, k + 1, j)]
-                            .as_ref()
-                            .expect("split");
-                        infer_cell_props(inference, chain, le, re, i, j) == props
-                    });
-                    all_agree.then_some(props)
+                    let by_split: Vec<(usize, PropertySet)> = splits
+                        .iter()
+                        .map(|&k| {
+                            let le = solved.expr[cell_index(n, i, k)].as_ref().expect("split");
+                            let re = solved.expr[cell_index(n, k + 1, j)]
+                                .as_ref()
+                                .expect("split");
+                            (k, infer_cell_props(inference, chain, le, re, i, j))
+                        })
+                        .collect();
+                    if by_split.iter().all(|(_, p)| *p == props) {
+                        DeferredProps::Stable(props)
+                    } else {
+                        DeferredProps::PerSplit(by_split)
+                    }
                 }
             };
-            unstable[idx] = stable_props.is_none();
+            unstable[idx] = matches!(deferred_props, DeferredProps::PerSplit(_));
             plan_cells[idx] = CellPlan::Deferred {
                 cands,
-                props: stable_props,
+                props: deferred_props,
             };
         }
     }
@@ -619,6 +686,8 @@ pub(crate) fn record_region(
         RegionPlan {
             n,
             cells: plan_cells,
+            temp_names,
+            vars: sym.vars(),
         },
         solution,
     )
@@ -664,7 +733,17 @@ pub(crate) fn instantiate(
                     let cl = solved.cost[cell_index(n, i, cand.k)].expect("resolved child");
                     let cr = solved.cost[cell_index(n, cand.k + 1, j)].expect("resolved child");
                     let total = (cl + cr) + op_cost;
-                    apply_candidate(registry, solved, chain, i, j, cand, total, op_cost, *props);
+                    apply_candidate(
+                        registry,
+                        solved,
+                        chain,
+                        idx,
+                        &region.temp_names[idx],
+                        cand,
+                        total,
+                        op_cost,
+                        *props,
+                    );
                 }
                 CellPlan::Deferred { cands, props } => {
                     costs.clear();
@@ -689,19 +768,18 @@ pub(crate) fn instantiate(
                     })
                     .expect("deferred cells have candidates");
                     let cand = &cands[wi];
-                    let props = match props {
-                        Some(p) => *p,
-                        None => {
-                            let le = solved.expr[cell_index(n, i, cand.k)]
-                                .as_ref()
-                                .expect("winner child");
-                            let re = solved.expr[cell_index(n, cand.k + 1, j)]
-                                .as_ref()
-                                .expect("winner child");
-                            infer_cell_props(inference, chain, le, re, i, j)
-                        }
-                    };
-                    apply_candidate(registry, solved, chain, i, j, cand, total, costs[wi], props);
+                    let props = props.for_split(cand.k);
+                    apply_candidate(
+                        registry,
+                        solved,
+                        chain,
+                        idx,
+                        &region.temp_names[idx],
+                        cand,
+                        total,
+                        costs[wi],
+                        props,
+                    );
                 }
                 CellPlan::Dynamic => {
                     // Live matching, mirroring the concrete optimizer's
@@ -736,7 +814,11 @@ pub(crate) fn instantiate(
                         .as_ref()
                         .expect("winner");
                     let props = infer_cell_props(inference, chain, le, re, i, j);
-                    let temp = Operand::temporary(format!("T{i}_{j}"), m.op.result_shape(), props);
+                    let temp = Operand::temporary(
+                        region.temp_names[idx].clone(),
+                        m.op.result_shape(),
+                        props,
+                    );
                     solved.cost[idx] = Some(total);
                     solved.expr[idx] = Some(temp.expr());
                     solved.split[idx] = k;
@@ -752,14 +834,15 @@ pub(crate) fn instantiate(
 }
 
 /// Materializes a cached candidate's operation for the current binding
-/// and writes the winning cell state.
+/// and writes the winning cell state at `idx`. `temp_name` is the
+/// cell's pre-materialized `T<i>_<j>` destination name.
 #[allow(clippy::too_many_arguments)]
 fn apply_candidate(
     registry: &KernelRegistry,
     solved: &mut Solved,
     chain: &Chain,
-    i: usize,
-    j: usize,
+    idx: usize,
+    temp_name: &str,
     cand: &Candidate,
     total: f64,
     op_cost: f64,
@@ -770,8 +853,7 @@ fn apply_candidate(
         b.bind(*v, &solved.operand_for(*r, chain));
     }
     let op = registry.kernels()[cand.kernel_idx].instantiate(&b);
-    let temp = Operand::temporary(format!("T{i}_{j}"), op.result_shape(), props);
-    let idx = solved.idx(i, j);
+    let temp = Operand::temporary(temp_name.to_owned(), op.result_shape(), props);
     solved.cost[idx] = Some(total);
     solved.expr[idx] = Some(temp.expr());
     solved.split[idx] = cand.k;

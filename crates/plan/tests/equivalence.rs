@@ -9,10 +9,10 @@ use gmc_kernels::KernelRegistry;
 use gmc_plan::{PlanCache, PlanOutcome};
 
 fn check_equivalent(chain: &SymChain, bindings_list: &[DimBindings]) {
-    let registry = KernelRegistry::blas_lapack();
+    let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
     for mode in [InferenceMode::Compositional, InferenceMode::Deep] {
         let optimizer = GmcOptimizer::new(&registry, FlopCount).with_inference(mode);
-        let mut cache = PlanCache::new(&registry, mode);
+        let cache = PlanCache::new(registry.clone(), mode);
         // Two passes so every binding is also exercised as a pure hit.
         for pass in 0..2 {
             for b in bindings_list {
@@ -155,9 +155,11 @@ fn triangular_propagation_chain() {
 
 #[test]
 fn uncomputable_chains_stay_uncomputable() {
-    let registry = KernelRegistry::builder()
-        .only_families([gmc_kernels::KernelFamily::Gemm])
-        .build();
+    let registry = std::sync::Arc::new(
+        KernelRegistry::builder()
+            .only_families([gmc_kernels::KernelFamily::Gemm])
+            .build(),
+    );
     let n = Dim::var("eq6_n");
     let a = SymOperand::square("A", n);
     let b = SymOperand::new("B", n, Dim::Const(4));
@@ -166,7 +168,7 @@ fn uncomputable_chains_stay_uncomputable() {
         SymFactor::plain(b),
     ])
     .unwrap();
-    let mut cache = PlanCache::new(&registry, InferenceMode::Compositional);
+    let cache = PlanCache::new(registry, InferenceMode::Compositional);
     let bindings = DimBindings::new().with("eq6_n", 10);
     assert!(cache.solve(&chain, &bindings).is_err());
     // The unsolvable region is cached; a second request errors again
@@ -198,4 +200,74 @@ fn longer_dense_chain_with_shared_vars() {
             bind(17, 170),
         ],
     );
+}
+
+#[test]
+fn renamed_variables_share_plans_correctly() {
+    // Structure keys canonicalize variable names, so A(n,m)·B(m,k)·C(k,n)
+    // and A(p,q)·B(q,r)·C(r,p) share one cached plan. The cached FLOP
+    // formulas reference the *recording* chain's variables; serving the
+    // renamed chain must translate the bindings, not crash or mis-cost.
+    let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
+    let (n, m, k) = (Dim::var("rn_n"), Dim::var("rn_m"), Dim::var("rn_k"));
+    let (p, q, r) = (Dim::var("rn_p"), Dim::var("rn_q"), Dim::var("rn_r"));
+    let first = SymChain::new(vec![plain("A", n, m), plain("B", m, k), plain("C", k, n)]).unwrap();
+    let renamed =
+        SymChain::new(vec![plain("A", p, q), plain("B", q, r), plain("C", r, p)]).unwrap();
+    for mode in [InferenceMode::Compositional, InferenceMode::Deep] {
+        assert_eq!(
+            gmc_plan::structure_key(&first, mode),
+            gmc_plan::structure_key(&renamed, mode),
+            "the chains must share a structure key for this test to bite"
+        );
+        let optimizer = GmcOptimizer::new(&registry, FlopCount).with_inference(mode);
+        let cache = PlanCache::new(registry.clone(), mode);
+        let b1 = DimBindings::new()
+            .with("rn_n", 10)
+            .with("rn_m", 200)
+            .with("rn_k", 30);
+        cache.solve(&first, &b1).unwrap();
+        // Different sizes than the recording, same region ordering.
+        let b2 = DimBindings::new()
+            .with("rn_p", 13)
+            .with("rn_q", 260)
+            .with("rn_r", 39);
+        let (got, outcome) = cache.solve(&renamed, &b2).unwrap();
+        assert_eq!(
+            outcome,
+            PlanOutcome::Hit,
+            "{mode:?}: renamed chain must hit"
+        );
+        let want = optimizer.solve(&renamed.bind(&b2).unwrap()).unwrap();
+        assert_eq!(want.cost().to_bits(), got.cost().to_bits(), "{mode:?}");
+        assert_eq!(want.parenthesization(), got.parenthesization());
+        assert_eq!(want.kernel_names(), got.kernel_names());
+    }
+}
+
+#[test]
+fn renamed_variables_work_across_the_plan_store() {
+    // Record under one naming, persist, load, serve a renamed chain.
+    let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
+    let (n, m) = (Dim::var("rs_n"), Dim::var("rs_m"));
+    let recorded = SymChain::new(vec![plain("A", n, m), plain("B", m, n)]).unwrap();
+    let warm = PlanCache::new(registry.clone(), InferenceMode::Compositional);
+    warm.solve(
+        &recorded,
+        &DimBindings::new().with("rs_n", 10).with("rs_m", 80),
+    )
+    .unwrap();
+
+    let cold = PlanCache::new(registry.clone(), InferenceMode::Compositional);
+    cold.load_snapshot_json(&warm.snapshot_json()).unwrap();
+    let (x, y) = (Dim::var("rs_x"), Dim::var("rs_y"));
+    let renamed = SymChain::new(vec![plain("A", x, y), plain("B", y, x)]).unwrap();
+    let b = DimBindings::new().with("rs_x", 7).with("rs_y", 900);
+    let (got, outcome) = cold.solve(&renamed, &b).unwrap();
+    assert_eq!(outcome, PlanOutcome::Hit);
+    let want = GmcOptimizer::new(&registry, FlopCount)
+        .solve(&renamed.bind(&b).unwrap())
+        .unwrap();
+    assert_eq!(want.cost().to_bits(), got.cost().to_bits());
+    assert_eq!(want.kernel_names(), got.kernel_names());
 }

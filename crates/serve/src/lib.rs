@@ -1,0 +1,673 @@
+//! `gmc-serve`: the batching front door over the concurrent plan
+//! cache.
+//!
+//! The GMC compile-time cost pays off when one symbolic solve is
+//! amortized over many size-bound requests. This crate turns the
+//! [`gmc_plan::PlanCache`] into a serving subsystem:
+//!
+//! ```text
+//!               requests (structure name + dim bindings)
+//!  clients ──────────────┐
+//!                        ▼
+//!                 ┌─────────────┐   groups in-flight requests by
+//!                 │ dispatcher  │   (StructureKey, size region),
+//!                 └─────────────┘   coalesces identical bindings
+//!                        │ batches
+//!          ┌─────────────┼─────────────┐
+//!          ▼             ▼             ▼
+//!      ┌───────┐     ┌───────┐     ┌───────┐    shared, sharded,
+//!      │worker0│     │worker1│  …  │workerN│ ─► copy-on-write
+//!      └───────┘     └───────┘     └───────┘    PlanCache (hits are
+//!          │             │             │        lock-free reads)
+//!          └────── replies (cost, parenthesization, kernels) ──►
+//! ```
+//!
+//! * **Parse once per structure.** Chains are registered by name
+//!   ([`Server::register`]); requests reference the name and carry only
+//!   dimension bindings, so no request ever re-parses a chain.
+//! * **Coalescing.** The dispatcher groups queued requests that share a
+//!   `(StructureKey, region)` into one batch — a miss is recorded once
+//!   for the whole group — and requests with *identical* bindings
+//!   collapse into a single instantiate whose result is fanned back
+//!   out.
+//! * **Pre-enumeration.** [`Server::register_pre_enumerated`] records a
+//!   plan for every reachable region of a small chain up front, making
+//!   every subsequent request for it a hit.
+//! * **No async runtime.** Plain `std::thread` workers and
+//!   `std::sync::mpsc` channels (the container has no crates.io
+//!   access); the optional TCP listener in [`tcp`] is a thin
+//!   line-protocol front end over `std::net::TcpListener`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod tcp;
+
+use gmc::{GmcSolution, InferenceMode};
+use gmc_expr::{DimBindings, SymChain};
+use gmc_kernels::KernelRegistry;
+use gmc_plan::{region_signature, CacheStats, PlanCache, PlanError, PlanOutcome};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Number of worker threads instantiating plans.
+    pub workers: usize,
+    /// Inference mode the shared cache compiles under.
+    pub inference: InferenceMode,
+    /// Target number of requests the dispatcher drains into one
+    /// grouping round. It stops pulling *further* queued messages once
+    /// reached; a single [`ServeHandle::submit_batch`] unit is always
+    /// grouped whole (that is what makes its coalescing deterministic),
+    /// so one oversized batch can exceed this.
+    pub max_batch: usize,
+}
+
+/// Upper bound on items per worker job: groups larger than this are
+/// split so independent instantiates of one hot region parallelize
+/// across the pool.
+const MAX_ITEMS_PER_JOB: usize = 16;
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            inference: InferenceMode::default(),
+            max_batch: 256,
+        }
+    }
+}
+
+/// A successfully served request.
+#[derive(Clone, Debug)]
+pub struct Served {
+    /// How the cache served it (hit, new region, new structure).
+    pub outcome: PlanOutcome,
+    /// Total cost (FLOPs — the plan layer's metric).
+    pub cost: f64,
+    /// Total FLOP count.
+    pub flops: f64,
+    /// The chosen parenthesization.
+    pub parenthesization: String,
+    /// Kernel names, in execution order.
+    pub kernels: Vec<String>,
+}
+
+impl Served {
+    fn from_solution(solution: &GmcSolution<f64>, outcome: PlanOutcome) -> Served {
+        Served {
+            outcome,
+            cost: solution.cost(),
+            flops: solution.flops(),
+            parenthesization: solution.parenthesization().to_owned(),
+            kernels: solution
+                .kernel_names()
+                .into_iter()
+                .map(str::to_owned)
+                .collect(),
+        }
+    }
+}
+
+/// Serving failures.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request names a structure that was never registered.
+    UnknownStructure(String),
+    /// The plan layer rejected the request (bad binding, unsolvable
+    /// chain, …).
+    Plan(PlanError),
+    /// The request line itself was malformed.
+    BadRequest(String),
+    /// The server is shut down.
+    Closed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownStructure(name) => {
+                write!(f, "unknown structure `{name}` (register it first)")
+            }
+            ServeError::Plan(e) => e.fmt(f),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Closed => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<PlanError> for ServeError {
+    fn from(e: PlanError) -> Self {
+        ServeError::Plan(e)
+    }
+}
+
+/// One reply: the structure it answers for and the outcome.
+#[derive(Clone, Debug)]
+pub struct ServeReply {
+    /// The structure name of the originating request.
+    pub structure: String,
+    /// The served plan, or why it failed.
+    pub result: Result<Served, ServeError>,
+}
+
+/// Cumulative serving counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// The shared plan cache's hit/miss counters.
+    pub cache: CacheStats,
+    /// Requests answered from another in-flight request's instantiate
+    /// (identical structure, region and bindings in one batch).
+    pub coalesced: u64,
+    /// Batches dispatched to workers.
+    pub batches: u64,
+    /// Registered structures.
+    pub structures: usize,
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}; {} coalesced, {} batches, {} structures",
+            self.cache, self.coalesced, self.batches, self.structures
+        )
+    }
+}
+
+/// A pending reply; resolve it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<ServeReply>,
+    structure: String,
+}
+
+impl Ticket {
+    /// Blocks until the reply arrives.
+    pub fn wait(self) -> ServeReply {
+        self.rx.recv().unwrap_or(ServeReply {
+            structure: self.structure,
+            result: Err(ServeError::Closed),
+        })
+    }
+}
+
+struct Shared {
+    cache: PlanCache,
+    structures: RwLock<HashMap<String, Arc<SymChain>>>,
+    coalesced: AtomicU64,
+    batches: AtomicU64,
+}
+
+use gmc_plan::sync::{read_lock, write_lock};
+
+/// Builds concrete bindings from string-named sizes using only the
+/// chain's own (already interned) variables.
+fn bind_named_vars(chain: &SymChain, vars: &[(String, usize)]) -> Result<DimBindings, String> {
+    let vocabulary = chain.vars();
+    let mut bindings = DimBindings::new();
+    for (name, value) in vars {
+        match vocabulary.iter().find(|v| v.name() == name) {
+            Some(var) => bindings.set_var(*var, *value),
+            None => {
+                return Err(format!(
+                    "unknown dimension variable `{name}` for this structure"
+                ))
+            }
+        }
+    }
+    Ok(bindings)
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            cache: self.cache.stats(),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            structures: read_lock(&self.structures).len(),
+        }
+    }
+}
+
+/// One parsed request on its way to the dispatcher.
+struct Request {
+    name: String,
+    chain: Arc<SymChain>,
+    bindings: DimBindings,
+    reply: Sender<ServeReply>,
+}
+
+enum Incoming {
+    Requests(Vec<Request>),
+    Shutdown,
+}
+
+enum Job {
+    Batch {
+        chain: Arc<SymChain>,
+        items: Vec<BatchItem>,
+    },
+    Stop,
+}
+
+struct BatchItem {
+    bindings: DimBindings,
+    /// All requests wanting exactly these bindings: one instantiate,
+    /// fanned back out.
+    replies: Vec<(String, Sender<ServeReply>)>,
+}
+
+/// A cheap, clonable submission handle onto a running [`Server`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+    submit: Sender<Incoming>,
+}
+
+impl ServeHandle {
+    /// Submits one request; returns a [`Ticket`] for the reply.
+    pub fn submit(&self, structure: &str, bindings: DimBindings) -> Ticket {
+        self.submit_batch(vec![(structure.to_owned(), bindings)])
+            .pop()
+            .expect("one ticket per request")
+    }
+
+    /// Submits several requests at once. They enter the dispatcher as
+    /// one unit, so requests in the batch that share a structure and
+    /// size region are grouped — and identical bindings coalesce into
+    /// a single instantiate.
+    pub fn submit_batch(&self, requests: Vec<(String, DimBindings)>) -> Vec<Ticket> {
+        self.submit_with(requests, |_, bindings| Ok(bindings))
+    }
+
+    /// Submits and blocks for the reply.
+    pub fn solve(&self, structure: &str, bindings: DimBindings) -> ServeReply {
+        self.submit(structure, bindings).wait()
+    }
+
+    /// Submits requests whose variables are *named by string* — the
+    /// untrusted text-protocol path. Names are resolved against the
+    /// registered structure's own variable vocabulary; an unknown name
+    /// is rejected with [`ServeError::BadRequest`] **without being
+    /// interned** (`DimVar` interning is process-wide and permanent,
+    /// so a front door must never intern arbitrary client strings).
+    pub fn submit_raw_batch(&self, requests: Vec<(String, Vec<(String, usize)>)>) -> Vec<Ticket> {
+        self.submit_with(requests, |chain, vars| {
+            bind_named_vars(chain, &vars).map_err(ServeError::BadRequest)
+        })
+    }
+
+    /// The shared submission path: per request, create a ticket, look
+    /// the structure up, resolve the payload into bindings, then ship
+    /// everything resolvable to the dispatcher as one unit. Failures
+    /// reply immediately through the ticket.
+    fn submit_with<T>(
+        &self,
+        requests: Vec<(String, T)>,
+        mut resolve: impl FnMut(&SymChain, T) -> Result<DimBindings, ServeError>,
+    ) -> Vec<Ticket> {
+        let mut tickets = Vec::with_capacity(requests.len());
+        let mut parsed = Vec::with_capacity(requests.len());
+        let structures = read_lock(&self.shared.structures);
+        for (name, payload) in requests {
+            let (tx, rx) = channel();
+            tickets.push(Ticket {
+                rx,
+                structure: name.clone(),
+            });
+            let Some(chain) = structures.get(&name) else {
+                tx.send(ServeReply {
+                    structure: name.clone(),
+                    result: Err(ServeError::UnknownStructure(name)),
+                })
+                .ok();
+                continue;
+            };
+            match resolve(chain, payload) {
+                Ok(bindings) => parsed.push(Request {
+                    chain: Arc::clone(chain),
+                    name,
+                    bindings,
+                    reply: tx,
+                }),
+                Err(e) => {
+                    tx.send(ServeReply {
+                        structure: name,
+                        result: Err(e),
+                    })
+                    .ok();
+                }
+            }
+        }
+        drop(structures);
+        if !parsed.is_empty() && self.submit.send(Incoming::Requests(parsed)).is_err() {
+            // Server shut down: tickets resolve to `Closed` when their
+            // senders drop with nothing sent.
+        }
+        tickets
+    }
+
+    /// Blocking single-request form of
+    /// [`submit_raw_batch`](Self::submit_raw_batch).
+    pub fn solve_raw(&self, structure: &str, vars: Vec<(String, usize)>) -> ServeReply {
+        self.submit_raw_batch(vec![(structure.to_owned(), vars)])
+            .pop()
+            .expect("one ticket per request")
+            .wait()
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// The names of the registered structures, sorted.
+    pub fn structure_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = read_lock(&self.shared.structures).keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// The serving front door: worker pool + dispatcher over a shared
+/// [`PlanCache`].
+///
+/// # Example
+///
+/// ```
+/// use gmc_expr::{Dim, DimBindings, SymChain, SymFactor, SymOperand};
+/// use gmc_kernels::KernelRegistry;
+/// use gmc_serve::{ServeConfig, Server};
+/// use std::sync::Arc;
+///
+/// let registry = Arc::new(KernelRegistry::blas_lapack());
+/// let server = Server::start(registry, ServeConfig::default());
+/// let (n, m) = (Dim::var("n"), Dim::var("m"));
+/// let chain = SymChain::new(vec![
+///     SymFactor::plain(SymOperand::new("A", n, m)),
+///     SymFactor::plain(SymOperand::new("B", m, n)),
+/// ])
+/// .unwrap();
+/// server.register("X", chain).unwrap();
+///
+/// let reply = server
+///     .handle()
+///     .solve("X", DimBindings::new().with("n", 100).with("m", 20));
+/// let served = reply.result.unwrap();
+/// assert_eq!(served.kernels, vec!["GEMM_NN"]);
+/// server.shutdown();
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    submit: Sender<Incoming>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker pool and dispatcher.
+    pub fn start(registry: Arc<KernelRegistry>, config: ServeConfig) -> Server {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            cache: PlanCache::new(registry, config.inference),
+            structures: RwLock::new(HashMap::new()),
+            coalesced: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        });
+
+        let (submit_tx, submit_rx) = channel::<Incoming>();
+        let (job_tx, job_rx) = channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let job_rx = Arc::clone(&job_rx);
+                std::thread::Builder::new()
+                    .name(format!("gmc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &job_rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            let max_batch = config.max_batch.max(1);
+            std::thread::Builder::new()
+                .name("gmc-serve-dispatcher".to_owned())
+                .spawn(move || dispatcher_loop(&shared, &submit_rx, &job_tx, workers, max_batch))
+                .expect("spawn dispatcher thread")
+        };
+
+        Server {
+            shared,
+            submit: submit_tx,
+            dispatcher: Some(dispatcher),
+            workers: worker_handles,
+        }
+    }
+
+    /// Registers (or replaces) a structure under `name`. This is the
+    /// parse-once step: requests reference the name and never carry a
+    /// chain.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` so registration can gain
+    /// validation without breaking callers.
+    pub fn register(&self, name: &str, chain: SymChain) -> Result<(), ServeError> {
+        write_lock(&self.shared.structures).insert(name.to_owned(), Arc::new(chain));
+        Ok(())
+    }
+
+    /// Registers `name` and pre-records a plan for every size region
+    /// the chain can reach, so each request for it is a cache hit.
+    /// Returns the number of regions recorded.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Enumeration`] if the chain is too large to
+    /// enumerate; the structure is still registered in that case (it
+    /// just warms up on demand).
+    pub fn register_pre_enumerated(&self, name: &str, chain: SymChain) -> Result<usize, PlanError> {
+        self.register(name, chain.clone())
+            .expect("registration is infallible");
+        self.shared.cache.pre_enumerate_regions(&chain)
+    }
+
+    /// The shared plan cache (e.g. for warm-starting from a plan store
+    /// before traffic arrives, or saving it after).
+    pub fn cache(&self) -> &PlanCache {
+        &self.shared.cache
+    }
+
+    /// A clonable submission handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: Arc::clone(&self.shared),
+            submit: self.submit.clone(),
+        }
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Stops the dispatcher and workers and waits for them. In-flight
+    /// requests are answered first; requests submitted afterwards
+    /// resolve to [`ServeError::Closed`].
+    pub fn shutdown(mut self) {
+        self.submit.send(Incoming::Shutdown).ok();
+        if let Some(d) = self.dispatcher.take() {
+            d.join().expect("dispatcher thread panicked");
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Best-effort shutdown if `shutdown()` was not called: ask the
+        // dispatcher to stop and detach.
+        self.submit.send(Incoming::Shutdown).ok();
+    }
+}
+
+fn dispatcher_loop(
+    shared: &Shared,
+    submit_rx: &Receiver<Incoming>,
+    job_tx: &Sender<Job>,
+    workers: usize,
+    max_batch: usize,
+) {
+    loop {
+        let first = match submit_rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => break, // all senders gone
+        };
+        let mut shutdown = false;
+        let mut pending: Vec<Request> = Vec::new();
+        let absorb = |msg: Incoming, pending: &mut Vec<Request>, shutdown: &mut bool| match msg {
+            Incoming::Requests(reqs) => pending.extend(reqs),
+            Incoming::Shutdown => *shutdown = true,
+        };
+        absorb(first, &mut pending, &mut shutdown);
+        // Drain whatever else is already queued: the wider the window,
+        // the more in-flight requests group and coalesce.
+        while pending.len() < max_batch && !shutdown {
+            match submit_rx.try_recv() {
+                Ok(msg) => absorb(msg, &mut pending, &mut shutdown),
+                Err(_) => break,
+            }
+        }
+        if shutdown {
+            // Requests accepted before the shutdown message must still
+            // be answered: drain everything already queued (later
+            // Shutdown duplicates are inert).
+            while let Ok(msg) = submit_rx.try_recv() {
+                absorb(msg, &mut pending, &mut shutdown);
+            }
+        }
+
+        // Group by (registered chain, size region); coalesce identical
+        // bindings within a group. The chain is identified by its
+        // `Arc` pointer — registration hands every request for a name
+        // the same `Arc` — so grouping costs one pointer compare plus
+        // the region signature, with no per-request structure-key
+        // walk. (Two *names* registered with one structure group
+        // separately here; the cache's per-shard write mutex still
+        // coalesces their recordings.)
+        type GroupKey = (usize, Vec<i8>);
+        type Replies = Vec<(String, Sender<ServeReply>)>;
+        let mut groups: HashMap<GroupKey, (Arc<SymChain>, HashMap<DimBindings, Replies>)> =
+            HashMap::new();
+        for req in pending {
+            let sizes = match req.chain.bind_dims(&req.bindings) {
+                Ok(sizes) => sizes,
+                Err(e) => {
+                    // Unbindable request: answer immediately, nothing
+                    // to dispatch.
+                    req.reply
+                        .send(ServeReply {
+                            structure: req.name,
+                            result: Err(ServeError::Plan(PlanError::Chain(e.into()))),
+                        })
+                        .ok();
+                    continue;
+                }
+            };
+            let key = (Arc::as_ptr(&req.chain) as usize, region_signature(&sizes));
+            let (_, items) = groups
+                .entry(key)
+                .or_insert_with(|| (Arc::clone(&req.chain), HashMap::new()));
+            // Identical bindings coalesce into one instantiate; the
+            // hash lookup keeps grouping O(requests).
+            let replies = items.entry(req.bindings).or_default();
+            if !replies.is_empty() {
+                shared.coalesced.fetch_add(1, Ordering::Relaxed);
+            }
+            replies.push((req.name, req.reply));
+        }
+        // Emit each group as jobs of at most MAX_ITEMS_PER_JOB items,
+        // so a single hot region's independent hit instantiates spread
+        // across the pool instead of serializing on one worker.
+        // (Chunks of one miss group may race the recording; the
+        // cache's per-shard write mutex still records exactly once and
+        // serves the losers as hits.)
+        for (_, (chain, by_bindings)) in groups {
+            let mut items: Vec<BatchItem> = by_bindings
+                .into_iter()
+                .map(|(bindings, replies)| BatchItem { bindings, replies })
+                .collect();
+            while !items.is_empty() {
+                let rest = items.split_off(items.len().min(MAX_ITEMS_PER_JOB));
+                shared.batches.fetch_add(1, Ordering::Relaxed);
+                if job_tx
+                    .send(Job::Batch {
+                        chain: Arc::clone(&chain),
+                        items,
+                    })
+                    .is_err()
+                {
+                    return; // workers gone
+                }
+                items = rest;
+            }
+        }
+
+        if shutdown {
+            for _ in 0..workers {
+                job_tx.send(Job::Stop).ok();
+            }
+            break;
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, job_rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let rx = job_rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv()
+        };
+        match job {
+            Ok(Job::Batch { chain, items }) => {
+                for item in items {
+                    // One instantiate per distinct binding; the first
+                    // item of a miss-group records the region, the rest
+                    // of the group hits the fresh plan.
+                    let outcome = shared.cache.solve(&chain, &item.bindings);
+                    for (name, reply) in item.replies {
+                        let result = match &outcome {
+                            Ok((solution, outcome)) => {
+                                Ok(Served::from_solution(solution, *outcome))
+                            }
+                            Err(e) => Err(ServeError::Plan(e.clone())),
+                        };
+                        reply
+                            .send(ServeReply {
+                                structure: name,
+                                result,
+                            })
+                            .ok();
+                    }
+                }
+            }
+            Ok(Job::Stop) | Err(_) => break,
+        }
+    }
+}

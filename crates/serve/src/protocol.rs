@@ -1,0 +1,152 @@
+//! The request line protocol, shared by the TCP front door and the
+//! CLI batch driver.
+//!
+//! One request per line:
+//!
+//! ```text
+//! <structure> [<var>=<size>[,<var>=<size>...]]
+//! ```
+//!
+//! e.g. `X n=2000,m=200`. The special line `STATS` asks for the
+//! server's counters. Replies are one compact JSON object per line:
+//!
+//! ```text
+//! {"structure":"X","outcome":"hit","cost":9.68e8,"flops":9.68e8,
+//!  "parenthesization":"((A^-1 B) C^T)","kernels":["TRMM_RLT","POSV_LN"]}
+//! {"structure":"X","error":"unknown structure `X` (register it first)"}
+//! ```
+
+use crate::{ServeReply, ServerStats};
+use serde::Value;
+
+/// Parses a request line into `(structure, named sizes)`.
+///
+/// Variable names stay plain strings here: `DimVar` interning is
+/// process-wide and permanent, so untrusted client input must be
+/// resolved against a registered structure's (bounded) variable
+/// vocabulary — [`crate::ServeHandle::submit_raw_batch`] does that —
+/// rather than interned wholesale.
+///
+/// # Errors
+///
+/// Returns a description of the malformed part.
+pub fn parse_request_line(line: &str) -> Result<(String, Vec<(String, usize)>), String> {
+    let line = line.trim();
+    let (name, rest) = match line.split_once(char::is_whitespace) {
+        Some((name, rest)) => (name, rest.trim()),
+        None => (line, ""),
+    };
+    if name.is_empty() {
+        return Err("empty request line (expected `<structure> [var=size,...]`)".to_owned());
+    }
+    let mut vars = Vec::new();
+    if !rest.is_empty() {
+        for part in rest.split(',') {
+            let part = part.trim();
+            let Some((var, value)) = part.split_once('=') else {
+                return Err(format!("bad binding `{part}` (expected `var=size`)"));
+            };
+            let var = var.trim();
+            let value: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad size in `{part}` (expected an integer)"))?;
+            if var.is_empty() {
+                return Err(format!("bad binding `{part}` (empty variable name)"));
+            }
+            vars.push((var.to_owned(), value));
+        }
+    }
+    Ok((name.to_owned(), vars))
+}
+
+/// Renders a reply as one compact JSON line (without the newline).
+pub fn reply_to_json(reply: &ServeReply) -> String {
+    let mut fields = vec![(
+        "structure".to_owned(),
+        Value::String(reply.structure.clone()),
+    )];
+    match &reply.result {
+        Ok(served) => {
+            fields.push((
+                "outcome".to_owned(),
+                Value::String(
+                    match served.outcome {
+                        gmc_plan::PlanOutcome::Hit => "hit",
+                        gmc_plan::PlanOutcome::MissRegion => "miss_region",
+                        gmc_plan::PlanOutcome::MissStructure => "miss_structure",
+                    }
+                    .to_owned(),
+                ),
+            ));
+            fields.push(("cost".to_owned(), Value::Number(served.cost)));
+            fields.push(("flops".to_owned(), Value::Number(served.flops)));
+            fields.push((
+                "parenthesization".to_owned(),
+                Value::String(served.parenthesization.clone()),
+            ));
+            fields.push((
+                "kernels".to_owned(),
+                Value::Array(
+                    served
+                        .kernels
+                        .iter()
+                        .map(|k| Value::String(k.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        Err(e) => fields.push(("error".to_owned(), Value::String(e.to_string()))),
+    }
+    serde_json::to_string(&Value::Object(fields)).expect("reply values are finite")
+}
+
+/// Renders the server counters as one compact JSON line.
+pub fn stats_to_json(stats: &ServerStats) -> String {
+    let doc = Value::Object(vec![
+        (
+            "requests".to_owned(),
+            Value::Number(stats.cache.requests() as f64),
+        ),
+        ("hits".to_owned(), Value::Number(stats.cache.hits as f64)),
+        (
+            "region_misses".to_owned(),
+            Value::Number(stats.cache.region_misses as f64),
+        ),
+        (
+            "structure_misses".to_owned(),
+            Value::Number(stats.cache.structure_misses as f64),
+        ),
+        (
+            "coalesced".to_owned(),
+            Value::Number(stats.coalesced as f64),
+        ),
+        ("batches".to_owned(), Value::Number(stats.batches as f64)),
+        (
+            "structures".to_owned(),
+            Value::Number(stats.structures as f64),
+        ),
+    ]);
+    serde_json::to_string(&doc).expect("counters are finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_lines() {
+        let (name, b) = parse_request_line("X n=2000,m=200").unwrap();
+        assert_eq!(name, "X");
+        assert_eq!(b, vec![("n".to_owned(), 2000), ("m".to_owned(), 200)]);
+        let (name, b) = parse_request_line("  Y  ").unwrap();
+        assert_eq!(name, "Y");
+        assert!(b.is_empty());
+        let (_, b) = parse_request_line("Z n = 7 , m = 8").unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(parse_request_line("").is_err());
+        assert!(parse_request_line("X n=").is_err());
+        assert!(parse_request_line("X n").is_err());
+        assert!(parse_request_line("X =5").is_err());
+    }
+}

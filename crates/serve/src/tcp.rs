@@ -1,0 +1,122 @@
+//! A thin TCP line-protocol listener over `std::net::TcpListener`.
+//!
+//! Each connection reads request lines (see [`crate::protocol`]) and
+//! writes one JSON reply line per request. This is deliberately a
+//! minimal front end: the batching, coalescing and caching all live in
+//! the worker pool behind the [`ServeHandle`].
+
+use crate::protocol::{parse_request_line, reply_to_json, stats_to_json};
+use crate::{ServeHandle, ServeReply};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP front door; dropping it leaves the listener thread
+/// running, call [`shutdown`](TcpFrontDoor::shutdown) to stop it.
+pub struct TcpFrontDoor {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TcpFrontDoor {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts accepting connections, serving them through `handle`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(handle: ServeHandle, addr: &str) -> std::io::Result<TcpFrontDoor> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("gmc-serve-accept".to_owned())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let handle = handle.clone();
+                        std::thread::Builder::new()
+                            .name("gmc-serve-conn".to_owned())
+                            .spawn(move || {
+                                serve_connection(stream, &handle);
+                            })
+                            .ok();
+                    }
+                })?
+        };
+        Ok(TcpFrontDoor {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept thread. Connections already
+    /// being served run to completion on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a self-connection. A wildcard
+        // bind address (0.0.0.0 / ::) is not connectable on every
+        // platform, so aim at the matching loopback instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        TcpStream::connect(wake).ok();
+        if let Some(t) = self.accept.take() {
+            t.join().expect("accept thread panicked");
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, handle: &ServeHandle) {
+    let Ok(peer_write) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(peer_write);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = if line.trim() == "STATS" {
+            stats_to_json(&handle.stats())
+        } else {
+            match parse_request_line(&line) {
+                // `solve_raw` resolves the string-named variables
+                // against the structure's own vocabulary — untrusted
+                // names are never interned.
+                Ok((structure, vars)) => reply_to_json(&handle.solve_raw(&structure, vars)),
+                Err(e) => reply_to_json(&ServeReply {
+                    structure: String::new(),
+                    result: Err(crate::ServeError::BadRequest(e)),
+                }),
+            }
+        };
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}

@@ -30,8 +30,8 @@ X := A * B * C
     println!("chain structure: {target} := {chain}");
     println!("dimension variables: n, k, m\n");
 
-    let registry = KernelRegistry::blas_lapack();
-    let mut cache = PlanCache::new(&registry, InferenceMode::Compositional);
+    let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
+    let cache = PlanCache::new(registry.clone(), InferenceMode::Compositional);
 
     let points = [
         ("tall inner dimension", 100, 2000, 100),

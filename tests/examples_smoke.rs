@@ -11,14 +11,25 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 6] = [
-    "quickstart",
-    "cost_metrics",
-    "ensemble_kalman",
-    "generalized_eigenproblem",
-    "triangular_inverse",
-    "symbolic_reuse",
-];
+/// Every example in `examples/`, derived from the directory so a new
+/// example is covered the moment the file lands (no hand-maintained
+/// list to forget).
+fn example_names() -> Vec<String> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            if path.extension()? != "rs" {
+                return None;
+            }
+            Some(path.file_stem()?.to_str()?.to_owned())
+        })
+        .collect();
+    names.sort();
+    assert!(names.len() >= 7, "examples/ unexpectedly sparse: {names:?}");
+    names
+}
 
 /// `target/<profile>/examples`, derived from this test binary's path
 /// (`target/<profile>/deps/examples_smoke-<hash>`).
@@ -32,7 +43,8 @@ fn examples_dir() -> Option<PathBuf> {
 #[test]
 fn all_examples_run_cleanly() {
     let dir = examples_dir();
-    for example in EXAMPLES {
+    for example in example_names() {
+        let example = example.as_str();
         let prebuilt = dir
             .as_ref()
             .map(|d| d.join(example))

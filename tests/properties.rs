@@ -198,7 +198,7 @@ proptest! {
             Property::Symmetric, Property::SymmetricPositiveDefinite,
         ])),
     ) {
-        let registry = KernelRegistry::blas_lapack();
+        let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
         let mut a = Operand::square("A", 8);
         if let Some(p) = lp { a = a.with_property(p); }
         let mut b = Operand::square("B", 8);
@@ -251,7 +251,7 @@ proptest! {
         let config = GeneratorConfig::measured_scale();
         let mut rng = StdRng::seed_from_u64(seed);
         let chain = random_chain(&config, &mut rng);
-        let registry = KernelRegistry::blas_lapack();
+        let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
         let gmc = GmcOptimizer::new(&registry, FlopCount)
             .solve(&chain)
             .expect("the full registry makes every generated chain computable");
@@ -278,7 +278,7 @@ proptest! {
         let config = GeneratorConfig::measured_scale();
         let mut rng = StdRng::seed_from_u64(seed);
         let chain = random_chain(&config, &mut rng);
-        let registry = KernelRegistry::blas_lapack();
+        let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
         let mut ws = GmcWorkspace::new();
         for mode in [InferenceMode::Compositional, InferenceMode::Deep] {
             let optimizer = GmcOptimizer::new(&registry, FlopCount).with_inference(mode);
@@ -314,7 +314,7 @@ proptest! {
             .map(|(i, w)| Factor::plain(Operand::matrix(format!("M{i}"), w[0], w[1])))
             .collect();
         let chain = Chain::new(factors).expect("dense factors form a valid chain");
-        let registry = KernelRegistry::blas_lapack();
+        let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
         let gmc = GmcOptimizer::new(&registry, FlopCount)
             .solve(&chain)
             .expect("dense chains are computable");
@@ -394,7 +394,7 @@ proptest! {
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5eb011c);
         let chain = random_symbolic_chain(&mut rng);
-        let registry = KernelRegistry::blas_lapack();
+        let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
         let sizes = [1usize, 2, 3, 7, 10, 40, 100];
         let bindings_list: Vec<DimBindings> = (0..3)
             .map(|_| {
@@ -407,7 +407,7 @@ proptest! {
             .collect();
         for mode in [InferenceMode::Compositional, InferenceMode::Deep] {
             let optimizer = GmcOptimizer::new(&registry, FlopCount).with_inference(mode);
-            let mut cache = PlanCache::new(&registry, mode);
+            let cache = PlanCache::new(registry.clone(), mode);
             for pass in 0..2 {
                 for bindings in &bindings_list {
                     let concrete = chain.bind(bindings).expect("all variables bound");
@@ -437,6 +437,112 @@ proptest! {
                     }
                 }
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// ISSUE 5 acceptance: under multi-threaded mixed hit/miss traffic
+    /// against one shared `PlanCache`, every response is bit-identical
+    /// — cost, parenthesization, kernel sequence — to a from-scratch
+    /// `GmcOptimizer::solve` of the bound chain, in both inference
+    /// modes. Threads deliberately overlap on bindings (hits and
+    /// racing misses) and also carry thread-private bindings (misses
+    /// recorded while other threads are reading).
+    #[test]
+    fn concurrent_plan_cache_matches_concrete_solve(seed in 0u64..1_000_000) {
+        use gmc::InferenceMode;
+        use gmc_expr::DimBindings;
+        use gmc_plan::PlanCache;
+        use rand::Rng;
+        use std::sync::Arc;
+        const THREADS: usize = 6;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0C0);
+        let chains: Vec<gmc_expr::SymChain> =
+            (0..3).map(|_| random_symbolic_chain(&mut rng)).collect();
+        let sizes = [1usize, 2, 3, 7, 10, 40, 100];
+        let binding_for = |chain: &gmc_expr::SymChain, rng: &mut StdRng| {
+            let mut b = DimBindings::new();
+            for v in chain.vars() {
+                b.set_var(v, sizes[rng.gen_range(0..sizes.len())]);
+            }
+            b
+        };
+        // Shared bindings every thread replays (hit + racing-miss
+        // traffic) plus a few per-thread-only ones (pure misses).
+        let shared: Vec<(usize, DimBindings)> = (0..6)
+            .map(|i| {
+                let ci = i % chains.len();
+                (ci, binding_for(&chains[ci], &mut rng))
+            })
+            .collect();
+        let private: Vec<Vec<(usize, DimBindings)>> = (0..THREADS)
+            .map(|_| {
+                (0..3)
+                    .map(|_| {
+                        let ci = rng.gen_range(0..chains.len());
+                        (ci, binding_for(&chains[ci], &mut rng))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let registry = Arc::new(KernelRegistry::blas_lapack());
+        for mode in [InferenceMode::Compositional, InferenceMode::Deep] {
+            let optimizer = GmcOptimizer::new(&registry, FlopCount).with_inference(mode);
+            let cache = PlanCache::new(registry.clone(), mode);
+            std::thread::scope(|scope| {
+                for (t, mine) in private.iter().enumerate() {
+                    let cache = &cache;
+                    let chains = &chains;
+                    let shared = &shared;
+                    let optimizer = &optimizer;
+                    scope.spawn(move || {
+                        let mut order: Vec<&(usize, DimBindings)> =
+                            shared.iter().chain(mine.iter()).collect();
+                        // Stagger thread schedules so hits and misses
+                        // interleave differently per thread.
+                        let shift = t % order.len();
+                        order.rotate_left(shift);
+                        for pass in 0..2 {
+                            for (ci, b) in &order {
+                                let concrete = chains[*ci].bind(b).expect("bound");
+                                let reference = optimizer.solve(&concrete);
+                                match (reference, cache.solve(&chains[*ci], b)) {
+                                    (Ok(want), Ok((got, _))) => {
+                                        assert_eq!(
+                                            want.cost().to_bits(),
+                                            got.cost().to_bits(),
+                                            "cost diverged ({mode:?}, pass {pass}) on {concrete}"
+                                        );
+                                        assert_eq!(
+                                            want.parenthesization(),
+                                            got.parenthesization(),
+                                            "paren diverged ({mode:?}) on {concrete}"
+                                        );
+                                        assert_eq!(want.kernel_names(), got.kernel_names());
+                                        assert_eq!(want.flops(), got.flops());
+                                    }
+                                    (Err(_), Err(_)) => {}
+                                    (want, got) => panic!(
+                                        "solvability diverged ({mode:?}) on {concrete}: {:?} vs {:?}",
+                                        want.map(|s| s.cost()),
+                                        got.map(|(s, o)| (s.cost(), o))
+                                    ),
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            // Accounting: every request was counted, and each recorded
+            // region was recorded exactly once.
+            let stats = cache.stats();
+            prop_assert_eq!(
+                stats.requests(),
+                (THREADS * 2 * (shared.len() + 3)) as u64
+            );
         }
     }
 }

@@ -21,8 +21,8 @@ fn regions_select_different_parenthesizations() {
     let problem = parse(SYMBOLIC_MCP).unwrap();
     let sym = problem.symbolic.as_ref().expect("symbolic problem");
     let (_, chain) = &sym.chains[0];
-    let registry = KernelRegistry::blas_lapack();
-    let mut cache = PlanCache::new(&registry, InferenceMode::Compositional);
+    let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
+    let cache = PlanCache::new(registry.clone(), InferenceMode::Compositional);
 
     // Both parenthesizations share the 2nmk term, so the comparison is
     // n²m vs n²k: m < k → ((A B) C), m > k → (A (B C)).
@@ -72,8 +72,8 @@ fn structured_symbolic_problem_resolves_fully() {
     .unwrap();
     let sym = problem.symbolic.as_ref().unwrap();
     let (_, chain) = &sym.chains[0];
-    let registry = KernelRegistry::blas_lapack();
-    let mut cache = PlanCache::new(&registry, InferenceMode::Compositional);
+    let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
+    let cache = PlanCache::new(registry.clone(), InferenceMode::Compositional);
     let b = DimBindings::new().with("n", 2000).with("m", 200);
     let (sol, _) = cache.solve(chain, &b).unwrap();
     assert_eq!(sol.kernel_names(), vec!["TRMM_RLT", "POSV_LN"]);
@@ -91,9 +91,9 @@ fn frontend_plan_and_concrete_optimizer_agree() {
     let problem = parse(SYMBOLIC_MCP).unwrap();
     let sym = problem.symbolic.as_ref().unwrap();
     let (_, chain) = &sym.chains[0];
-    let registry = KernelRegistry::blas_lapack();
+    let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
     let optimizer = GmcOptimizer::new(&registry, FlopCount);
-    let mut cache = PlanCache::new(&registry, InferenceMode::Compositional);
+    let cache = PlanCache::new(registry.clone(), InferenceMode::Compositional);
     for (n, k, m) in [(30, 40, 50), (50, 40, 30), (8, 8, 8), (1, 5, 9)] {
         let b = DimBindings::new().with("n", n).with("k", k).with("m", m);
         let concrete = chain.bind(&b).unwrap();
@@ -110,8 +110,8 @@ fn size_generic_emission_from_cached_plan() {
     let problem = parse(SYMBOLIC_MCP).unwrap();
     let sym = problem.symbolic.as_ref().unwrap();
     let (_, chain) = &sym.chains[0];
-    let registry = KernelRegistry::blas_lapack();
-    let mut cache = PlanCache::new(&registry, InferenceMode::Compositional);
+    let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
+    let cache = PlanCache::new(registry.clone(), InferenceMode::Compositional);
     let b = DimBindings::new().with("n", 10).with("k", 20).with("m", 30);
     let (sol, _) = cache.solve(chain, &b).unwrap();
     let code = emit_size_generic_rust(&sol.program(), chain);
@@ -144,10 +144,10 @@ fn deep_inference_plans_are_cached_independently() {
     let problem = parse("Matrix A (p, q)\nMatrix B (p, q)\nX := A^T * B * B^T * A\n").unwrap();
     let sym = problem.symbolic.as_ref().unwrap();
     let (_, chain) = &sym.chains[0];
-    let registry = KernelRegistry::blas_lapack();
+    let registry = std::sync::Arc::new(KernelRegistry::blas_lapack());
     for mode in [InferenceMode::Compositional, InferenceMode::Deep] {
         let optimizer = GmcOptimizer::new(&registry, FlopCount).with_inference(mode);
-        let mut cache = PlanCache::new(&registry, mode);
+        let cache = PlanCache::new(registry.clone(), mode);
         for (p, q) in [(60, 4), (4, 60), (60, 4)] {
             let b = DimBindings::new().with("p", p).with("q", q);
             let want = optimizer.solve(&chain.bind(&b).unwrap()).unwrap();

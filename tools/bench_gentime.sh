@@ -12,7 +12,11 @@
 # allocation-free hot path, interleaved in one process, so the
 # recorded speedups are robust to machine-condition drift. The
 # "plan_cache" group tracks the symbolic pipeline: cold symbolic solve
-# vs cached instantiate at fresh sizes in the same region.
+# vs cached instantiate at fresh sizes in the same region. The
+# "serve_throughput" group drives the gmc-serve front door (dispatcher
+# + worker pool + shared concurrent cache) at 1/2/4/8 workers over a
+# hit-ratio sweep, recording requests/second, scaling vs 1 worker and
+# the host's available parallelism.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo run --release -p gmc-bench --bin gentime_json -- "$@"
