@@ -25,11 +25,16 @@
 //! parallelism is recorded alongside: on a single-core container the
 //! sweep measures contention overhead (scaling ≈ 1.0 is the best
 //! possible there), while multi-core hosts show the lock-free hit
-//! path scaling with workers. `--quick` cuts the sample and request
-//! counts for CI smoke runs.
+//! path scaling with workers. The `replay_latency` group (ISSUE 6)
+//! replays seeded workload traces (`gmcc workload gen` presets) and
+//! reads back the serve-side latency histograms as p50/p99/max per
+//! scenario, with invariant checking and sampled bitwise verification.
+//! `--quick` cuts the sample and request counts for CI smoke runs.
 
 use gmc::reference::solve_reference;
 use gmc::{FlopCount, GmcOptimizer, GmcWorkspace, InferenceMode};
+use gmc_bench::replay::{replay_trace, ReplayOptions, Verify};
+use gmc_bench::workload::{generate, WorkloadSpec};
 use gmc_bench::{length_bindings, length_chain, symbolic_length_chain};
 use gmc_expr::{DimBindings, SymChain};
 use gmc_kernels::KernelRegistry;
@@ -53,6 +58,12 @@ const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// Hit ratios of the `serve_throughput` sweep.
 const HIT_RATIOS: [f64; 2] = [1.0, 0.5];
+
+/// Workload presets replayed by the `replay_latency` group.
+const REPLAY_SCENARIOS: [&str; 4] = ["steady", "mixed", "churn", "storm"];
+
+/// Worker count of the `replay_latency` group.
+const REPLAY_WORKERS: usize = 4;
 
 fn median(mut times: Vec<f64>) -> f64 {
     times.sort_by(f64::total_cmp);
@@ -360,6 +371,90 @@ fn main() {
     ];
     serve_group.append(&mut ratio_groups);
 
+    // replay_latency group: seeded workload traces (gmc-bench's
+    // workload layer) replayed through the front door, reading the
+    // serve-side latency histograms back per scenario.
+    let replay_requests = if quick { 150 } else { 1000 };
+    let mut replay_scenarios: Vec<(String, Value)> = Vec::new();
+    for scenario in REPLAY_SCENARIOS {
+        let mut spec = WorkloadSpec::preset(scenario, 42).expect("known preset");
+        spec.requests = replay_requests;
+        let trace = generate(&spec).expect("preset generates");
+        let report = replay_trace(
+            &trace,
+            &ReplayOptions {
+                workers: REPLAY_WORKERS,
+                verify: Verify::Sample(if quick { 10 } else { 50 }),
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("replay runs");
+        assert!(
+            report.is_clean(),
+            "replay `{scenario}` violated invariants: {:?}",
+            report.violations
+        );
+        let total = &report.stats.latency.total;
+        let served = report.stats.served;
+        let rps = report.submitted as f64 / report.elapsed.max(1e-9);
+        let achieved = served.hits as f64 / served.completed.max(1) as f64;
+        eprintln!(
+            "replay_latency {scenario:<7} {:>9.0} req/s   p50 {:>9} ns   p99 {:>9} ns   max {:>9} ns   hit ratio {:.2}   coalesced {}",
+            rps,
+            total.quantile(0.5),
+            total.quantile(0.99),
+            total.max(),
+            achieved,
+            report.stats.coalesced
+        );
+        replay_scenarios.push((
+            scenario.to_owned(),
+            Value::Object(vec![
+                ("requests_per_second".to_owned(), Value::Number(rps)),
+                (
+                    "p50_ns".to_owned(),
+                    Value::Number(total.quantile(0.5) as f64),
+                ),
+                (
+                    "p99_ns".to_owned(),
+                    Value::Number(total.quantile(0.99) as f64),
+                ),
+                ("max_ns".to_owned(), Value::Number(total.max() as f64)),
+                (
+                    "queue_p99_ns".to_owned(),
+                    Value::Number(report.stats.latency.queue.quantile(0.99) as f64),
+                ),
+                ("achieved_hit_ratio".to_owned(), Value::Number(achieved)),
+                (
+                    "coalesced".to_owned(),
+                    Value::Number(report.stats.coalesced as f64),
+                ),
+            ]),
+        ));
+    }
+    let mut replay_group = vec![
+        (
+            "description".to_owned(),
+            Value::String(
+                "seeded workload traces (gmcc workload gen presets, seed 42) replayed \
+                 end to end through the gmc-serve front door at 4 workers, with invariant \
+                 checking and sampled bitwise verification against cold solves. Latency is \
+                 the serve-side enqueue->complete histogram (log-linear buckets, ~6% \
+                 resolution); quantiles report the bucket upper bound. steady = 95% \
+                 hit-ratio traffic over 3 structures; mixed = 50% hits over 6 structures; \
+                 churn = all-miss region churn over 10 structures; storm = 90% duplicates \
+                 over 2 structures (dispatcher coalescing)."
+                    .into(),
+            ),
+        ),
+        ("workers".to_owned(), Value::Number(REPLAY_WORKERS as f64)),
+        (
+            "requests_per_scenario".to_owned(),
+            Value::Number(replay_requests as f64),
+        ),
+    ];
+    replay_group.append(&mut replay_scenarios);
+
     let doc = Value::Object(vec![
         (
             "benchmark".to_owned(),
@@ -424,6 +519,7 @@ fn main() {
             ]),
         ),
         ("serve_throughput".to_owned(), Value::Object(serve_group)),
+        ("replay_latency".to_owned(), Value::Object(replay_group)),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("finite numbers only");
     std::fs::write(&out_path, json + "\n").expect("write bench json");

@@ -4,6 +4,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod replay;
+pub mod workload;
+
 use gmc_experiments::generator::{random_chains, GeneratorConfig};
 use gmc_expr::{Chain, Dim, DimBindings, Factor, Operand, SymChain, SymFactor, SymOperand};
 

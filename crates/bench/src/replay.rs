@@ -1,0 +1,452 @@
+//! Trace replay against a live serving front door, with invariant
+//! checking and bitwise result verification.
+//!
+//! [`replay_trace`] builds a fresh [`Server`], registers the trace's
+//! structure population, drives the request sequence through
+//! [`ServeHandle`] submission (respecting the recorded arrival offsets
+//! when asked, or closed-loop windows otherwise), and returns every
+//! per-request result next to the server's counter and latency
+//! snapshot. After the run it checks the accounting invariants the
+//! serving tier promises — every submitted request is answered exactly
+//! once, the consistent served counters balance, the latency
+//! histograms saw exactly one sample per completed request — and, when
+//! verification is on, replays each distinct `(structure, bindings)`
+//! pair through a cold [`GmcOptimizer`] solve and demands the served
+//! answer be *bit-identical* (cost bits, parenthesization, kernel
+//! sequence). Violations are collected, not panicked, so soak tests
+//! and the CLI can report all of them.
+
+use crate::workload::Trace;
+use gmc::{FlopCount, GmcOptimizer, InferenceMode};
+use gmc_expr::DimBindings;
+use gmc_kernels::KernelRegistry;
+use gmc_serve::{ServeConfig, ServeReply, Server, ServerStats, Ticket};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How much of the replay to verify against cold reference solves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verify {
+    /// No reference solves.
+    None,
+    /// Verify up to this many distinct `(structure, bindings)` pairs
+    /// (the first ones encountered, deterministically).
+    Sample(usize),
+    /// Verify every distinct pair.
+    All,
+}
+
+/// Replay configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayOptions {
+    /// Worker threads of the replayed-into server.
+    pub workers: usize,
+    /// Inference mode of the server's plan cache (and the reference
+    /// solves).
+    pub inference: InferenceMode,
+    /// Reference-solve verification depth.
+    pub verify: Verify,
+    /// Honor the trace's `at_us` arrival offsets (sleeps between
+    /// submissions). Off = submit as fast as the mode allows.
+    pub honor_timing: bool,
+    /// Closed-loop submission window: submit this many requests as one
+    /// batch, wait for all replies, then continue. `0` means submit
+    /// the whole trace as a single batch — the maximum-coalescing
+    /// storm shape. Ignored when `honor_timing` is set.
+    pub window: usize,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            workers: 4,
+            inference: InferenceMode::default(),
+            verify: Verify::None,
+            honor_timing: false,
+            window: 64,
+        }
+    }
+}
+
+/// One replayed request's served answer, in trace order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestResult {
+    /// The structure the request addressed.
+    pub structure: String,
+    /// Served cost (FLOPs); 0.0 on error.
+    pub cost: f64,
+    /// Served FLOP count; 0.0 on error.
+    pub flops: f64,
+    /// The chosen parenthesization ("" on error).
+    pub parenthesization: String,
+    /// Kernel names in execution order (empty on error).
+    pub kernels: Vec<String>,
+    /// The serve error, if the request failed.
+    pub error: Option<String>,
+}
+
+impl RequestResult {
+    fn from_reply(reply: &ServeReply) -> RequestResult {
+        match &reply.result {
+            Ok(served) => RequestResult {
+                structure: reply.structure.clone(),
+                cost: served.cost,
+                flops: served.flops,
+                parenthesization: served.parenthesization.clone(),
+                kernels: served.kernels.clone(),
+                error: None,
+            },
+            Err(e) => RequestResult {
+                structure: reply.structure.clone(),
+                cost: 0.0,
+                flops: 0.0,
+                parenthesization: String::new(),
+                kernels: Vec::new(),
+                error: Some(e.to_string()),
+            },
+        }
+    }
+}
+
+/// The full outcome of one replay run.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Per-request results, exactly one per trace request, in order.
+    pub results: Vec<RequestResult>,
+    /// The server's counters and latency snapshot after the run.
+    pub stats: ServerStats,
+    /// Wall-clock seconds from first submission to last reply.
+    pub elapsed: f64,
+    /// Requests submitted (== trace length).
+    pub submitted: usize,
+    /// Distinct `(structure, bindings)` pairs verified against cold
+    /// reference solves.
+    pub verified: usize,
+    /// Invariant and verification failures (empty on a clean run).
+    pub violations: Vec<String>,
+}
+
+impl ReplayReport {
+    /// Whether the run upheld every invariant (and verification).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Replays `trace` against a fresh server; see the module docs.
+///
+/// # Errors
+///
+/// Returns an error when the trace itself is unusable (invalid
+/// structure, registration failure). Serving-layer failures and
+/// invariant violations are *reported* in the returned
+/// [`ReplayReport::violations`] instead, so callers see all of them.
+pub fn replay_trace(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport, String> {
+    trace.validate()?;
+    let registry = Arc::new(KernelRegistry::blas_lapack());
+    let server = Server::start(
+        registry.clone(),
+        ServeConfig {
+            workers: opts.workers.max(1),
+            inference: opts.inference,
+            ..ServeConfig::default()
+        },
+    );
+    let chains: Vec<_> = trace
+        .structures
+        .iter()
+        .map(|s| s.chain())
+        .collect::<Result<Vec<_>, _>>()?;
+    for (s, chain) in trace.structures.iter().zip(&chains) {
+        server
+            .register(&s.name, chain.clone())
+            .map_err(|e| format!("register `{}`: {e}", s.name))?;
+    }
+    let handle = server.handle();
+
+    // Submit the trace and collect replies in trace order.
+    let request_of = |i: usize| -> (String, DimBindings) {
+        let r = &trace.requests[i];
+        let s = &trace.structures[r.structure];
+        (s.name.clone(), s.bindings(&r.values))
+    };
+    let start = Instant::now();
+    let mut replies: Vec<ServeReply> = Vec::with_capacity(trace.requests.len());
+    if opts.honor_timing {
+        let mut tickets: Vec<Ticket> = Vec::with_capacity(trace.requests.len());
+        for (i, r) in trace.requests.iter().enumerate() {
+            let due = Duration::from_micros(r.at_us);
+            let now = start.elapsed();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            let (name, bindings) = request_of(i);
+            tickets.push(handle.submit(&name, bindings));
+        }
+        replies.extend(tickets.into_iter().map(Ticket::wait));
+    } else {
+        let window = if opts.window == 0 {
+            trace.requests.len().max(1)
+        } else {
+            opts.window
+        };
+        let mut next = 0usize;
+        while next < trace.requests.len() {
+            let end = (next + window).min(trace.requests.len());
+            let batch: Vec<(String, DimBindings)> = (next..end).map(request_of).collect();
+            let tickets = handle.submit_batch(batch);
+            replies.extend(tickets.into_iter().map(Ticket::wait));
+            next = end;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = server.stats();
+    server.shutdown();
+
+    let results: Vec<RequestResult> = replies.iter().map(RequestResult::from_reply).collect();
+    let mut violations = Vec::new();
+
+    // Accounting invariants: every request is answered exactly once
+    // and the consistent served counters balance with the histograms.
+    let submitted = trace.requests.len();
+    if results.len() != submitted {
+        violations.push(format!(
+            "replies ({}) != submitted requests ({submitted})",
+            results.len()
+        ));
+    }
+    let served = stats.served;
+    if served.completed + served.rejected != submitted as u64 {
+        violations.push(format!(
+            "completed ({}) + rejected ({}) != submitted ({submitted})",
+            served.completed, served.rejected
+        ));
+    }
+    if served.hits + served.misses + served.failed != served.completed {
+        violations.push(format!(
+            "hits ({}) + misses ({}) + failed ({}) != completed ({})",
+            served.hits, served.misses, served.failed, served.completed
+        ));
+    }
+    if stats.latency.total.count() != served.completed {
+        violations.push(format!(
+            "total latency samples ({}) != completed ({})",
+            stats.latency.total.count(),
+            served.completed
+        ));
+    }
+    if stats.latency.queue.count() != served.completed {
+        violations.push(format!(
+            "queue latency samples ({}) != completed ({})",
+            stats.latency.queue.count(),
+            served.completed
+        ));
+    }
+    // Class histograms record only successful solves: exactly one
+    // sample per hit or miss, none for failures.
+    let class_total: u64 = stats
+        .latency
+        .classes
+        .iter()
+        .map(|c| c.snapshot.count())
+        .sum();
+    if class_total != served.hits + served.misses {
+        violations.push(format!(
+            "class latency samples ({class_total}) != hits ({}) + misses ({})",
+            served.hits, served.misses
+        ));
+    }
+    // The serve layer never duplicates a recording: cache instantiates
+    // cannot exceed completions.
+    if stats.cache.requests() > served.completed {
+        violations.push(format!(
+            "cache instantiates ({}) exceed completed requests ({})",
+            stats.cache.requests(),
+            served.completed
+        ));
+    }
+
+    // Identical requests must be answered identically, replay-wide —
+    // coalesced or not, raced or not.
+    let mut first_answer: HashMap<(usize, &[usize]), usize> = HashMap::new();
+    for (i, r) in trace.requests.iter().enumerate() {
+        if i >= results.len() {
+            break;
+        }
+        match first_answer.entry((r.structure, r.values.as_slice())) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let first = &results[*e.get()];
+                let this = &results[i];
+                if !bitwise_eq(first, this) {
+                    violations.push(format!(
+                        "request {i} answered differently from identical request {}: \
+                         {:?} vs {:?}",
+                        e.get(),
+                        this,
+                        first
+                    ));
+                }
+            }
+        }
+    }
+
+    // Bitwise verification against cold reference solves.
+    let budget = match opts.verify {
+        Verify::None => 0,
+        Verify::Sample(n) => n,
+        Verify::All => usize::MAX,
+    };
+    let mut verified = 0usize;
+    if budget > 0 {
+        let gmc = GmcOptimizer::new(&registry, FlopCount).with_inference(opts.inference);
+        let mut seen: HashMap<(usize, &[usize]), ()> = HashMap::new();
+        for (i, r) in trace.requests.iter().enumerate() {
+            if verified >= budget || i >= results.len() {
+                break;
+            }
+            if seen
+                .insert((r.structure, r.values.as_slice()), ())
+                .is_some()
+            {
+                continue;
+            }
+            let s = &trace.structures[r.structure];
+            let bound = match chains[r.structure].bind(&s.bindings(&r.values)) {
+                Ok(chain) => chain,
+                Err(e) => {
+                    // The server must have rejected it too.
+                    if results[i].error.is_none() {
+                        violations.push(format!(
+                            "request {i}: unbindable for reference ({e}) but served OK"
+                        ));
+                    }
+                    verified += 1;
+                    continue;
+                }
+            };
+            match gmc.solve(&bound) {
+                Ok(reference) => {
+                    let got = &results[i];
+                    if let Some(err) = &got.error {
+                        violations.push(format!(
+                            "request {i} (`{}`): reference solved but serve failed: {err}",
+                            s.name
+                        ));
+                    } else if got.cost.to_bits() != reference.cost().to_bits()
+                        || got.flops.to_bits() != reference.flops().to_bits()
+                        || got.parenthesization != reference.parenthesization()
+                        || got.kernels != reference.kernel_names()
+                    {
+                        violations.push(format!(
+                            "request {i} (`{}`): served answer differs from cold solve: \
+                             served ({}, {:?}) vs reference ({}, {:?})",
+                            s.name,
+                            got.parenthesization,
+                            got.kernels,
+                            reference.parenthesization(),
+                            reference.kernel_names()
+                        ));
+                    }
+                }
+                Err(e) => {
+                    if results[i].error.is_none() {
+                        violations.push(format!(
+                            "request {i} (`{}`): reference solve failed ({e}) but serve \
+                             answered OK",
+                            s.name
+                        ));
+                    }
+                }
+            }
+            verified += 1;
+        }
+    }
+
+    Ok(ReplayReport {
+        results,
+        stats,
+        elapsed,
+        submitted,
+        verified,
+        violations,
+    })
+}
+
+fn bitwise_eq(a: &RequestResult, b: &RequestResult) -> bool {
+    a.structure == b.structure
+        && a.cost.to_bits() == b.cost.to_bits()
+        && a.flops.to_bits() == b.flops.to_bits()
+        && a.parenthesization == b.parenthesization
+        && a.kernels == b.kernels
+        && a.error == b.error
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate, WorkloadSpec};
+
+    #[test]
+    fn mixed_replay_is_clean_and_verified() {
+        let mut spec = WorkloadSpec::preset("mixed", 9).unwrap();
+        spec.requests = 40;
+        let trace = generate(&spec).unwrap();
+        let report = replay_trace(
+            &trace,
+            &ReplayOptions {
+                workers: 2,
+                verify: Verify::All,
+                ..ReplayOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.results.len(), 40);
+        assert!(report.verified > 0);
+        assert_eq!(report.stats.served.completed, 40);
+        assert!(report.results.iter().all(|r| r.error.is_none()));
+    }
+
+    #[test]
+    fn storm_replay_coalesces_single_batch() {
+        let mut spec = WorkloadSpec::preset("storm", 4).unwrap();
+        spec.requests = 60;
+        let trace = generate(&spec).unwrap();
+        let report = replay_trace(
+            &trace,
+            &ReplayOptions {
+                workers: 4,
+                window: 0,
+                verify: Verify::Sample(10),
+                ..ReplayOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert!(
+            report.stats.coalesced > 0,
+            "single-batch storm should coalesce duplicates"
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic_in_results() {
+        let mut spec = WorkloadSpec::preset("aliased", 21).unwrap();
+        spec.requests = 30;
+        let trace = generate(&spec).unwrap();
+        let opts = ReplayOptions {
+            workers: 3,
+            ..ReplayOptions::default()
+        };
+        let a = replay_trace(&trace, &opts).unwrap();
+        let b = replay_trace(&trace, &opts).unwrap();
+        assert!(a.is_clean(), "violations: {:?}", a.violations);
+        assert!(b.is_clean(), "violations: {:?}", b.violations);
+        // Hit/miss outcomes race across runs; the *answers* must not.
+        assert_eq!(a.results, b.results);
+    }
+}

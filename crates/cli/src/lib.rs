@@ -8,8 +8,10 @@
 #![warn(missing_docs)]
 
 mod serve;
+mod workload;
 
 pub use serve::{run_request, run_serve_batch, serve_listen, ServeOptions};
+pub use workload::run_workload;
 
 use gmc::{FlopCount, GmcOptimizer, GmcWorkspace, InferenceMode, TimeModel};
 use gmc_codegen::{emit_size_generic_rust, Emitter, JuliaEmitter, PseudoEmitter, RustEmitter};

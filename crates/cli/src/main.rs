@@ -9,6 +9,10 @@
 //!      [--plan-store PATH] [--pre-enumerate]
 //!
 //! gmcc request ADDR [RFILE]
+//!
+//! gmcc workload gen [--preset NAME] [--seed N] [...]
+//! gmcc workload describe [TRACE]
+//! gmcc workload replay [TRACE] [--workers N] [--verify ...] [--quick]
 //! ```
 //!
 //! The default mode reads a problem description in the paper's input
@@ -25,8 +29,13 @@
 //! `<target> var=size,...` request per line) or a TCP line-protocol
 //! listener serves clients (`--listen HOST:PORT`). `request` is the
 //! matching client, reading request lines from RFILE or stdin.
+//!
+//! `workload` generates, inspects and replays synthetic serving
+//! traffic traces (see `gmcc workload --help`).
 
-use gmc_cli::{compile, run_request, run_serve_batch, Emit, Metric, Options, ServeOptions};
+use gmc_cli::{
+    compile, run_request, run_serve_batch, run_workload, Emit, Metric, Options, ServeOptions,
+};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -48,6 +57,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => serve_main(&args[1..]),
         Some("request") => request_main(&args[1..]),
+        Some("workload") => ExitCode::from(run_workload(&args[1..])),
         _ => compile_main(&args),
     }
 }
@@ -115,7 +125,8 @@ fn compile_main(args: &[String]) -> ExitCode {
                      [--check] [--bind NAME=SIZE[,NAME=SIZE...]] [--plan-store PATH]\n\
                      \x20      gmcc serve FILE (--requests RFILE | --listen ADDR) [--workers N] \
                      [--mode compositional|deep] [--plan-store PATH] [--pre-enumerate]\n\
-                     \x20      gmcc request ADDR [RFILE]"
+                     \x20      gmcc request ADDR [RFILE]\n\
+                     \x20      gmcc workload <gen|describe|replay> [...] (see gmcc workload --help)"
                 );
                 return ExitCode::SUCCESS;
             }

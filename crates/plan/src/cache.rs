@@ -46,6 +46,23 @@ pub enum PlanOutcome {
     Hit,
 }
 
+impl PlanOutcome {
+    /// Whether the request was served from a cached region plan.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, PlanOutcome::Hit)
+    }
+
+    /// A stable machine-readable label (the serving wire format and
+    /// the replay harness both key on these).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanOutcome::MissStructure => "miss_structure",
+            PlanOutcome::MissRegion => "miss_region",
+            PlanOutcome::Hit => "hit",
+        }
+    }
+}
+
 impl fmt::Display for PlanOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

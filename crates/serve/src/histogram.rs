@@ -1,0 +1,254 @@
+//! Fixed-bucket log-linear latency histograms, std-only and lock-free.
+//!
+//! A [`LatencyHistogram`] covers the full `u64` nanosecond range with
+//! a fixed number of buckets: values below 16 ns get exact unit
+//! buckets, and every power-of-two octave above that is split into 16
+//! linear sub-buckets, so the relative bucket width is at most ~6%
+//! everywhere (the same layout HDR-style recorders use). Recording is
+//! one index computation plus two relaxed atomic adds and a
+//! `fetch_max` — cheap enough to sit on the serving hot path — and any
+//! number of threads may record concurrently.
+//!
+//! Quantiles are answered from a [`HistogramSnapshot`], reporting the
+//! *upper bound* of the bucket containing the requested rank, so
+//! `p99 <= reported` always holds at bucket resolution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each octave is split into `2^LINEAR_BITS`
+/// linear buckets.
+const LINEAR_BITS: u32 = 4;
+
+/// Sub-buckets per octave (and the number of exact unit buckets at the
+/// bottom of the range).
+const SUB: usize = 1 << LINEAR_BITS;
+
+/// Total bucket count covering every `u64` value: 16 unit buckets plus
+/// 16 sub-buckets for each octave `[2^e, 2^(e+1))`, `e` in `4..=63`.
+const BUCKETS: usize = SUB + (64 - LINEAR_BITS as usize) * SUB;
+
+/// The bucket index of `value` (total order preserved across buckets).
+fn bucket_index(value: u64) -> usize {
+    if value < SUB as u64 {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros(); // >= LINEAR_BITS
+        let sub = (value >> (exp - LINEAR_BITS)) as usize & (SUB - 1);
+        SUB * (exp - LINEAR_BITS) as usize + SUB + sub
+    }
+}
+
+/// The largest value mapping to bucket `index` (inclusive upper bound).
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUB {
+        index as u64
+    } else {
+        let group = (index - SUB) / SUB;
+        let sub = ((index - SUB) % SUB) as u64;
+        let exp = group as u32 + LINEAR_BITS;
+        let low = (SUB as u64 + sub) << (exp - LINEAR_BITS);
+        let width = 1u64 << (exp - LINEAR_BITS);
+        low + (width - 1)
+    }
+}
+
+/// A concurrent fixed-bucket log-linear histogram of `u64` samples
+/// (nanoseconds, by convention).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    max: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            max: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Lock-free; safe from any number of threads.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts. The total is derived
+    /// from the copied buckets (not a separately raced counter), so a
+    /// snapshot is always internally consistent: `count()` equals the
+    /// sum of its own `buckets()`.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((i as u32, c));
+                count += c;
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            max: self.max.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`LatencyHistogram`]: sparse non-empty
+/// buckets in index order plus the derived total.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Non-empty `(bucket index, count)` pairs, ascending by index.
+    buckets: Vec<(u32, u64)>,
+    count: u64,
+    max: u64,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether any sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The mean of the recorded samples (0 if empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), reported as the inclusive upper
+    /// bound of the bucket holding that rank — so the true quantile is
+    /// never above the reported value by more than the bucket width
+    /// (~6%). Returns 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(index, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                // The top bucket's upper bound can exceed the true
+                // maximum by the bucket width; clamp to the exact max.
+                return bucket_upper(index as usize).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(inclusive upper bound, count)` pairs,
+    /// in strictly increasing bound order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .map(|&(i, c)| (bucket_upper(i as usize), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_total() {
+        let probes: Vec<u64> = (0..200)
+            .chain((0..54).flat_map(|e| {
+                let v = 1u64 << (e + 4);
+                [v - 1, v, v + 1, v + v / 3]
+            }))
+            .chain([u64::MAX - 1, u64::MAX])
+            .collect();
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(
+                bucket_index(w[0]) <= bucket_index(w[1]),
+                "index order broken at {} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS);
+            assert!(bucket_upper(i) >= v, "upper({i}) < {v}");
+            if i > 0 {
+                assert!(bucket_upper(i - 1) < v, "value {v} below its bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LatencyHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 16);
+        assert_eq!(s.max(), 15);
+        assert_eq!(s.quantile(1.0), 15);
+        assert_eq!(s.buckets().count(), 16);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs..1ms in µs steps
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        assert!((500_000..=531_250).contains(&p50), "p50 = {p50}");
+        assert!((990_000..=1_062_500).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.quantile(1.0), s.max());
+        // Bucket bounds are strictly increasing and counts total.
+        let mut last = None;
+        let mut total = 0;
+        for (upper, c) in s.buckets() {
+            if let Some(prev) = last {
+                assert!(upper > prev);
+            }
+            last = Some(upper);
+            total += c;
+        }
+        assert_eq!(total, s.count());
+    }
+
+    #[test]
+    fn snapshot_totals_derive_from_buckets() {
+        let h = LatencyHistogram::new();
+        for i in 0..500u64 {
+            h.record(i * 37 % 100_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets().map(|(_, c)| c).sum::<u64>(), s.count());
+        assert_eq!(s.count(), 500);
+    }
+}

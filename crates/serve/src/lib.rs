@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod histogram;
 pub mod protocol;
 pub mod tcp;
 
@@ -48,12 +49,14 @@ use gmc::{GmcSolution, InferenceMode};
 use gmc_expr::{DimBindings, SymChain};
 use gmc_kernels::KernelRegistry;
 use gmc_plan::{region_signature, CacheStats, PlanCache, PlanError, PlanOutcome};
+use histogram::{HistogramSnapshot, LatencyHistogram};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Server configuration.
 #[derive(Clone, Copy, Debug)]
@@ -162,9 +165,12 @@ pub struct ServeReply {
 }
 
 /// Cumulative serving counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ServerStats {
-    /// The shared plan cache's hit/miss counters.
+    /// The shared plan cache's hit/miss counters. These count cache
+    /// *instantiates*, not requests: coalesced requests share one
+    /// instantiate, so `cache.requests()` can be below
+    /// `served.completed`.
     pub cache: CacheStats,
     /// Requests answered from another in-flight request's instantiate
     /// (identical structure, region and bindings in one batch).
@@ -173,16 +179,232 @@ pub struct ServerStats {
     pub batches: u64,
     /// Registered structures.
     pub structures: usize,
+    /// Per-request completion counters, taken as one consistent
+    /// snapshot: `hits + misses + failed == completed` holds in every
+    /// reading, even mid-burst.
+    pub served: ServedCounters,
+    /// Latency histogram snapshots (enqueue→complete and
+    /// enqueue→dispatch, plus per-(structure, hit/miss) classes).
+    pub latency: LatencySnapshot,
 }
 
 impl fmt::Display for ServerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}; {} coalesced, {} batches, {} structures",
-            self.cache, self.coalesced, self.batches, self.structures
+            "{}; {} coalesced, {} batches, {} structures; {}",
+            self.cache, self.coalesced, self.batches, self.structures, self.served
+        )?;
+        if !self.latency.total.is_empty() {
+            write!(
+                f,
+                "; latency p50 {}ns p99 {}ns max {}ns",
+                self.latency.total.quantile(0.5),
+                self.latency.total.quantile(0.99),
+                self.latency.total.max()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-request completion counters. Unlike the cache counters (which
+/// count instantiates), these count *requests*: every submitted
+/// request ends up in exactly one of `completed` (reached a worker)
+/// or `rejected` (answered before dispatch: unknown structure, bad
+/// binding, unbindable sizes), and `completed` splits exactly into
+/// `hits + misses + failed`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServedCounters {
+    /// Requests a worker answered (successfully or not).
+    pub completed: u64,
+    /// Completed requests served from a cached region plan.
+    pub hits: u64,
+    /// Completed requests that recorded a structure or region plan
+    /// (coalesced waiters of a miss count with the outcome they
+    /// observed).
+    pub misses: u64,
+    /// Completed requests whose solve failed (plan-layer error).
+    pub failed: u64,
+    /// Requests answered before reaching a worker (unknown structure,
+    /// unresolvable variable names, unbindable sizes).
+    pub rejected: u64,
+}
+
+impl fmt::Display for ServedCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} completed ({} hits, {} misses, {} failed), {} rejected",
+            self.completed, self.hits, self.misses, self.failed, self.rejected
         )
     }
+}
+
+/// The [`ServedCounters`] cell: writers serialize on a short mutex and
+/// bump a sequence counter around their updates (a seqlock), so
+/// readers get a consistent snapshot — one where
+/// `hits + misses + failed == completed` — without ever taking the
+/// mutex. Reading the counters as independent relaxed atomics (the
+/// pre-ISSUE-6 behavior) could observe `completed` ahead of the class
+/// counters mid-update.
+#[derive(Debug, Default)]
+struct CounterCell {
+    /// Even = quiescent; odd = a writer is mid-update.
+    seq: AtomicU64,
+    /// Serializes writers (the seqlock protocol is single-writer).
+    write: Mutex<()>,
+    completed: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// How a worker (or the submission path) accounts one or more
+/// requests in the counter cell.
+#[derive(Clone, Copy, Debug)]
+enum ServedKind {
+    Hit,
+    Miss,
+    Failed,
+    Rejected,
+}
+
+impl CounterCell {
+    /// Accounts `n` requests of one kind in a single consistent update.
+    fn record(&self, kind: ServedKind, n: u64) {
+        let _guard = mutex_lock(&self.write);
+        self.seq.fetch_add(1, Ordering::SeqCst); // odd: update in flight
+        match kind {
+            ServedKind::Hit => {
+                self.hits.fetch_add(n, Ordering::SeqCst);
+                self.completed.fetch_add(n, Ordering::SeqCst);
+            }
+            ServedKind::Miss => {
+                self.misses.fetch_add(n, Ordering::SeqCst);
+                self.completed.fetch_add(n, Ordering::SeqCst);
+            }
+            ServedKind::Failed => {
+                self.failed.fetch_add(n, Ordering::SeqCst);
+                self.completed.fetch_add(n, Ordering::SeqCst);
+            }
+            ServedKind::Rejected => {
+                self.rejected.fetch_add(n, Ordering::SeqCst);
+            }
+        }
+        self.seq.fetch_add(1, Ordering::SeqCst); // even: quiescent
+    }
+
+    /// A consistent snapshot: retries until a read frame closes with no
+    /// writer in flight. Writers hold the cell only for a handful of
+    /// atomic increments, so the retry loop is short.
+    fn snapshot(&self) -> ServedCounters {
+        loop {
+            let before = self.seq.load(Ordering::SeqCst);
+            if before % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let snap = ServedCounters {
+                completed: self.completed.load(Ordering::SeqCst),
+                hits: self.hits.load(Ordering::SeqCst),
+                misses: self.misses.load(Ordering::SeqCst),
+                failed: self.failed.load(Ordering::SeqCst),
+                rejected: self.rejected.load(Ordering::SeqCst),
+            };
+            if self.seq.load(Ordering::SeqCst) == before {
+                return snap;
+            }
+        }
+    }
+}
+
+/// Latency snapshots of a running server.
+#[derive(Clone, Debug, Default)]
+pub struct LatencySnapshot {
+    /// Enqueue→complete latency of every worker-completed request.
+    pub total: HistogramSnapshot,
+    /// Enqueue→dispatch (queueing) latency of the same requests.
+    pub queue: HistogramSnapshot,
+    /// Per-(structure, hit/miss) enqueue→complete histograms, sorted
+    /// by structure name then class for deterministic rendering.
+    pub classes: Vec<ClassLatency>,
+}
+
+/// One (structure, hit/miss) latency class.
+#[derive(Clone, Debug)]
+pub struct ClassLatency {
+    /// Registered structure name.
+    pub structure: String,
+    /// `true` for the cache-hit class, `false` for misses.
+    pub hit: bool,
+    /// Enqueue→complete histogram of this class.
+    pub snapshot: HistogramSnapshot,
+}
+
+/// Per-structure hit/miss histograms (enqueue→complete).
+#[derive(Debug, Default)]
+struct ClassHists {
+    hit: LatencyHistogram,
+    miss: LatencyHistogram,
+}
+
+/// The server-wide latency recording layer.
+#[derive(Debug, Default)]
+struct LatencyBook {
+    total: LatencyHistogram,
+    queue: LatencyHistogram,
+    classes: RwLock<HashMap<String, Arc<ClassHists>>>,
+}
+
+impl LatencyBook {
+    /// The histogram pair for `structure`, creating it on first use
+    /// (registration pre-creates it; this covers re-registration
+    /// races).
+    fn class(&self, structure: &str) -> Arc<ClassHists> {
+        if let Some(h) = read_lock(&self.classes).get(structure) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            write_lock(&self.classes)
+                .entry(structure.to_owned())
+                .or_default(),
+        )
+    }
+
+    fn snapshot(&self) -> LatencySnapshot {
+        let mut classes: Vec<ClassLatency> = Vec::new();
+        {
+            let map = read_lock(&self.classes);
+            for (name, hists) in map.iter() {
+                for (hit, h) in [(true, &hists.hit), (false, &hists.miss)] {
+                    let snapshot = h.snapshot();
+                    if !snapshot.is_empty() {
+                        classes.push(ClassLatency {
+                            structure: name.clone(),
+                            hit,
+                            snapshot,
+                        });
+                    }
+                }
+            }
+        }
+        classes.sort_by(|a, b| (&a.structure, !a.hit).cmp(&(&b.structure, !b.hit)));
+        LatencySnapshot {
+            total: self.total.snapshot(),
+            queue: self.queue.snapshot(),
+            classes,
+        }
+    }
+}
+
+/// Nanoseconds between two instants, saturating into `u64`.
+fn nanos_between(earlier: Instant, later: Instant) -> u64 {
+    later
+        .saturating_duration_since(earlier)
+        .as_nanos()
+        .min(u64::MAX as u128) as u64
 }
 
 /// A pending reply; resolve it with [`Ticket::wait`].
@@ -207,9 +429,11 @@ struct Shared {
     structures: RwLock<HashMap<String, Arc<SymChain>>>,
     coalesced: AtomicU64,
     batches: AtomicU64,
+    served: CounterCell,
+    latency: LatencyBook,
 }
 
-use gmc_plan::sync::{read_lock, write_lock};
+use gmc_plan::sync::{mutex_lock, read_lock, write_lock};
 
 /// Builds concrete bindings from string-named sizes using only the
 /// chain's own (already interned) variables.
@@ -236,6 +460,8 @@ impl Shared {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             structures: read_lock(&self.structures).len(),
+            served: self.served.snapshot(),
+            latency: self.latency.snapshot(),
         }
     }
 }
@@ -246,6 +472,8 @@ struct Request {
     chain: Arc<SymChain>,
     bindings: DimBindings,
     reply: Sender<ServeReply>,
+    /// When the request entered the submission channel.
+    enqueued: Instant,
 }
 
 enum Incoming {
@@ -257,6 +485,9 @@ enum Job {
     Batch {
         chain: Arc<SymChain>,
         items: Vec<BatchItem>,
+        /// When the dispatcher formed this job (per-request queueing
+        /// latency is `dispatched - enqueued`).
+        dispatched: Instant,
     },
     Stop,
 }
@@ -265,7 +496,15 @@ struct BatchItem {
     bindings: DimBindings,
     /// All requests wanting exactly these bindings: one instantiate,
     /// fanned back out.
-    replies: Vec<(String, Sender<ServeReply>)>,
+    replies: Vec<ReplySlot>,
+}
+
+/// One pending reply of a coalesced batch item, with the timestamp it
+/// was enqueued at (each coalesced request keeps its own latency).
+struct ReplySlot {
+    name: String,
+    enqueued: Instant,
+    tx: Sender<ServeReply>,
 }
 
 /// A cheap, clonable submission handle onto a running [`Server`].
@@ -319,6 +558,8 @@ impl ServeHandle {
     ) -> Vec<Ticket> {
         let mut tickets = Vec::with_capacity(requests.len());
         let mut parsed = Vec::with_capacity(requests.len());
+        let enqueued = Instant::now();
+        let mut rejected = 0u64;
         let structures = read_lock(&self.shared.structures);
         for (name, payload) in requests {
             let (tx, rx) = channel();
@@ -327,6 +568,7 @@ impl ServeHandle {
                 structure: name.clone(),
             });
             let Some(chain) = structures.get(&name) else {
+                rejected += 1;
                 tx.send(ServeReply {
                     structure: name.clone(),
                     result: Err(ServeError::UnknownStructure(name)),
@@ -340,8 +582,10 @@ impl ServeHandle {
                     name,
                     bindings,
                     reply: tx,
+                    enqueued,
                 }),
                 Err(e) => {
+                    rejected += 1;
                     tx.send(ServeReply {
                         structure: name,
                         result: Err(e),
@@ -351,6 +595,9 @@ impl ServeHandle {
             }
         }
         drop(structures);
+        if rejected > 0 {
+            self.shared.served.record(ServedKind::Rejected, rejected);
+        }
         if !parsed.is_empty() && self.submit.send(Incoming::Requests(parsed)).is_err() {
             // Server shut down: tickets resolve to `Closed` when their
             // senders drop with nothing sent.
@@ -424,6 +671,8 @@ impl Server {
             structures: RwLock::new(HashMap::new()),
             coalesced: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            served: CounterCell::default(),
+            latency: LatencyBook::default(),
         });
 
         let (submit_tx, submit_rx) = channel::<Incoming>();
@@ -468,6 +717,9 @@ impl Server {
     /// validation without breaking callers.
     pub fn register(&self, name: &str, chain: SymChain) -> Result<(), ServeError> {
         write_lock(&self.shared.structures).insert(name.to_owned(), Arc::new(chain));
+        // Pre-create the latency class so the recording hot path is a
+        // read lock.
+        self.shared.latency.class(name);
         Ok(())
     }
 
@@ -572,15 +824,15 @@ fn dispatcher_loop(
         // separately here; the cache's per-shard write mutex still
         // coalesces their recordings.)
         type GroupKey = (usize, Vec<i8>);
-        type Replies = Vec<(String, Sender<ServeReply>)>;
-        let mut groups: HashMap<GroupKey, (Arc<SymChain>, HashMap<DimBindings, Replies>)> =
-            HashMap::new();
+        type GroupMap = HashMap<GroupKey, (Arc<SymChain>, HashMap<DimBindings, Vec<ReplySlot>>)>;
+        let mut groups: GroupMap = HashMap::new();
         for req in pending {
             let sizes = match req.chain.bind_dims(&req.bindings) {
                 Ok(sizes) => sizes,
                 Err(e) => {
                     // Unbindable request: answer immediately, nothing
                     // to dispatch.
+                    shared.served.record(ServedKind::Rejected, 1);
                     req.reply
                         .send(ServeReply {
                             structure: req.name,
@@ -600,7 +852,11 @@ fn dispatcher_loop(
             if !replies.is_empty() {
                 shared.coalesced.fetch_add(1, Ordering::Relaxed);
             }
-            replies.push((req.name, req.reply));
+            replies.push(ReplySlot {
+                name: req.name,
+                enqueued: req.enqueued,
+                tx: req.reply,
+            });
         }
         // Emit each group as jobs of at most MAX_ITEMS_PER_JOB items,
         // so a single hot region's independent hit instantiates spread
@@ -608,6 +864,7 @@ fn dispatcher_loop(
         // (Chunks of one miss group may race the recording; the
         // cache's per-shard write mutex still records exactly once and
         // serves the losers as hits.)
+        let dispatched = Instant::now();
         for (_, (chain, by_bindings)) in groups {
             let mut items: Vec<BatchItem> = by_bindings
                 .into_iter()
@@ -620,6 +877,7 @@ fn dispatcher_loop(
                     .send(Job::Batch {
                         chain: Arc::clone(&chain),
                         items,
+                        dispatched,
                     })
                     .is_err()
                 {
@@ -645,22 +903,52 @@ fn worker_loop(shared: &Shared, job_rx: &Arc<Mutex<Receiver<Job>>>) {
             rx.recv()
         };
         match job {
-            Ok(Job::Batch { chain, items }) => {
+            Ok(Job::Batch {
+                chain,
+                items,
+                dispatched,
+            }) => {
                 for item in items {
                     // One instantiate per distinct binding; the first
                     // item of a miss-group records the region, the rest
                     // of the group hits the fresh plan.
                     let outcome = shared.cache.solve(&chain, &item.bindings);
-                    for (name, reply) in item.replies {
+                    let kind = match &outcome {
+                        Ok((_, PlanOutcome::Hit)) => ServedKind::Hit,
+                        Ok(_) => ServedKind::Miss,
+                        Err(_) => ServedKind::Failed,
+                    };
+                    let completed = Instant::now();
+                    // Latency: one sample per *request* (coalesced
+                    // waiters each keep their own enqueue time), then
+                    // one consistent counter update for the whole item.
+                    for slot in &item.replies {
+                        let total = nanos_between(slot.enqueued, completed);
+                        shared.latency.total.record(total);
+                        shared
+                            .latency
+                            .queue
+                            .record(nanos_between(slot.enqueued, dispatched));
+                        if let Ok((_, oc)) = &outcome {
+                            let class = shared.latency.class(&slot.name);
+                            if oc.is_hit() {
+                                class.hit.record(total);
+                            } else {
+                                class.miss.record(total);
+                            }
+                        }
+                    }
+                    shared.served.record(kind, item.replies.len() as u64);
+                    for slot in item.replies {
                         let result = match &outcome {
                             Ok((solution, outcome)) => {
                                 Ok(Served::from_solution(solution, *outcome))
                             }
                             Err(e) => Err(ServeError::Plan(e.clone())),
                         };
-                        reply
+                        slot.tx
                             .send(ServeReply {
-                                structure: name,
+                                structure: slot.name,
                                 result,
                             })
                             .ok();

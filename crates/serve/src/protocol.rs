@@ -16,6 +16,7 @@
 //! {"structure":"X","error":"unknown structure `X` (register it first)"}
 //! ```
 
+use crate::histogram::HistogramSnapshot;
 use crate::{ServeReply, ServerStats};
 use serde::Value;
 
@@ -70,14 +71,7 @@ pub fn reply_to_json(reply: &ServeReply) -> String {
         Ok(served) => {
             fields.push((
                 "outcome".to_owned(),
-                Value::String(
-                    match served.outcome {
-                        gmc_plan::PlanOutcome::Hit => "hit",
-                        gmc_plan::PlanOutcome::MissRegion => "miss_region",
-                        gmc_plan::PlanOutcome::MissStructure => "miss_structure",
-                    }
-                    .to_owned(),
-                ),
+                Value::String(served.outcome.label().to_owned()),
             ));
             fields.push(("cost".to_owned(), Value::Number(served.cost)));
             fields.push(("flops".to_owned(), Value::Number(served.flops)));
@@ -101,8 +95,78 @@ pub fn reply_to_json(reply: &ServeReply) -> String {
     serde_json::to_string(&Value::Object(fields)).expect("reply values are finite")
 }
 
-/// Renders the server counters as one compact JSON line.
+/// Quantile summary fields shared by every latency entry: count, p50,
+/// p90, p99, max (nanoseconds).
+fn quantile_fields(snapshot: &HistogramSnapshot) -> Vec<(String, Value)> {
+    vec![
+        ("count".to_owned(), Value::Number(snapshot.count() as f64)),
+        (
+            "p50_ns".to_owned(),
+            Value::Number(snapshot.quantile(0.5) as f64),
+        ),
+        (
+            "p90_ns".to_owned(),
+            Value::Number(snapshot.quantile(0.9) as f64),
+        ),
+        (
+            "p99_ns".to_owned(),
+            Value::Number(snapshot.quantile(0.99) as f64),
+        ),
+        ("max_ns".to_owned(), Value::Number(snapshot.max() as f64)),
+    ]
+}
+
+/// Renders the server counters as one compact JSON line. Alongside the
+/// cache counters (which count instantiates), the line carries the
+/// per-request `served` counters (one consistent snapshot:
+/// `served_hits + served_misses + failed == completed`) and the
+/// latency layer: total and queue quantiles, the total histogram's
+/// non-empty buckets as `[upper_bound_ns, count]` pairs in strictly
+/// increasing bound order, and per-(structure, hit/miss) class
+/// quantiles.
 pub fn stats_to_json(stats: &ServerStats) -> String {
+    let mut total = quantile_fields(&stats.latency.total);
+    total.push((
+        "buckets".to_owned(),
+        Value::Array(
+            stats
+                .latency
+                .total
+                .buckets()
+                .map(|(upper, count)| {
+                    Value::Array(vec![
+                        Value::Number(upper as f64),
+                        Value::Number(count as f64),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    let classes = stats
+        .latency
+        .classes
+        .iter()
+        .map(|c| {
+            let mut fields = vec![
+                ("structure".to_owned(), Value::String(c.structure.clone())),
+                (
+                    "class".to_owned(),
+                    Value::String(if c.hit { "hit" } else { "miss" }.to_owned()),
+                ),
+            ];
+            fields.extend(quantile_fields(&c.snapshot));
+            Value::Object(fields)
+        })
+        .collect();
+    let latency = Value::Object(vec![
+        ("unit".to_owned(), Value::String("ns".to_owned())),
+        ("total".to_owned(), Value::Object(total)),
+        (
+            "queue".to_owned(),
+            Value::Object(quantile_fields(&stats.latency.queue)),
+        ),
+        ("classes".to_owned(), Value::Array(classes)),
+    ]);
     let doc = Value::Object(vec![
         (
             "requests".to_owned(),
@@ -126,6 +190,27 @@ pub fn stats_to_json(stats: &ServerStats) -> String {
             "structures".to_owned(),
             Value::Number(stats.structures as f64),
         ),
+        (
+            "completed".to_owned(),
+            Value::Number(stats.served.completed as f64),
+        ),
+        (
+            "served_hits".to_owned(),
+            Value::Number(stats.served.hits as f64),
+        ),
+        (
+            "served_misses".to_owned(),
+            Value::Number(stats.served.misses as f64),
+        ),
+        (
+            "failed".to_owned(),
+            Value::Number(stats.served.failed as f64),
+        ),
+        (
+            "rejected".to_owned(),
+            Value::Number(stats.served.rejected as f64),
+        ),
+        ("latency".to_owned(), latency),
     ]);
     serde_json::to_string(&doc).expect("counters are finite")
 }
