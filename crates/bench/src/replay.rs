@@ -1,5 +1,5 @@
 //! Trace replay against a live serving front door, with invariant
-//! checking and bitwise result verification.
+//! checking, bitwise result verification, and deterministic chaos.
 //!
 //! [`replay_trace`] builds a fresh [`Server`], registers the trace's
 //! structure population, drives the request sequence through
@@ -15,13 +15,23 @@
 //! answer be *bit-identical* (cost bits, parenthesization, kernel
 //! sequence). Violations are collected, not panicked, so soak tests
 //! and the CLI can report all of them.
+//!
+//! With [`ReplayOptions::faults`] set, the harness injects the plan's
+//! faults at their request indices: worker panics and kills become
+//! [`gmc_serve::SolveFault`]s, `Expire` entries submit with an
+//! already-expired deadline, `Drop` entries abandon their ticket (the
+//! server must survive replying into a dead channel), and `Burst`
+//! entries override the window so `size` requests hit admission as one
+//! batch. Ordinary windows are clamped to the admission capacity in
+//! that mode, so queue-full shedding happens exactly at the bursts.
 
 use crate::workload::Trace;
 use gmc::{FlopCount, GmcOptimizer, InferenceMode};
 use gmc_expr::DimBindings;
 use gmc_kernels::KernelRegistry;
-use gmc_serve::{ServeConfig, ServeReply, Server, ServerStats, Ticket};
-use std::collections::HashMap;
+use gmc_serve::faults::{silence_injected_panics, FaultKind, FaultPlan};
+use gmc_serve::{RequestOptions, ServeConfig, ServeReply, Server, ServerStats, Ticket};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -38,7 +48,7 @@ pub enum Verify {
 }
 
 /// Replay configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ReplayOptions {
     /// Worker threads of the replayed-into server.
     pub workers: usize,
@@ -55,6 +65,13 @@ pub struct ReplayOptions {
     /// the whole trace as a single batch — the maximum-coalescing
     /// storm shape. Ignored when `honor_timing` is set.
     pub window: usize,
+    /// Admission capacity for the replayed-into server. `None` takes
+    /// the fault plan's capacity if one is set, else the server
+    /// default.
+    pub queue_capacity: Option<usize>,
+    /// Deterministic fault schedule to inject (see
+    /// [`gmc_serve::faults`]).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ReplayOptions {
@@ -65,9 +82,22 @@ impl Default for ReplayOptions {
             verify: Verify::None,
             honor_timing: false,
             window: 64,
+            queue_capacity: None,
+            faults: None,
         }
     }
 }
+
+/// Reply codes produced by shedding or injected faults rather than by
+/// solving; requests answered with one of these are exempt from
+/// bitwise verification and identical-answer comparison.
+const SHED_CODES: [&str; 5] = [
+    "queue_full",
+    "deadline_exceeded",
+    "internal",
+    "dropped",
+    "closed",
+];
 
 /// One replayed request's served answer, in trace order.
 #[derive(Clone, Debug, PartialEq)]
@@ -84,6 +114,10 @@ pub struct RequestResult {
     pub kernels: Vec<String>,
     /// The serve error, if the request failed.
     pub error: Option<String>,
+    /// The error's stable wire code (`ServeError::code`), or
+    /// `"dropped"` for a reply abandoned by an injected connection
+    /// drop; `None` on success.
+    pub code: Option<String>,
 }
 
 impl RequestResult {
@@ -96,6 +130,7 @@ impl RequestResult {
                 parenthesization: served.parenthesization.clone(),
                 kernels: served.kernels.clone(),
                 error: None,
+                code: None,
             },
             Err(e) => RequestResult {
                 structure: reply.structure.clone(),
@@ -104,8 +139,27 @@ impl RequestResult {
                 parenthesization: String::new(),
                 kernels: Vec::new(),
                 error: Some(e.to_string()),
+                code: Some(e.code().to_owned()),
             },
         }
+    }
+
+    fn abandoned(structure: String) -> RequestResult {
+        RequestResult {
+            structure,
+            cost: 0.0,
+            flops: 0.0,
+            parenthesization: String::new(),
+            kernels: Vec::new(),
+            error: Some("reply abandoned by client (injected connection drop)".to_owned()),
+            code: Some("dropped".to_owned()),
+        }
+    }
+
+    fn is_shed(&self) -> bool {
+        self.code
+            .as_deref()
+            .is_some_and(|c| SHED_CODES.contains(&c))
     }
 }
 
@@ -114,7 +168,8 @@ impl RequestResult {
 pub struct ReplayReport {
     /// Per-request results, exactly one per trace request, in order.
     pub results: Vec<RequestResult>,
-    /// The server's counters and latency snapshot after the run.
+    /// The server's counters and latency snapshot after shutdown (so
+    /// supervision counters are final).
     pub stats: ServerStats,
     /// Wall-clock seconds from first submission to last reply.
     pub elapsed: f64,
@@ -123,6 +178,18 @@ pub struct ReplayReport {
     /// Distinct `(structure, bindings)` pairs verified against cold
     /// reference solves.
     pub verified: usize,
+    /// Replies shed by admission control (`queue_full`).
+    pub queue_full_replies: usize,
+    /// Replies shed by deadline expiry (`deadline_exceeded`).
+    pub expired_replies: usize,
+    /// Replies answered `internal` (injected or real worker panics).
+    pub internal_replies: usize,
+    /// Tickets abandoned by injected connection drops.
+    pub abandoned: usize,
+    /// Worker threads that died by panic (from the shutdown report).
+    pub worker_panics: u64,
+    /// Workers the supervisor respawned.
+    pub respawns: u64,
     /// Invariant and verification failures (empty on a clean run).
     pub violations: Vec<String>,
 }
@@ -139,17 +206,35 @@ impl ReplayReport {
 /// # Errors
 ///
 /// Returns an error when the trace itself is unusable (invalid
-/// structure, registration failure). Serving-layer failures and
-/// invariant violations are *reported* in the returned
-/// [`ReplayReport::violations`] instead, so callers see all of them.
+/// structure, registration failure) or the fault plan is malformed.
+/// Serving-layer failures and invariant violations are *reported* in
+/// the returned [`ReplayReport::violations`] instead, so callers see
+/// all of them.
 pub fn replay_trace(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport, String> {
     trace.validate()?;
+    let faults: BTreeMap<usize, FaultKind> = match &opts.faults {
+        Some(plan) => {
+            plan.validate()?;
+            if plan.injects_panics() {
+                // Injected panics are expected noise; keep real ones
+                // loud.
+                silence_injected_panics();
+            }
+            plan.by_request()
+        }
+        None => BTreeMap::new(),
+    };
+    let queue_capacity = opts.queue_capacity.unwrap_or_else(|| match &opts.faults {
+        Some(plan) if plan.queue_capacity > 0 => plan.queue_capacity,
+        _ => ServeConfig::default().queue_capacity,
+    });
     let registry = Arc::new(KernelRegistry::blas_lapack());
     let server = Server::start(
         registry.clone(),
         ServeConfig {
             workers: opts.workers.max(1),
             inference: opts.inference,
+            queue_capacity,
             ..ServeConfig::default()
         },
     );
@@ -164,17 +249,32 @@ pub fn replay_trace(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport,
             .map_err(|e| format!("register `{}`: {e}", s.name))?;
     }
     let handle = server.handle();
+    let mut violations = Vec::new();
 
-    // Submit the trace and collect replies in trace order.
+    // Submit the trace and collect replies in trace order. Dropped
+    // tickets leave a `None`; their placeholder result is synthesized
+    // afterwards.
     let request_of = |i: usize| -> (String, DimBindings) {
         let r = &trace.requests[i];
         let s = &trace.structures[r.structure];
         (s.name.clone(), s.bindings(&r.values))
     };
+    let options_of = |i: usize| -> RequestOptions {
+        let mut o = RequestOptions::default();
+        match faults.get(&i) {
+            // An already-expired deadline: the dispatcher must shed it.
+            Some(FaultKind::Expire) => o.deadline = Some(Instant::now()),
+            Some(kind) => o.fault = kind.solve_fault(),
+            None => {}
+        }
+        o
+    };
+    let total = trace.requests.len();
+    let mut replies: Vec<Option<ServeReply>> = (0..total).map(|_| None).collect();
+    let mut abandoned = 0usize;
     let start = Instant::now();
-    let mut replies: Vec<ServeReply> = Vec::with_capacity(trace.requests.len());
     if opts.honor_timing {
-        let mut tickets: Vec<Ticket> = Vec::with_capacity(trace.requests.len());
+        let mut tickets: Vec<(usize, Ticket)> = Vec::with_capacity(total);
         for (i, r) in trace.requests.iter().enumerate() {
             let due = Duration::from_micros(r.at_us);
             let now = start.elapsed();
@@ -182,30 +282,114 @@ pub fn replay_trace(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport,
                 std::thread::sleep(due - now);
             }
             let (name, bindings) = request_of(i);
-            tickets.push(handle.submit(&name, bindings));
+            let ticket = handle.submit_opts(&name, bindings, options_of(i));
+            if matches!(faults.get(&i), Some(FaultKind::Drop)) {
+                drop(ticket);
+                abandoned += 1;
+            } else {
+                tickets.push((i, ticket));
+            }
         }
-        replies.extend(tickets.into_iter().map(Ticket::wait));
+        for (i, ticket) in tickets {
+            replies[i] = Some(ticket.wait());
+        }
     } else {
-        let window = if opts.window == 0 {
-            trace.requests.len().max(1)
+        let base = if opts.window == 0 {
+            total.max(1)
         } else {
             opts.window
         };
+        // Under a fault plan, ordinary windows stay within the
+        // admission capacity so shedding happens exactly at the
+        // bursts (closed-loop waiting returns every permit between
+        // windows).
+        let base = if faults.is_empty() {
+            base
+        } else {
+            base.min(queue_capacity).max(1)
+        };
         let mut next = 0usize;
-        while next < trace.requests.len() {
-            let end = (next + window).min(trace.requests.len());
-            let batch: Vec<(String, DimBindings)> = (next..end).map(request_of).collect();
-            let tickets = handle.submit_batch(batch);
-            replies.extend(tickets.into_iter().map(Ticket::wait));
+        while next < total {
+            let end = if let Some(FaultKind::Burst { size }) = faults.get(&next) {
+                (next + (*size).max(1)).min(total)
+            } else {
+                let mut end = (next + base).min(total);
+                // Cut the window short at the next burst start so the
+                // burst arrives at admission as one batch.
+                if let Some((&burst_at, _)) = faults
+                    .range(next + 1..end)
+                    .find(|(_, k)| matches!(k, FaultKind::Burst { .. }))
+                {
+                    end = burst_at;
+                }
+                end
+            };
+            let batch: Vec<(String, DimBindings, RequestOptions)> = (next..end)
+                .map(|i| {
+                    let (name, bindings) = request_of(i);
+                    (name, bindings, options_of(i))
+                })
+                .collect();
+            let tickets = handle.submit_batch_opts(batch);
+            let mut window_dropped = false;
+            for (offset, ticket) in tickets.into_iter().enumerate() {
+                let i = next + offset;
+                if matches!(faults.get(&i), Some(FaultKind::Drop)) {
+                    drop(ticket);
+                    abandoned += 1;
+                    window_dropped = true;
+                } else {
+                    replies[i] = Some(ticket.wait());
+                }
+            }
+            if window_dropped {
+                // The abandoned tickets' permits come back only when
+                // the server answers them; wait for that so the next
+                // window (and any burst) sees a quiet gate.
+                if !await_answered(&handle, end as u64) {
+                    violations.push(format!(
+                        "server never finished answering the {end} requests \
+                         submitted so far (abandoned tickets lost?)"
+                    ));
+                    break;
+                }
+            }
             next = end;
         }
     }
+    // A killed worker answers its job *before* it dies, so the last
+    // reply can reach us while the supervisor is still processing the
+    // death. Let supervision settle before shutdown closes the gate,
+    // so the respawn count is deterministic.
+    let kills = faults
+        .values()
+        .filter(|k| matches!(k, FaultKind::Kill))
+        .count() as u64;
+    if kills > 0 {
+        let expected_respawns = kills.min(ServeConfig::default().restart_budget as u64);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            let supervision = handle.stats().supervision;
+            if supervision.worker_panics >= kills && supervision.respawns >= expected_respawns {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
     let elapsed = start.elapsed().as_secs_f64();
-    let stats = server.stats();
-    server.shutdown();
+    // Shutdown drains in-flight work, so the post-shutdown snapshot is
+    // the final word on accounting (supervision counters included).
+    let shutdown = server.shutdown();
+    let stats = handle.stats();
 
-    let results: Vec<RequestResult> = replies.iter().map(RequestResult::from_reply).collect();
-    let mut violations = Vec::new();
+    let results: Vec<RequestResult> = replies
+        .iter()
+        .enumerate()
+        .map(|(i, reply)| match reply {
+            Some(reply) => RequestResult::from_reply(reply),
+            None => RequestResult::abandoned(request_of(i).0),
+        })
+        .collect();
 
     // Accounting invariants: every request is answered exactly once
     // and the consistent served counters balance with the histograms.
@@ -229,6 +413,12 @@ pub fn replay_trace(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport,
             served.hits, served.misses, served.failed, served.completed
         ));
     }
+    if served.rejected_overload + served.expired > served.rejected {
+        violations.push(format!(
+            "overload ({}) + expired ({}) exceed rejected ({})",
+            served.rejected_overload, served.expired, served.rejected
+        ));
+    }
     if stats.latency.total.count() != served.completed {
         violations.push(format!(
             "total latency samples ({}) != completed ({})",
@@ -241,6 +431,13 @@ pub fn replay_trace(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport,
             "queue latency samples ({}) != completed ({})",
             stats.latency.queue.count(),
             served.completed
+        ));
+    }
+    if stats.latency.expired.count() != served.expired {
+        violations.push(format!(
+            "expired latency samples ({}) != expired counter ({})",
+            stats.latency.expired.count(),
+            served.expired
         ));
     }
     // Class histograms record only successful solves: exactly one
@@ -266,13 +463,52 @@ pub fn replay_trace(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport,
             served.completed
         ));
     }
+    // Pool health: the dispatcher must never die, and workers only by
+    // injection.
+    if shutdown.dispatcher_panicked {
+        violations.push("dispatcher thread panicked".to_owned());
+    }
+    let expects_panics = opts.faults.as_ref().is_some_and(FaultPlan::injects_panics);
+    if shutdown.worker_panics > 0 && !expects_panics {
+        violations.push(format!(
+            "{} worker panic(s) without injected panics",
+            shutdown.worker_panics
+        ));
+    }
+    // Each injected fault must surface as the reply it promises (or as
+    // admission shedding, which outranks the worker-side fault).
+    for (&i, kind) in &faults {
+        if i >= results.len() {
+            continue;
+        }
+        let code = results[i].code.as_deref();
+        match kind {
+            FaultKind::Panic | FaultKind::Kill => {
+                if !matches!(code, Some("internal") | Some("queue_full")) {
+                    violations.push(format!(
+                        "request {i}: injected {kind:?} but reply code is {code:?}"
+                    ));
+                }
+            }
+            FaultKind::Expire => {
+                if !matches!(code, Some("deadline_exceeded") | Some("queue_full")) {
+                    violations.push(format!(
+                        "request {i}: injected {kind:?} but reply code is {code:?}"
+                    ));
+                }
+            }
+            FaultKind::Delay { .. } | FaultKind::Drop | FaultKind::Burst { .. } => {}
+        }
+    }
 
-    // Identical requests must be answered identically, replay-wide —
-    // coalesced or not, raced or not.
+    // Identical successful requests must be answered identically,
+    // replay-wide — coalesced or not, raced or not. Shed replies are
+    // exempt: whether a duplicate was shed depends on admission, not
+    // on the answer.
     let mut first_answer: HashMap<(usize, &[usize]), usize> = HashMap::new();
     for (i, r) in trace.requests.iter().enumerate() {
-        if i >= results.len() {
-            break;
+        if i >= results.len() || results[i].is_shed() {
+            continue;
         }
         match first_answer.entry((r.structure, r.values.as_slice())) {
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -294,7 +530,9 @@ pub fn replay_trace(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport,
         }
     }
 
-    // Bitwise verification against cold reference solves.
+    // Bitwise verification against cold reference solves. Shed replies
+    // carry no answer to verify; they are skipped without consuming
+    // the budget (a successful duplicate later still gets checked).
     let budget = match opts.verify {
         Verify::None => 0,
         Verify::Sample(n) => n,
@@ -307,6 +545,9 @@ pub fn replay_trace(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport,
         for (i, r) in trace.requests.iter().enumerate() {
             if verified >= budget || i >= results.len() {
                 break;
+            }
+            if results[i].is_shed() {
+                continue;
             }
             if seen
                 .insert((r.structure, r.values.as_slice()), ())
@@ -366,14 +607,46 @@ pub fn replay_trace(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport,
         }
     }
 
+    let queue_full_replies = count_code(&results, "queue_full");
+    let expired_replies = count_code(&results, "deadline_exceeded");
+    let internal_replies = count_code(&results, "internal");
     Ok(ReplayReport {
         results,
         stats,
         elapsed,
         submitted,
         verified,
+        queue_full_replies,
+        expired_replies,
+        internal_replies,
+        abandoned,
+        worker_panics: shutdown.worker_panics,
+        respawns: shutdown.respawns,
         violations,
     })
+}
+
+/// Polls the served counters until `target` requests have been
+/// answered (completed or rejected); `false` on timeout.
+fn await_answered(handle: &gmc_serve::ServeHandle, target: u64) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let served = handle.stats().served;
+        if served.completed + served.rejected >= target {
+            return true;
+        }
+        if Instant::now() > deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn count_code(results: &[RequestResult], code: &str) -> usize {
+    results
+        .iter()
+        .filter(|r| r.code.as_deref() == Some(code))
+        .count()
 }
 
 fn bitwise_eq(a: &RequestResult, b: &RequestResult) -> bool {
@@ -448,5 +721,34 @@ mod tests {
         assert!(b.is_clean(), "violations: {:?}", b.violations);
         // Hit/miss outcomes race across runs; the *answers* must not.
         assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn burst_overflows_a_small_queue_deterministically() {
+        let mut spec = WorkloadSpec::preset("mixed", 5).unwrap();
+        spec.requests = 48;
+        let trace = generate(&spec).unwrap();
+        let plan = FaultPlan {
+            seed: 0,
+            queue_capacity: 4,
+            entries: vec![gmc_serve::faults::FaultEntry {
+                request: 8,
+                kind: FaultKind::Burst { size: 12 },
+            }],
+        };
+        let report = replay_trace(
+            &trace,
+            &ReplayOptions {
+                workers: 2,
+                faults: Some(plan),
+                ..ReplayOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        // Closed-loop windows return every permit before the burst, so
+        // exactly size - capacity of its requests are shed.
+        assert_eq!(report.queue_full_replies, 12 - 4);
+        assert_eq!(report.stats.served.rejected_overload, 8);
     }
 }

@@ -6,13 +6,15 @@
 //!
 //! gmcc serve FILE (--requests RFILE | --listen ADDR)
 //!      [--workers N] [--mode compositional|deep]
-//!      [--plan-store PATH] [--pre-enumerate]
+//!      [--plan-store PATH] [--pre-enumerate] [--queue-capacity N]
 //!
 //! gmcc request ADDR [RFILE]
 //!
 //! gmcc workload gen [--preset NAME] [--seed N] [...]
 //! gmcc workload describe [TRACE]
-//! gmcc workload replay [TRACE] [--workers N] [--verify ...] [--quick]
+//! gmcc workload faults [--seed N] [--panics N] [...]
+//! gmcc workload replay [TRACE] [--workers N] [--verify ...]
+//!      [--faults PLAN] [--queue-capacity N] [--quick]
 //! ```
 //!
 //! The default mode reads a problem description in the paper's input
@@ -124,9 +126,11 @@ fn compile_main(args: &[String]) -> ExitCode {
                     "usage: gmcc [FILE] [--emit julia|rust|pseudo] [--metric flops|time] \
                      [--check] [--bind NAME=SIZE[,NAME=SIZE...]] [--plan-store PATH]\n\
                      \x20      gmcc serve FILE (--requests RFILE | --listen ADDR) [--workers N] \
-                     [--mode compositional|deep] [--plan-store PATH] [--pre-enumerate]\n\
+                     [--mode compositional|deep] [--plan-store PATH] [--pre-enumerate] \
+                     [--queue-capacity N]\n\
                      \x20      gmcc request ADDR [RFILE]\n\
-                     \x20      gmcc workload <gen|describe|replay> [...] (see gmcc workload --help)"
+                     \x20      gmcc workload <gen|describe|faults|replay> [...] \
+                     (see gmcc workload --help)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -205,6 +209,13 @@ fn serve_main(args: &[String]) -> ExitCode {
                 }
             },
             "--pre-enumerate" => options.pre_enumerate = true,
+            "--queue-capacity" => match args.next().map(str::parse::<usize>) {
+                Some(Ok(n)) if n > 0 => options.queue_capacity = Some(n),
+                _ => {
+                    eprintln!("gmcc serve: --queue-capacity needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
             other if !other.starts_with('-') && file.is_none() => {
                 file = Some(other.to_owned());
             }

@@ -27,6 +27,9 @@ pub struct ServeOptions {
     pub plan_store: Option<String>,
     /// Pre-enumerate every registered structure small enough for it.
     pub pre_enumerate: bool,
+    /// Admission capacity (in-flight request bound); `None` keeps the
+    /// server default.
+    pub queue_capacity: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -36,6 +39,7 @@ impl Default for ServeOptions {
             inference: InferenceMode::default(),
             plan_store: None,
             pre_enumerate: false,
+            queue_capacity: None,
         }
     }
 }
@@ -54,6 +58,9 @@ pub(crate) fn build_server(
         ServeConfig {
             workers: options.workers,
             inference: options.inference,
+            queue_capacity: options
+                .queue_capacity
+                .unwrap_or(ServeConfig::default().queue_capacity),
             ..ServeConfig::default()
         },
     );
@@ -147,9 +154,15 @@ pub fn run_serve_batch(
             continue;
         }
         match parse_request_line(line) {
-            Ok((name, vars)) => {
+            Ok((name, vars, deadline_ms)) => {
+                let opts = match deadline_ms {
+                    Some(ms) => gmc_serve::RequestOptions::with_deadline_in(
+                        std::time::Duration::from_millis(ms),
+                    ),
+                    None => gmc_serve::RequestOptions::default(),
+                };
                 line_results.push(Line::Reply);
-                parsed.push((name, vars));
+                parsed.push((name, vars, opts));
             }
             Err(e) => line_results.push(Line::Literal(format!("# bad request `{line}`: {e}"))),
         }
@@ -391,5 +404,41 @@ Y := A * B
     #[test]
     fn bad_problem_files_error() {
         assert!(run_serve_batch("Matrix A (5, 5)\n", "X\n", &ServeOptions::default()).is_err());
+    }
+
+    #[test]
+    fn error_codes_round_trip_through_gmcc_request() {
+        let (server, _report) = build_server(PROBLEM, &ServeOptions::default()).unwrap();
+        let door = gmc_serve::tcp::TcpFrontDoor::bind(server.handle(), "127.0.0.1:0").unwrap();
+        let addr = door.local_addr().to_string();
+        let requests = "\
+X n=2000,m=200
+nope n=1
+X bogus=5
+X n=10
+X n=2000,m=200,deadline_ms=0
+";
+        let out = run_request(&addr, requests).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5, "{out}");
+        assert!(lines[0].contains("\"outcome\":"), "{}", lines[0]);
+        assert!(
+            lines[1].contains("\"code\":\"unknown_structure\""),
+            "{}",
+            lines[1]
+        );
+        assert!(
+            lines[2].contains("\"code\":\"bad_request\""),
+            "{}",
+            lines[2]
+        );
+        assert!(lines[3].contains("\"code\":\"plan\""), "{}", lines[3]);
+        assert!(
+            lines[4].contains("\"code\":\"deadline_exceeded\""),
+            "{}",
+            lines[4]
+        );
+        door.shutdown();
+        server.shutdown();
     }
 }

@@ -5,33 +5,45 @@
 //! gmcc workload gen [--preset NAME] [--seed N] [--requests N]
 //!                   [--structures N] [--hit-ratio F] [--name S] [--out PATH]
 //! gmcc workload describe [TRACE]
+//! gmcc workload faults [--seed N] [--requests N] [--panics N] [--kills N]
+//!                      [--delays N] [--delay-ms N] [--drops N] [--expires N]
+//!                      [--bursts N] [--burst-size N] [--queue-capacity N]
+//!                      [--out PATH]
 //! gmcc workload replay [TRACE] [--workers N] [--verify all|none|sample N]
 //!                      [--mode compositional|deep] [--timing] [--window N]
-//!                      [--quick]
+//!                      [--faults PLAN] [--queue-capacity N] [--quick]
 //! ```
 //!
 //! `gen` writes the trace JSON (stdout by default); the same flags
-//! always produce the same bytes. `replay` prints one JSON line per
-//! request to stdout — deterministic across runs of the same trace
-//! (the racy hit/miss outcome is deliberately *not* included) — and
-//! the counter/latency summary to stderr; it exits nonzero when any
-//! serving invariant or bitwise verification fails. `--quick` replays
-//! a small built-in trace (no TRACE argument) as a smoke check.
+//! always produce the same bytes, and so does `faults` for its seeded
+//! `gmc-faults/1` plan. `replay` prints one JSON line per request to
+//! stdout — deterministic across runs of the same trace (the racy
+//! hit/miss outcome is deliberately *not* included) — and the
+//! counter/latency summary to stderr; it exits nonzero when any
+//! serving invariant or bitwise verification fails, including the
+//! chaos invariants when `--faults` injects panics, overload bursts
+//! and expired deadlines. `--quick` replays a small built-in trace
+//! (no TRACE argument) as a smoke check.
 
 use gmc_bench::replay::{replay_trace, ReplayOptions, ReplayReport, Verify};
 use gmc_bench::workload::{generate, Trace, WorkloadSpec};
+use gmc_serve::faults::{FaultPlan, FaultSpec};
 use serde::Value;
 use std::io::{Read as _, Write as _};
 
-/// Runs `gmcc workload <gen|describe|replay> ...`; returns the process
-/// exit code.
+/// Runs `gmcc workload <gen|describe|faults|replay> ...`; returns the
+/// process exit code.
 pub fn run_workload(args: &[String]) -> u8 {
     match args.first().map(String::as_str) {
         Some("gen") => workload_gen(&args[1..]),
         Some("describe") => workload_describe(&args[1..]),
+        Some("faults") => workload_faults(&args[1..]),
         Some("replay") => workload_replay(&args[1..]),
         _ => {
-            eprintln!("gmcc workload: expected a subcommand: gen, describe or replay (try --help)");
+            eprintln!(
+                "gmcc workload: expected a subcommand: gen, describe, faults or replay \
+                 (try --help)"
+            );
             2
         }
     }
@@ -172,6 +184,114 @@ fn workload_describe(args: &[String]) -> u8 {
     }
 }
 
+fn workload_faults(args: &[String]) -> u8 {
+    let mut spec = FaultSpec::default();
+    let mut out: Option<String> = None;
+    let mut args = args.iter().map(String::as_str);
+    while let Some(arg) = args.next() {
+        let mut int_flag = |name: &str, slot: &mut usize| -> Result<(), u8> {
+            match args.next().map(str::parse) {
+                Some(Ok(n)) => {
+                    *slot = n;
+                    Ok(())
+                }
+                _ => Err(usage_error("faults", &format!("{name} needs an integer"))),
+            }
+        };
+        match arg {
+            "--seed" => match args.next().map(str::parse) {
+                Some(Ok(s)) => spec.seed = s,
+                _ => return usage_error("faults", "--seed needs an integer"),
+            },
+            "--requests" => {
+                if let Err(code) = int_flag("--requests", &mut spec.requests) {
+                    return code;
+                }
+            }
+            "--panics" => {
+                if let Err(code) = int_flag("--panics", &mut spec.panics) {
+                    return code;
+                }
+            }
+            "--kills" => {
+                if let Err(code) = int_flag("--kills", &mut spec.kills) {
+                    return code;
+                }
+            }
+            "--delays" => {
+                if let Err(code) = int_flag("--delays", &mut spec.delays) {
+                    return code;
+                }
+            }
+            "--delay-ms" => match args.next().map(str::parse) {
+                Some(Ok(ms)) => spec.delay_ms = ms,
+                _ => return usage_error("faults", "--delay-ms needs an integer"),
+            },
+            "--drops" => {
+                if let Err(code) = int_flag("--drops", &mut spec.drops) {
+                    return code;
+                }
+            }
+            "--expires" => {
+                if let Err(code) = int_flag("--expires", &mut spec.expires) {
+                    return code;
+                }
+            }
+            "--bursts" => {
+                if let Err(code) = int_flag("--bursts", &mut spec.bursts) {
+                    return code;
+                }
+            }
+            "--burst-size" => {
+                if let Err(code) = int_flag("--burst-size", &mut spec.burst_size) {
+                    return code;
+                }
+            }
+            "--queue-capacity" => {
+                if let Err(code) = int_flag("--queue-capacity", &mut spec.queue_capacity) {
+                    return code;
+                }
+            }
+            "--out" => match args.next() {
+                Some(p) => out = Some(p.to_owned()),
+                None => return usage_error("faults", "--out needs a path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: gmcc workload faults [--seed N] [--requests N] [--panics N] \
+                     [--kills N] [--delays N] [--delay-ms N] [--drops N] [--expires N] \
+                     [--bursts N] [--burst-size N] [--queue-capacity N] [--out PATH]"
+                );
+                return 0;
+            }
+            other => return usage_error("faults", &format!("unknown argument `{other}`")),
+        }
+    }
+    let plan = match FaultPlan::seeded(&spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("gmcc workload faults: {e}");
+            return 1;
+        }
+    };
+    let json = plan.to_json_string();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("gmcc workload faults: cannot write {path}: {e}");
+                return 1;
+            }
+            eprintln!(
+                "wrote {} fault(s) over {} requests to {path}",
+                plan.entries.len(),
+                spec.requests
+            );
+        }
+        None => print!("{json}"),
+    }
+    0
+}
+
 fn workload_replay(args: &[String]) -> u8 {
     let mut file: Option<String> = None;
     let mut opts = ReplayOptions::default();
@@ -202,12 +322,36 @@ fn workload_replay(args: &[String]) -> u8 {
                 Some(Ok(n)) => opts.window = n,
                 _ => return usage_error("replay", "--window needs an integer (0 = one batch)"),
             },
+            "--faults" => match args.next() {
+                Some(path) => {
+                    let text = match std::fs::read_to_string(path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("gmcc workload replay: cannot read {path}: {e}");
+                            return 1;
+                        }
+                    };
+                    match FaultPlan::from_json_str(&text) {
+                        Ok(plan) => opts.faults = Some(plan),
+                        Err(e) => {
+                            eprintln!("gmcc workload replay: bad fault plan {path}: {e}");
+                            return 1;
+                        }
+                    }
+                }
+                None => return usage_error("replay", "--faults needs a plan path"),
+            },
+            "--queue-capacity" => match args.next().map(str::parse) {
+                Some(Ok(n)) if n > 0 => opts.queue_capacity = Some(n),
+                _ => return usage_error("replay", "--queue-capacity needs a positive integer"),
+            },
             "--quick" => quick = true,
             "--help" | "-h" => {
                 println!(
                     "usage: gmcc workload replay [TRACE] [--workers N] \
                      [--verify all|none|sample N] [--mode compositional|deep] \
-                     [--timing] [--window N] [--quick]"
+                     [--timing] [--window N] [--faults PLAN] [--queue-capacity N] \
+                     [--quick]"
                 );
                 return 0;
             }
@@ -280,7 +424,12 @@ fn print_report(report: &ReplayReport) {
                     Value::Array(r.kernels.iter().map(|k| Value::String(k.clone())).collect()),
                 ));
             }
-            Some(e) => fields.push(("error".to_owned(), Value::String(e.clone()))),
+            Some(e) => {
+                fields.push(("error".to_owned(), Value::String(e.clone())));
+                if let Some(code) = &r.code {
+                    fields.push(("code".to_owned(), Value::String(code.clone())));
+                }
+            }
         }
         let line = serde_json::to_string(&Value::Object(fields)).expect("finite reply values");
         writeln!(out, "{line}").expect("stdout write");
@@ -294,6 +443,24 @@ fn print_report(report: &ReplayReport) {
         report.verified,
         stats
     );
+    if report.queue_full_replies
+        + report.expired_replies
+        + report.internal_replies
+        + report.abandoned
+        > 0
+        || report.worker_panics > 0
+    {
+        eprintln!(
+            "chaos: {} queue-full, {} expired, {} internal, {} abandoned; \
+             {} worker panic(s), {} respawn(s)",
+            report.queue_full_replies,
+            report.expired_replies,
+            report.internal_replies,
+            report.abandoned,
+            report.worker_panics,
+            report.respawns
+        );
+    }
 }
 
 fn usage_error(sub: &str, msg: &str) -> u8 {

@@ -41,10 +41,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod faults;
 pub mod histogram;
 pub mod protocol;
 pub mod tcp;
 
+pub use admission::SubmitError;
+pub use faults::SolveFault;
+
+use admission::{AdmissionGate, Permit};
+use faults::FAULT_PANIC_MARKER;
 use gmc::{GmcSolution, InferenceMode};
 use gmc_expr::{DimBindings, SymChain};
 use gmc_kernels::KernelRegistry;
@@ -52,7 +59,8 @@ use gmc_plan::{region_signature, CacheStats, PlanCache, PlanError, PlanOutcome};
 use histogram::{HistogramSnapshot, LatencyHistogram};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -71,6 +79,18 @@ pub struct ServeConfig {
     /// grouped whole (that is what makes its coalescing deterministic),
     /// so one oversized batch can exceed this.
     pub max_batch: usize,
+    /// Admission capacity: the maximum number of requests in flight
+    /// (admitted at submission, released when their reply is sent).
+    /// Submissions beyond it are shed newest-first with
+    /// [`ServeError::QueueFull`] (ticket paths) or
+    /// [`SubmitError::QueueFull`] ([`ServeHandle::try_submit`]).
+    /// Clamped to at least 1.
+    pub queue_capacity: usize,
+    /// How many dead workers the supervisor may respawn over the
+    /// server's lifetime. When the budget is exhausted and the last
+    /// worker dies, the server closes its admission gate instead of
+    /// hanging new requests.
+    pub restart_budget: usize,
 }
 
 /// Upper bound on items per worker job: groups larger than this are
@@ -84,6 +104,8 @@ impl Default for ServeConfig {
             workers: 4,
             inference: InferenceMode::default(),
             max_batch: 256,
+            queue_capacity: 4096,
+            restart_budget: 8,
         }
     }
 }
@@ -132,6 +154,32 @@ pub enum ServeError {
     BadRequest(String),
     /// The server is shut down.
     Closed,
+    /// The request's deadline had already passed when the dispatcher
+    /// reached it; it was shed without touching a worker.
+    DeadlineExceeded,
+    /// The admission queue was at capacity; the request was shed
+    /// (newest-first overload policy) without entering the dispatcher.
+    QueueFull,
+    /// The worker processing the request panicked (the panic was
+    /// caught; the pool survives and this request is the only loss).
+    Internal(String),
+}
+
+impl ServeError {
+    /// A stable machine-readable tag for the wire protocol: error
+    /// replies carry it as `"code"` so clients can branch without
+    /// parsing prose.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::UnknownStructure(_) => "unknown_structure",
+            ServeError::Plan(_) => "plan",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Closed => "closed",
+            ServeError::DeadlineExceeded => "deadline_exceeded",
+            ServeError::QueueFull => "queue_full",
+            ServeError::Internal(_) => "internal",
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -143,6 +191,9 @@ impl fmt::Display for ServeError {
             ServeError::Plan(e) => e.fmt(f),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Closed => write!(f, "server is shut down"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before dispatch"),
+            ServeError::QueueFull => write!(f, "queue full (request shed by admission control)"),
+            ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -186,6 +237,21 @@ pub struct ServerStats {
     /// Latency histogram snapshots (enqueue→complete and
     /// enqueue→dispatch, plus per-(structure, hit/miss) classes).
     pub latency: LatencySnapshot,
+    /// Worker-pool supervision counters (panics, respawns, live
+    /// workers).
+    pub supervision: SupervisionStats,
+}
+
+/// Worker-pool health counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupervisionStats {
+    /// Worker threads that died by panic over the server's lifetime.
+    pub worker_panics: u64,
+    /// Workers the supervisor respawned (bounded by the restart
+    /// budget).
+    pub respawns: u64,
+    /// Workers currently alive.
+    pub workers_alive: usize,
 }
 
 impl fmt::Display for ServerStats {
@@ -195,6 +261,15 @@ impl fmt::Display for ServerStats {
             "{}; {} coalesced, {} batches, {} structures; {}",
             self.cache, self.coalesced, self.batches, self.structures, self.served
         )?;
+        if self.supervision.worker_panics > 0 {
+            write!(
+                f,
+                "; {} worker panics, {} respawns, {} alive",
+                self.supervision.worker_panics,
+                self.supervision.respawns,
+                self.supervision.workers_alive
+            )?;
+        }
         if !self.latency.total.is_empty() {
             write!(
                 f,
@@ -224,11 +299,21 @@ pub struct ServedCounters {
     /// (coalesced waiters of a miss count with the outcome they
     /// observed).
     pub misses: u64,
-    /// Completed requests whose solve failed (plan-layer error).
+    /// Completed requests whose solve failed (plan-layer error) or
+    /// whose worker panicked mid-solve (answered
+    /// [`ServeError::Internal`]).
     pub failed: u64,
     /// Requests answered before reaching a worker (unknown structure,
-    /// unresolvable variable names, unbindable sizes).
+    /// unresolvable variable names, unbindable sizes, overload sheds,
+    /// expired deadlines). `rejected_overload` and `expired` are
+    /// sub-counts of this, so `completed + rejected` still accounts
+    /// for every request.
     pub rejected: u64,
+    /// Of `rejected`: requests shed because the admission queue was at
+    /// capacity.
+    pub rejected_overload: u64,
+    /// Of `rejected`: requests whose deadline passed before dispatch.
+    pub expired: u64,
 }
 
 impl fmt::Display for ServedCounters {
@@ -237,7 +322,15 @@ impl fmt::Display for ServedCounters {
             f,
             "{} completed ({} hits, {} misses, {} failed), {} rejected",
             self.completed, self.hits, self.misses, self.failed, self.rejected
-        )
+        )?;
+        if self.rejected_overload > 0 || self.expired > 0 {
+            write!(
+                f,
+                " ({} overload, {} expired)",
+                self.rejected_overload, self.expired
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -259,6 +352,8 @@ struct CounterCell {
     misses: AtomicU64,
     failed: AtomicU64,
     rejected: AtomicU64,
+    rejected_overload: AtomicU64,
+    expired: AtomicU64,
 }
 
 /// How a worker (or the submission path) accounts one or more
@@ -269,6 +364,12 @@ enum ServedKind {
     Miss,
     Failed,
     Rejected,
+    /// Shed at admission: counts into `rejected` *and*
+    /// `rejected_overload` in one frame.
+    RejectedOverload,
+    /// Shed by the dispatcher's deadline check: counts into `rejected`
+    /// *and* `expired` in one frame.
+    Expired,
 }
 
 impl CounterCell {
@@ -292,6 +393,14 @@ impl CounterCell {
             ServedKind::Rejected => {
                 self.rejected.fetch_add(n, Ordering::SeqCst);
             }
+            ServedKind::RejectedOverload => {
+                self.rejected.fetch_add(n, Ordering::SeqCst);
+                self.rejected_overload.fetch_add(n, Ordering::SeqCst);
+            }
+            ServedKind::Expired => {
+                self.rejected.fetch_add(n, Ordering::SeqCst);
+                self.expired.fetch_add(n, Ordering::SeqCst);
+            }
         }
         self.seq.fetch_add(1, Ordering::SeqCst); // even: quiescent
     }
@@ -312,6 +421,8 @@ impl CounterCell {
                 misses: self.misses.load(Ordering::SeqCst),
                 failed: self.failed.load(Ordering::SeqCst),
                 rejected: self.rejected.load(Ordering::SeqCst),
+                rejected_overload: self.rejected_overload.load(Ordering::SeqCst),
+                expired: self.expired.load(Ordering::SeqCst),
             };
             if self.seq.load(Ordering::SeqCst) == before {
                 return snap;
@@ -327,6 +438,9 @@ pub struct LatencySnapshot {
     pub total: HistogramSnapshot,
     /// Enqueue→dispatch (queueing) latency of the same requests.
     pub queue: HistogramSnapshot,
+    /// Enqueue→shed latency of deadline-expired requests (they never
+    /// reach a worker, so they appear here instead of `total`).
+    pub expired: HistogramSnapshot,
     /// Per-(structure, hit/miss) enqueue→complete histograms, sorted
     /// by structure name then class for deterministic rendering.
     pub classes: Vec<ClassLatency>,
@@ -355,6 +469,7 @@ struct ClassHists {
 struct LatencyBook {
     total: LatencyHistogram,
     queue: LatencyHistogram,
+    expired: LatencyHistogram,
     classes: RwLock<HashMap<String, Arc<ClassHists>>>,
 }
 
@@ -394,6 +509,7 @@ impl LatencyBook {
         LatencySnapshot {
             total: self.total.snapshot(),
             queue: self.queue.snapshot(),
+            expired: self.expired.snapshot(),
             classes,
         }
     }
@@ -431,6 +547,27 @@ struct Shared {
     batches: AtomicU64,
     served: CounterCell,
     latency: LatencyBook,
+    gate: Arc<AdmissionGate>,
+    supervision: SupervisionCell,
+}
+
+/// Supervision counters behind [`Shared`]; updated only by the
+/// supervisor thread, read by any stats snapshot.
+#[derive(Debug, Default)]
+struct SupervisionCell {
+    worker_panics: AtomicU64,
+    respawns: AtomicU64,
+    workers_alive: AtomicUsize,
+}
+
+impl SupervisionCell {
+    fn snapshot(&self) -> SupervisionStats {
+        SupervisionStats {
+            worker_panics: self.worker_panics.load(Ordering::SeqCst),
+            respawns: self.respawns.load(Ordering::SeqCst),
+            workers_alive: self.workers_alive.load(Ordering::SeqCst),
+        }
+    }
 }
 
 use gmc_plan::sync::{mutex_lock, read_lock, write_lock};
@@ -462,6 +599,36 @@ impl Shared {
             structures: read_lock(&self.structures).len(),
             served: self.served.snapshot(),
             latency: self.latency.snapshot(),
+            supervision: self.supervision.snapshot(),
+        }
+    }
+}
+
+/// A raw text-protocol request: structure name, string-named sizes,
+/// and submission options (see [`ServeHandle::submit_raw_batch`]).
+pub type RawRequest = (String, Vec<(String, usize)>, RequestOptions);
+
+/// Per-request submission options: an optional deadline and an
+/// optional injected worker-side fault (chaos testing only).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RequestOptions {
+    /// If set, the dispatcher sheds the request with
+    /// [`ServeError::DeadlineExceeded`] when the deadline has passed
+    /// before grouping. Expiry is checked at dispatch, not mid-solve:
+    /// a request that made it into a batch is always answered with its
+    /// result.
+    pub deadline: Option<Instant>,
+    /// Deterministic fault the worker executes for this request (see
+    /// [`faults`]). `None` in production traffic.
+    pub fault: Option<SolveFault>,
+}
+
+impl RequestOptions {
+    /// Options with a deadline this far in the future.
+    pub fn with_deadline_in(timeout: std::time::Duration) -> RequestOptions {
+        RequestOptions {
+            deadline: Some(Instant::now() + timeout),
+            fault: None,
         }
     }
 }
@@ -474,6 +641,11 @@ struct Request {
     reply: Sender<ServeReply>,
     /// When the request entered the submission channel.
     enqueued: Instant,
+    /// Deadline/fault options.
+    options: RequestOptions,
+    /// The admission slot; released (dropped) right before the reply
+    /// is sent.
+    permit: Permit,
 }
 
 enum Incoming {
@@ -497,6 +669,9 @@ struct BatchItem {
     /// All requests wanting exactly these bindings: one instantiate,
     /// fanned back out.
     replies: Vec<ReplySlot>,
+    /// The merged injected fault of the coalesced requests (killing
+    /// beats caught panic beats the longest delay).
+    fault: Option<SolveFault>,
 }
 
 /// One pending reply of a coalesced batch item, with the timestamp it
@@ -505,6 +680,37 @@ struct ReplySlot {
     name: String,
     enqueued: Instant,
     tx: Sender<ServeReply>,
+    permit: Permit,
+}
+
+impl ReplySlot {
+    /// Sends the reply, releasing the admission slot *first* so a
+    /// caller that has received all its replies observes zero of its
+    /// permits outstanding (closed-loop replay depends on this for
+    /// deterministic admission).
+    fn send(self, result: Result<Served, ServeError>) {
+        let ReplySlot {
+            name, tx, permit, ..
+        } = self;
+        drop(permit);
+        tx.send(ServeReply {
+            structure: name,
+            result,
+        })
+        .ok();
+    }
+}
+
+/// Merges two injected faults for coalesced requests: a kill beats a
+/// caught panic beats the longest delay.
+fn merge_faults(a: Option<SolveFault>, b: Option<SolveFault>) -> Option<SolveFault> {
+    use SolveFault::{Delay, Kill, Panic};
+    match (a, b) {
+        (None, f) | (f, None) => f,
+        (Some(Kill), _) | (_, Some(Kill)) => Some(Kill),
+        (Some(Panic), _) | (_, Some(Panic)) => Some(Panic),
+        (Some(Delay(x)), Some(Delay(y))) => Some(Delay(x.max(y))),
+    }
 }
 
 /// A cheap, clonable submission handle onto a running [`Server`].
@@ -517,9 +723,67 @@ pub struct ServeHandle {
 impl ServeHandle {
     /// Submits one request; returns a [`Ticket`] for the reply.
     pub fn submit(&self, structure: &str, bindings: DimBindings) -> Ticket {
-        self.submit_batch(vec![(structure.to_owned(), bindings)])
+        self.submit_opts(structure, bindings, RequestOptions::default())
+    }
+
+    /// Submits one request with explicit [`RequestOptions`].
+    pub fn submit_opts(
+        &self,
+        structure: &str,
+        bindings: DimBindings,
+        options: RequestOptions,
+    ) -> Ticket {
+        self.submit_batch_opts(vec![(structure.to_owned(), bindings, options)])
             .pop()
             .expect("one ticket per request")
+    }
+
+    /// Submits one request, but reports admission failures to the
+    /// *caller* instead of through the ticket: `Err(QueueFull)` when
+    /// the in-flight capacity is reached, `Err(ShuttingDown)` when the
+    /// server no longer admits work. A refused request is never
+    /// counted — from the server's view it was not submitted.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] as above.
+    pub fn try_submit(
+        &self,
+        structure: &str,
+        bindings: DimBindings,
+        options: RequestOptions,
+    ) -> Result<Ticket, SubmitError> {
+        let permit = self.shared.gate.try_acquire()?;
+        let (tx, rx) = channel();
+        let ticket = Ticket {
+            rx,
+            structure: structure.to_owned(),
+        };
+        let structures = read_lock(&self.shared.structures);
+        let Some(chain) = structures.get(structure) else {
+            drop(permit);
+            self.shared.served.record(ServedKind::Rejected, 1);
+            tx.send(ServeReply {
+                structure: structure.to_owned(),
+                result: Err(ServeError::UnknownStructure(structure.to_owned())),
+            })
+            .ok();
+            return Ok(ticket);
+        };
+        let request = Request {
+            chain: Arc::clone(chain),
+            name: structure.to_owned(),
+            bindings,
+            reply: tx,
+            enqueued: Instant::now(),
+            options,
+            permit,
+        };
+        drop(structures);
+        if self.submit.send(Incoming::Requests(vec![request])).is_err() {
+            return Err(SubmitError::ShuttingDown);
+        }
+        Ok(ticket)
     }
 
     /// Submits several requests at once. They enter the dispatcher as
@@ -527,6 +791,19 @@ impl ServeHandle {
     /// size region are grouped — and identical bindings coalesce into
     /// a single instantiate.
     pub fn submit_batch(&self, requests: Vec<(String, DimBindings)>) -> Vec<Ticket> {
+        self.submit_batch_opts(
+            requests
+                .into_iter()
+                .map(|(name, bindings)| (name, bindings, RequestOptions::default()))
+                .collect(),
+        )
+    }
+
+    /// [`submit_batch`](Self::submit_batch) with per-request options.
+    pub fn submit_batch_opts(
+        &self,
+        requests: Vec<(String, DimBindings, RequestOptions)>,
+    ) -> Vec<Ticket> {
         self.submit_with(requests, |_, bindings| Ok(bindings))
     }
 
@@ -541,27 +818,33 @@ impl ServeHandle {
     /// is rejected with [`ServeError::BadRequest`] **without being
     /// interned** (`DimVar` interning is process-wide and permanent,
     /// so a front door must never intern arbitrary client strings).
-    pub fn submit_raw_batch(&self, requests: Vec<(String, Vec<(String, usize)>)>) -> Vec<Ticket> {
+    pub fn submit_raw_batch(&self, requests: Vec<RawRequest>) -> Vec<Ticket> {
         self.submit_with(requests, |chain, vars| {
             bind_named_vars(chain, &vars).map_err(ServeError::BadRequest)
         })
     }
 
     /// The shared submission path: per request, create a ticket, look
-    /// the structure up, resolve the payload into bindings, then ship
-    /// everything resolvable to the dispatcher as one unit. Failures
-    /// reply immediately through the ticket.
+    /// the structure up, resolve the payload into bindings, acquire an
+    /// admission permit, then ship everything admitted to the
+    /// dispatcher as one unit. Failures — unknown structure, bad
+    /// payload, queue full, shutting down — reply immediately through
+    /// the ticket. Admission is decided here, before the dispatcher
+    /// sees anything, so within one batch the set of shed requests is
+    /// deterministic: with `k` permits free, exactly the first `k`
+    /// admissible requests enter.
     fn submit_with<T>(
         &self,
-        requests: Vec<(String, T)>,
+        requests: Vec<(String, T, RequestOptions)>,
         mut resolve: impl FnMut(&SymChain, T) -> Result<DimBindings, ServeError>,
     ) -> Vec<Ticket> {
         let mut tickets = Vec::with_capacity(requests.len());
         let mut parsed = Vec::with_capacity(requests.len());
         let enqueued = Instant::now();
         let mut rejected = 0u64;
+        let mut overloaded = 0u64;
         let structures = read_lock(&self.shared.structures);
-        for (name, payload) in requests {
+        for (name, payload, options) in requests {
             let (tx, rx) = channel();
             tickets.push(Ticket {
                 rx,
@@ -576,14 +859,8 @@ impl ServeHandle {
                 .ok();
                 continue;
             };
-            match resolve(chain, payload) {
-                Ok(bindings) => parsed.push(Request {
-                    chain: Arc::clone(chain),
-                    name,
-                    bindings,
-                    reply: tx,
-                    enqueued,
-                }),
+            let bindings = match resolve(chain, payload) {
+                Ok(bindings) => bindings,
                 Err(e) => {
                     rejected += 1;
                     tx.send(ServeReply {
@@ -591,24 +868,65 @@ impl ServeHandle {
                         result: Err(e),
                     })
                     .ok();
+                    continue;
                 }
-            }
+            };
+            let permit = match self.shared.gate.try_acquire() {
+                Ok(permit) => permit,
+                Err(SubmitError::QueueFull { .. }) => {
+                    overloaded += 1;
+                    tx.send(ServeReply {
+                        structure: name,
+                        result: Err(ServeError::QueueFull),
+                    })
+                    .ok();
+                    continue;
+                }
+                Err(SubmitError::ShuttingDown) => {
+                    rejected += 1;
+                    tx.send(ServeReply {
+                        structure: name,
+                        result: Err(ServeError::Closed),
+                    })
+                    .ok();
+                    continue;
+                }
+            };
+            parsed.push(Request {
+                chain: Arc::clone(chain),
+                name,
+                bindings,
+                reply: tx,
+                enqueued,
+                options,
+                permit,
+            });
         }
         drop(structures);
         if rejected > 0 {
             self.shared.served.record(ServedKind::Rejected, rejected);
         }
+        if overloaded > 0 {
+            self.shared
+                .served
+                .record(ServedKind::RejectedOverload, overloaded);
+        }
         if !parsed.is_empty() && self.submit.send(Incoming::Requests(parsed)).is_err() {
             // Server shut down: tickets resolve to `Closed` when their
-            // senders drop with nothing sent.
+            // senders (and permits) drop with nothing sent.
         }
         tickets
     }
 
     /// Blocking single-request form of
     /// [`submit_raw_batch`](Self::submit_raw_batch).
-    pub fn solve_raw(&self, structure: &str, vars: Vec<(String, usize)>) -> ServeReply {
-        self.submit_raw_batch(vec![(structure.to_owned(), vars)])
+    pub fn solve_raw(
+        &self,
+        structure: &str,
+        vars: Vec<(String, usize)>,
+        options: RequestOptions,
+    ) -> ServeReply {
+        self.submit_raw_batch(vec![(structure.to_owned(), vars, options)])
             .pop()
             .expect("one ticket per request")
             .wait()
@@ -659,11 +977,102 @@ pub struct Server {
     shared: Arc<Shared>,
     submit: Sender<Incoming>,
     dispatcher: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    /// Every worker thread ever spawned (including respawns); shared
+    /// with the supervisor, drained at shutdown.
+    worker_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// What a [`WorkerGuard`] reports when its thread ends.
+enum WorkerEvent {
+    /// The worker unwound out of its loop (a panic escaped).
+    Panicked,
+    /// The worker exited normally (stop message or closed channel).
+    Stopped,
+}
+
+/// Sits on a worker thread's stack and reports how the thread ended:
+/// its `Drop` runs during unwinding too, so a panicking worker still
+/// notifies the supervisor.
+struct WorkerGuard {
+    events: Sender<WorkerEvent>,
+    panicked: bool,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let event = if self.panicked {
+            WorkerEvent::Panicked
+        } else {
+            WorkerEvent::Stopped
+        };
+        self.events.send(event).ok();
+    }
+}
+
+/// Spawns one supervised worker thread.
+fn spawn_worker(
+    id: usize,
+    shared: &Arc<Shared>,
+    job_rx: &Arc<Mutex<Receiver<Job>>>,
+    events: &Sender<WorkerEvent>,
+) -> std::io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    let job_rx = Arc::clone(job_rx);
+    let events = events.clone();
+    std::thread::Builder::new()
+        .name(format!("gmc-serve-worker-{id}"))
+        .spawn(move || {
+            let mut guard = WorkerGuard {
+                events,
+                panicked: true,
+            };
+            worker_loop(&shared, &job_rx);
+            guard.panicked = false;
+        })
+}
+
+/// How a finished [`Server::shutdown`] went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Worker threads that died by panic over the server's lifetime
+    /// (injected faults included).
+    pub worker_panics: u64,
+    /// Workers the supervisor respawned.
+    pub respawns: u64,
+    /// Whether the dispatcher thread itself panicked.
+    pub dispatcher_panicked: bool,
+}
+
+impl ShutdownReport {
+    /// Whether the pool stayed healthy end to end.
+    pub fn is_clean(&self) -> bool {
+        self.worker_panics == 0 && !self.dispatcher_panicked
+    }
+}
+
+impl fmt::Display for ShutdownReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(f, "clean shutdown")
+        } else {
+            write!(
+                f,
+                "shutdown with {} worker panics ({} respawned){}",
+                self.worker_panics,
+                self.respawns,
+                if self.dispatcher_panicked {
+                    ", dispatcher panicked"
+                } else {
+                    ""
+                }
+            )
+        }
+    }
 }
 
 impl Server {
-    /// Starts the worker pool and dispatcher.
+    /// Starts the worker pool, dispatcher and supervisor.
     pub fn start(registry: Arc<KernelRegistry>, config: ServeConfig) -> Server {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
@@ -673,22 +1082,45 @@ impl Server {
             batches: AtomicU64::new(0),
             served: CounterCell::default(),
             latency: LatencyBook::default(),
+            gate: Arc::new(AdmissionGate::new(config.queue_capacity)),
+            supervision: SupervisionCell::default(),
         });
+        shared
+            .supervision
+            .workers_alive
+            .store(workers, Ordering::SeqCst);
 
         let (submit_tx, submit_rx) = channel::<Incoming>();
         let (job_tx, job_rx) = channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
+        let (event_tx, event_rx) = channel::<WorkerEvent>();
 
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let job_rx = Arc::clone(&job_rx);
-                std::thread::Builder::new()
-                    .name(format!("gmc-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &job_rx))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let worker_handles = Arc::new(Mutex::new(Vec::with_capacity(workers)));
+        for i in 0..workers {
+            let handle = spawn_worker(i, &shared, &job_rx, &event_tx).expect("spawn worker thread");
+            mutex_lock(&worker_handles).push(handle);
+        }
+
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let job_rx = Arc::clone(&job_rx);
+            let worker_handles = Arc::clone(&worker_handles);
+            let budget = config.restart_budget;
+            std::thread::Builder::new()
+                .name("gmc-serve-supervisor".to_owned())
+                .spawn(move || {
+                    supervisor_loop(
+                        &shared,
+                        &job_rx,
+                        &event_rx,
+                        &event_tx,
+                        &worker_handles,
+                        workers,
+                        budget,
+                    );
+                })
+                .expect("spawn supervisor thread")
+        };
 
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -703,7 +1135,8 @@ impl Server {
             shared,
             submit: submit_tx,
             dispatcher: Some(dispatcher),
-            workers: worker_handles,
+            supervisor: Some(supervisor),
+            worker_handles,
         }
     }
 
@@ -758,24 +1191,106 @@ impl Server {
     }
 
     /// Stops the dispatcher and workers and waits for them. In-flight
-    /// requests are answered first; requests submitted afterwards
-    /// resolve to [`ServeError::Closed`].
-    pub fn shutdown(mut self) {
+    /// requests are answered first; requests submitted afterwards are
+    /// refused at admission ([`ServeError::Closed`]). Never panics:
+    /// threads that died by panic are reported in the returned
+    /// [`ShutdownReport`] instead.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        // Close the gate first so the supervisor stops respawning and
+        // racing submissions are answered `Closed` instead of queueing
+        // behind the shutdown message.
+        self.shared.gate.close();
         self.submit.send(Incoming::Shutdown).ok();
+        let mut report = ShutdownReport::default();
         if let Some(d) = self.dispatcher.take() {
-            d.join().expect("dispatcher thread panicked");
+            report.dispatcher_panicked = d.join().is_err();
         }
-        for w in self.workers.drain(..) {
-            w.join().expect("worker thread panicked");
+        if let Some(s) = self.supervisor.take() {
+            // The supervisor exits once every worker reported in; a
+            // panicked supervisor would leak workers, but never the
+            // process — swallow it like a worker panic.
+            s.join().ok();
         }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *mutex_lock(&self.worker_handles));
+        for w in handles {
+            // Panicked workers were already counted by their guards.
+            w.join().ok();
+        }
+        let supervision = self.shared.supervision.snapshot();
+        report.worker_panics = supervision.worker_panics;
+        report.respawns = supervision.respawns;
+        report
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        // Best-effort shutdown if `shutdown()` was not called: ask the
-        // dispatcher to stop and detach.
+        // Best-effort shutdown if `shutdown()` was not called: close
+        // admission, ask the dispatcher to stop and detach.
+        self.shared.gate.close();
         self.submit.send(Incoming::Shutdown).ok();
+    }
+}
+
+/// The supervisor: consumes worker-exit events, respawns panicked
+/// workers while the restart budget lasts, and closes the admission
+/// gate if the pool ever dies entirely (so new submissions fail fast
+/// instead of queueing forever). Exits once every worker has reported
+/// in after the pool winds down.
+fn supervisor_loop(
+    shared: &Arc<Shared>,
+    job_rx: &Arc<Mutex<Receiver<Job>>>,
+    events: &Receiver<WorkerEvent>,
+    event_tx: &Sender<WorkerEvent>,
+    worker_handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    initial_workers: usize,
+    restart_budget: usize,
+) {
+    let mut alive = initial_workers;
+    let mut next_id = initial_workers;
+    let mut respawns = 0usize;
+    while alive > 0 {
+        match events.recv() {
+            Ok(WorkerEvent::Stopped) => {
+                alive -= 1;
+                shared
+                    .supervision
+                    .workers_alive
+                    .store(alive, Ordering::SeqCst);
+            }
+            Ok(WorkerEvent::Panicked) => {
+                alive -= 1;
+                shared
+                    .supervision
+                    .worker_panics
+                    .fetch_add(1, Ordering::SeqCst);
+                let respawn = !shared.gate.is_closed() && respawns < restart_budget;
+                if respawn {
+                    match spawn_worker(next_id, shared, job_rx, event_tx) {
+                        Ok(handle) => {
+                            mutex_lock(worker_handles).push(handle);
+                            next_id += 1;
+                            respawns += 1;
+                            alive += 1;
+                            shared.supervision.respawns.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(e) => {
+                            eprintln!("gmc-serve: respawn failed: {e}");
+                        }
+                    }
+                }
+                shared
+                    .supervision
+                    .workers_alive
+                    .store(alive, Ordering::SeqCst);
+                if alive == 0 {
+                    // Pool dead, budget gone: stop admitting work so
+                    // callers get `Closed` instead of a silent hang.
+                    shared.gate.close();
+                }
+            }
+            Err(_) => break,
+        }
     }
 }
 
@@ -824,18 +1339,59 @@ fn dispatcher_loop(
         // separately here; the cache's per-shard write mutex still
         // coalesces their recordings.)
         type GroupKey = (usize, Vec<i8>);
-        type GroupMap = HashMap<GroupKey, (Arc<SymChain>, HashMap<DimBindings, Vec<ReplySlot>>)>;
+        type GroupMap = HashMap<
+            GroupKey,
+            (
+                Arc<SymChain>,
+                HashMap<DimBindings, (Vec<ReplySlot>, Option<SolveFault>)>,
+            ),
+        >;
         let mut groups: GroupMap = HashMap::new();
+        let now = Instant::now();
         for req in pending {
+            // Expired deadline: shed before grouping. The request
+            // never reaches a worker, so it is `rejected` (with the
+            // `expired` sub-count) and its latency lands in the
+            // dedicated `expired` histogram, not `total`.
+            if let Some(deadline) = req.options.deadline {
+                if now >= deadline {
+                    shared.served.record(ServedKind::Expired, 1);
+                    shared
+                        .latency
+                        .expired
+                        .record(nanos_between(req.enqueued, now));
+                    let Request {
+                        name,
+                        reply,
+                        permit,
+                        ..
+                    } = req;
+                    drop(permit);
+                    reply
+                        .send(ServeReply {
+                            structure: name,
+                            result: Err(ServeError::DeadlineExceeded),
+                        })
+                        .ok();
+                    continue;
+                }
+            }
             let sizes = match req.chain.bind_dims(&req.bindings) {
                 Ok(sizes) => sizes,
                 Err(e) => {
                     // Unbindable request: answer immediately, nothing
                     // to dispatch.
                     shared.served.record(ServedKind::Rejected, 1);
-                    req.reply
+                    let Request {
+                        name,
+                        reply,
+                        permit,
+                        ..
+                    } = req;
+                    drop(permit);
+                    reply
                         .send(ServeReply {
-                            structure: req.name,
+                            structure: name,
                             result: Err(ServeError::Plan(PlanError::Chain(e.into()))),
                         })
                         .ok();
@@ -848,14 +1404,16 @@ fn dispatcher_loop(
                 .or_insert_with(|| (Arc::clone(&req.chain), HashMap::new()));
             // Identical bindings coalesce into one instantiate; the
             // hash lookup keeps grouping O(requests).
-            let replies = items.entry(req.bindings).or_default();
+            let (replies, fault) = items.entry(req.bindings).or_default();
             if !replies.is_empty() {
                 shared.coalesced.fetch_add(1, Ordering::Relaxed);
             }
+            *fault = merge_faults(*fault, req.options.fault);
             replies.push(ReplySlot {
                 name: req.name,
                 enqueued: req.enqueued,
                 tx: req.reply,
+                permit: req.permit,
             });
         }
         // Emit each group as jobs of at most MAX_ITEMS_PER_JOB items,
@@ -868,7 +1426,11 @@ fn dispatcher_loop(
         for (_, (chain, by_bindings)) in groups {
             let mut items: Vec<BatchItem> = by_bindings
                 .into_iter()
-                .map(|(bindings, replies)| BatchItem { bindings, replies })
+                .map(|(bindings, (replies, fault))| BatchItem {
+                    bindings,
+                    replies,
+                    fault,
+                })
                 .collect();
             while !items.is_empty() {
                 let rest = items.split_off(items.len().min(MAX_ITEMS_PER_JOB));
@@ -896,6 +1458,15 @@ fn dispatcher_loop(
     }
 }
 
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "worker panicked".to_owned())
+}
+
 fn worker_loop(shared: &Shared, job_rx: &Arc<Mutex<Receiver<Job>>>) {
     loop {
         let job = {
@@ -908,15 +1479,43 @@ fn worker_loop(shared: &Shared, job_rx: &Arc<Mutex<Receiver<Job>>>) {
                 items,
                 dispatched,
             }) => {
+                // A `Kill` fault takes the worker down *after* the
+                // whole job is answered, so no ticket of this job is
+                // ever lost; the supervisor respawns the thread.
+                let mut kill_after_job = false;
                 for item in items {
                     // One instantiate per distinct binding; the first
                     // item of a miss-group records the region, the rest
-                    // of the group hits the fresh plan.
-                    let outcome = shared.cache.solve(&chain, &item.bindings);
+                    // of the group hits the fresh plan. The solve runs
+                    // under `catch_unwind`: a panicking job answers its
+                    // tickets `Internal` instead of poisoning the pool.
+                    // Injected faults fire before the cache is touched,
+                    // so a fault never leaves shared state mid-update.
+                    let fault = item.fault;
+                    if fault == Some(SolveFault::Kill) {
+                        kill_after_job = true;
+                    }
+                    let outcome = if kill_after_job {
+                        // Once a kill is pending, fail the rest of the
+                        // job fast: the thread is about to die anyway.
+                        Err(format!("{FAULT_PANIC_MARKER}: worker killed"))
+                    } else {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            match fault {
+                                Some(SolveFault::Delay(d)) => std::thread::sleep(d),
+                                Some(SolveFault::Panic) => {
+                                    panic!("{FAULT_PANIC_MARKER}: injected worker panic")
+                                }
+                                _ => {}
+                            }
+                            shared.cache.solve(&chain, &item.bindings)
+                        }))
+                        .map_err(|payload| panic_message(payload.as_ref()))
+                    };
                     let kind = match &outcome {
-                        Ok((_, PlanOutcome::Hit)) => ServedKind::Hit,
-                        Ok(_) => ServedKind::Miss,
-                        Err(_) => ServedKind::Failed,
+                        Ok(Ok((_, PlanOutcome::Hit))) => ServedKind::Hit,
+                        Ok(Ok(_)) => ServedKind::Miss,
+                        Ok(Err(_)) | Err(_) => ServedKind::Failed,
                     };
                     let completed = Instant::now();
                     // Latency: one sample per *request* (coalesced
@@ -929,7 +1528,7 @@ fn worker_loop(shared: &Shared, job_rx: &Arc<Mutex<Receiver<Job>>>) {
                             .latency
                             .queue
                             .record(nanos_between(slot.enqueued, dispatched));
-                        if let Ok((_, oc)) = &outcome {
+                        if let Ok(Ok((_, oc))) = &outcome {
                             let class = shared.latency.class(&slot.name);
                             if oc.is_hit() {
                                 class.hit.record(total);
@@ -941,18 +1540,19 @@ fn worker_loop(shared: &Shared, job_rx: &Arc<Mutex<Receiver<Job>>>) {
                     shared.served.record(kind, item.replies.len() as u64);
                     for slot in item.replies {
                         let result = match &outcome {
-                            Ok((solution, outcome)) => {
+                            Ok(Ok((solution, outcome))) => {
                                 Ok(Served::from_solution(solution, *outcome))
                             }
-                            Err(e) => Err(ServeError::Plan(e.clone())),
+                            Ok(Err(e)) => Err(ServeError::Plan(e.clone())),
+                            Err(msg) => Err(ServeError::Internal(msg.clone())),
                         };
-                        slot.tx
-                            .send(ServeReply {
-                                structure: slot.name,
-                                result,
-                            })
-                            .ok();
+                        slot.send(result);
                     }
+                }
+                if kill_after_job {
+                    // Every ticket of the job was answered above; dying
+                    // here loses nothing and exercises the supervisor.
+                    panic!("{FAULT_PANIC_MARKER}: injected worker kill");
                 }
             }
             Ok(Job::Stop) | Err(_) => break,

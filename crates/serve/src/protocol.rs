@@ -20,7 +20,16 @@ use crate::histogram::HistogramSnapshot;
 use crate::{ServeReply, ServerStats};
 use serde::Value;
 
-/// Parses a request line into `(structure, named sizes)`.
+/// A parsed request line: the structure name, the named dimension
+/// sizes, and the optional `deadline_ms=` budget.
+pub type ParsedRequest = (String, Vec<(String, usize)>, Option<u64>);
+
+/// Parses a request line into `(structure, named sizes, deadline)`.
+///
+/// The reserved binding `deadline_ms=<n>` is split off rather than
+/// treated as a dimension: it asks the server to answer
+/// `deadline_exceeded` if the request is still queued `n` milliseconds
+/// from parse time.
 ///
 /// Variable names stay plain strings here: `DimVar` interning is
 /// process-wide and permanent, so untrusted client input must be
@@ -31,7 +40,7 @@ use serde::Value;
 /// # Errors
 ///
 /// Returns a description of the malformed part.
-pub fn parse_request_line(line: &str) -> Result<(String, Vec<(String, usize)>), String> {
+pub fn parse_request_line(line: &str) -> Result<ParsedRequest, String> {
     let line = line.trim();
     let (name, rest) = match line.split_once(char::is_whitespace) {
         Some((name, rest)) => (name, rest.trim()),
@@ -41,6 +50,7 @@ pub fn parse_request_line(line: &str) -> Result<(String, Vec<(String, usize)>), 
         return Err("empty request line (expected `<structure> [var=size,...]`)".to_owned());
     }
     let mut vars = Vec::new();
+    let mut deadline_ms = None;
     if !rest.is_empty() {
         for part in rest.split(',') {
             let part = part.trim();
@@ -48,17 +58,25 @@ pub fn parse_request_line(line: &str) -> Result<(String, Vec<(String, usize)>), 
                 return Err(format!("bad binding `{part}` (expected `var=size`)"));
             };
             let var = var.trim();
+            if var.is_empty() {
+                return Err(format!("bad binding `{part}` (empty variable name)"));
+            }
+            if var == "deadline_ms" {
+                let ms: u64 = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad deadline in `{part}` (expected milliseconds)"))?;
+                deadline_ms = Some(ms);
+                continue;
+            }
             let value: usize = value
                 .trim()
                 .parse()
                 .map_err(|_| format!("bad size in `{part}` (expected an integer)"))?;
-            if var.is_empty() {
-                return Err(format!("bad binding `{part}` (empty variable name)"));
-            }
             vars.push((var.to_owned(), value));
         }
     }
-    Ok((name.to_owned(), vars))
+    Ok((name.to_owned(), vars, deadline_ms))
 }
 
 /// Renders a reply as one compact JSON line (without the newline).
@@ -90,7 +108,12 @@ pub fn reply_to_json(reply: &ServeReply) -> String {
                 ),
             ));
         }
-        Err(e) => fields.push(("error".to_owned(), Value::String(e.to_string()))),
+        Err(e) => {
+            fields.push(("error".to_owned(), Value::String(e.to_string())));
+            // A stable machine-readable tag per variant, so clients can
+            // branch without parsing prose.
+            fields.push(("code".to_owned(), Value::String(e.code().to_owned())));
+        }
     }
     serde_json::to_string(&Value::Object(fields)).expect("reply values are finite")
 }
@@ -165,6 +188,10 @@ pub fn stats_to_json(stats: &ServerStats) -> String {
             "queue".to_owned(),
             Value::Object(quantile_fields(&stats.latency.queue)),
         ),
+        (
+            "expired".to_owned(),
+            Value::Object(quantile_fields(&stats.latency.expired)),
+        ),
         ("classes".to_owned(), Value::Array(classes)),
     ]);
     let doc = Value::Object(vec![
@@ -210,6 +237,26 @@ pub fn stats_to_json(stats: &ServerStats) -> String {
             "rejected".to_owned(),
             Value::Number(stats.served.rejected as f64),
         ),
+        (
+            "rejected_overload".to_owned(),
+            Value::Number(stats.served.rejected_overload as f64),
+        ),
+        (
+            "expired".to_owned(),
+            Value::Number(stats.served.expired as f64),
+        ),
+        (
+            "worker_panics".to_owned(),
+            Value::Number(stats.supervision.worker_panics as f64),
+        ),
+        (
+            "respawns".to_owned(),
+            Value::Number(stats.supervision.respawns as f64),
+        ),
+        (
+            "workers_alive".to_owned(),
+            Value::Number(stats.supervision.workers_alive as f64),
+        ),
         ("latency".to_owned(), latency),
     ]);
     serde_json::to_string(&doc).expect("counters are finite")
@@ -221,17 +268,30 @@ mod tests {
 
     #[test]
     fn parses_request_lines() {
-        let (name, b) = parse_request_line("X n=2000,m=200").unwrap();
+        let (name, b, d) = parse_request_line("X n=2000,m=200").unwrap();
         assert_eq!(name, "X");
         assert_eq!(b, vec![("n".to_owned(), 2000), ("m".to_owned(), 200)]);
-        let (name, b) = parse_request_line("  Y  ").unwrap();
+        assert_eq!(d, None);
+        let (name, b, _) = parse_request_line("  Y  ").unwrap();
         assert_eq!(name, "Y");
         assert!(b.is_empty());
-        let (_, b) = parse_request_line("Z n = 7 , m = 8").unwrap();
+        let (_, b, _) = parse_request_line("Z n = 7 , m = 8").unwrap();
         assert_eq!(b.len(), 2);
         assert!(parse_request_line("").is_err());
         assert!(parse_request_line("X n=").is_err());
         assert!(parse_request_line("X n").is_err());
         assert!(parse_request_line("X =5").is_err());
+    }
+
+    #[test]
+    fn splits_deadline_from_bindings() {
+        let (name, b, d) = parse_request_line("X n=10,deadline_ms=250,m=20").unwrap();
+        assert_eq!(name, "X");
+        assert_eq!(b, vec![("n".to_owned(), 10), ("m".to_owned(), 20)]);
+        assert_eq!(d, Some(250));
+        let (_, b, d) = parse_request_line("X deadline_ms=0").unwrap();
+        assert!(b.is_empty());
+        assert_eq!(d, Some(0));
+        assert!(parse_request_line("X deadline_ms=soon").is_err());
     }
 }

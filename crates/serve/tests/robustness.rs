@@ -1,0 +1,318 @@
+//! Robustness tests for the serving tier: bounded admission, deadline
+//! shedding, worker supervision and graceful shutdown.
+
+use gmc_expr::{Dim, DimBindings, SymChain, SymFactor, SymOperand};
+use gmc_kernels::KernelRegistry;
+use gmc_serve::faults::silence_injected_panics;
+use gmc_serve::{RequestOptions, ServeConfig, ServeError, Server, SolveFault, SubmitError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn plain(name: &str, r: Dim, c: Dim) -> SymFactor {
+    SymFactor::plain(SymOperand::new(name, r, c))
+}
+
+fn dense_chain() -> SymChain {
+    let (n, m, k) = (Dim::var("rb_n"), Dim::var("rb_m"), Dim::var("rb_k"));
+    SymChain::new(vec![plain("A", n, m), plain("B", m, k), plain("C", k, n)]).unwrap()
+}
+
+fn bindings(n: usize, m: usize, k: usize) -> DimBindings {
+    DimBindings::new()
+        .with("rb_n", n)
+        .with("rb_m", m)
+        .with("rb_k", k)
+}
+
+fn start(config: ServeConfig) -> Server {
+    let registry = Arc::new(KernelRegistry::blas_lapack());
+    let server = Server::start(registry, config);
+    server.register("X", dense_chain()).unwrap();
+    server
+}
+
+#[test]
+fn batch_overflow_sheds_newest_deterministically() {
+    let server = start(ServeConfig {
+        queue_capacity: 4,
+        ..ServeConfig::default()
+    });
+    let handle = server.handle();
+    // Ten requests into an empty gate of capacity 4, submitted as one
+    // batch: admission is decided in submission order, so exactly the
+    // last six are shed — every run.
+    let batch: Vec<_> = (0..10)
+        .map(|i| {
+            (
+                "X".to_owned(),
+                bindings(10 + i, 20, 30),
+                RequestOptions::default(),
+            )
+        })
+        .collect();
+    let replies: Vec<_> = handle
+        .submit_batch_opts(batch)
+        .into_iter()
+        .map(|t| t.wait())
+        .collect();
+    for (i, reply) in replies.iter().enumerate() {
+        if i < 4 {
+            assert!(reply.result.is_ok(), "request {i}: {reply:?}");
+        } else {
+            assert!(
+                matches!(reply.result, Err(ServeError::QueueFull)),
+                "request {i}: {reply:?}"
+            );
+        }
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.served.completed, 4);
+    assert_eq!(stats.served.rejected, 6);
+    assert_eq!(stats.served.rejected_overload, 6);
+    let report = server.shutdown();
+    assert!(report.is_clean(), "{report:?}");
+}
+
+#[test]
+fn try_submit_reports_queue_full_then_recovers() {
+    let server = start(ServeConfig {
+        queue_capacity: 1,
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let handle = server.handle();
+    // The first request holds the only permit until its (delayed)
+    // reply; the second must be refused at the door.
+    let slow = RequestOptions {
+        fault: Some(SolveFault::Delay(Duration::from_millis(300))),
+        ..RequestOptions::default()
+    };
+    let first = handle.try_submit("X", bindings(10, 20, 30), slow).unwrap();
+    assert_eq!(
+        handle
+            .try_submit("X", bindings(11, 20, 30), RequestOptions::default())
+            .unwrap_err(),
+        SubmitError::QueueFull { capacity: 1 }
+    );
+    assert!(first.wait().result.is_ok());
+    // The permit came back with the reply: the gate admits again.
+    let again = handle
+        .try_submit("X", bindings(11, 20, 30), RequestOptions::default())
+        .unwrap();
+    assert!(again.wait().result.is_ok());
+    server.shutdown();
+    assert_eq!(
+        handle
+            .try_submit("X", bindings(12, 20, 30), RequestOptions::default())
+            .unwrap_err(),
+        SubmitError::ShuttingDown
+    );
+}
+
+#[test]
+fn expired_deadlines_are_shed_before_grouping() {
+    let server = start(ServeConfig::default());
+    let handle = server.handle();
+    let expired = RequestOptions {
+        deadline: Some(Instant::now()),
+        ..RequestOptions::default()
+    };
+    let reply = handle
+        .submit_opts("X", bindings(10, 20, 30), expired)
+        .wait();
+    assert!(
+        matches!(reply.result, Err(ServeError::DeadlineExceeded)),
+        "{reply:?}"
+    );
+    // A generous deadline changes nothing.
+    let roomy = RequestOptions::with_deadline_in(Duration::from_secs(30));
+    let reply = handle.submit_opts("X", bindings(10, 20, 30), roomy).wait();
+    assert!(reply.result.is_ok(), "{reply:?}");
+
+    let stats = handle.stats();
+    assert_eq!(stats.served.expired, 1);
+    assert_eq!(stats.served.rejected, 1);
+    assert_eq!(stats.served.completed, 1);
+    // Expired requests record into their own latency class, keeping
+    // `total`/`queue` exactly one sample per *completed* request.
+    assert_eq!(stats.latency.expired.count(), 1);
+    assert_eq!(stats.latency.total.count(), 1);
+    assert_eq!(stats.latency.queue.count(), 1);
+    let report = server.shutdown();
+    assert!(report.is_clean(), "{report:?}");
+}
+
+#[test]
+fn injected_panic_is_answered_internal_and_pool_survives() {
+    silence_injected_panics();
+    let server = start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let handle = server.handle();
+    let faulty = RequestOptions {
+        fault: Some(SolveFault::Panic),
+        ..RequestOptions::default()
+    };
+    let reply = handle.submit_opts("X", bindings(10, 20, 30), faulty).wait();
+    match &reply.result {
+        Err(ServeError::Internal(msg)) => {
+            assert!(msg.contains("injected"), "{msg}");
+        }
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    // The panic was caught inside the worker: no thread died, and the
+    // pool keeps serving.
+    let reply = handle
+        .submit_opts("X", bindings(10, 20, 30), RequestOptions::default())
+        .wait();
+    assert!(reply.result.is_ok(), "{reply:?}");
+    let stats = handle.stats();
+    assert_eq!(stats.served.failed, 1);
+    assert_eq!(stats.supervision.worker_panics, 0);
+    let report = server.shutdown();
+    assert!(report.is_clean(), "{report:?}");
+}
+
+#[test]
+fn killed_worker_is_respawned_within_budget() {
+    silence_injected_panics();
+    let server = start(ServeConfig {
+        workers: 1,
+        restart_budget: 2,
+        ..ServeConfig::default()
+    });
+    let handle = server.handle();
+    let lethal = RequestOptions {
+        fault: Some(SolveFault::Kill),
+        ..RequestOptions::default()
+    };
+    let reply = handle.submit_opts("X", bindings(10, 20, 30), lethal).wait();
+    assert!(
+        matches!(reply.result, Err(ServeError::Internal(_))),
+        "{reply:?}"
+    );
+    // The single worker died after answering; the respawned one picks
+    // the next job up.
+    let reply = handle
+        .submit_opts("X", bindings(11, 20, 30), RequestOptions::default())
+        .wait();
+    assert!(reply.result.is_ok(), "{reply:?}");
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 1);
+    assert_eq!(report.respawns, 1);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn exhausted_restart_budget_closes_the_door() {
+    silence_injected_panics();
+    let server = start(ServeConfig {
+        workers: 1,
+        restart_budget: 0,
+        ..ServeConfig::default()
+    });
+    let handle = server.handle();
+    let lethal = RequestOptions {
+        fault: Some(SolveFault::Kill),
+        ..RequestOptions::default()
+    };
+    let reply = handle.submit_opts("X", bindings(10, 20, 30), lethal).wait();
+    assert!(
+        matches!(reply.result, Err(ServeError::Internal(_))),
+        "{reply:?}"
+    );
+    // With no restart budget the pool is dead; the supervisor latches
+    // the gate shut so callers fail fast instead of hanging. Poll
+    // until the event is processed (tickets from the race window are
+    // dropped, never waited).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match handle.try_submit("X", bindings(11, 20, 30), RequestOptions::default()) {
+            Err(SubmitError::ShuttingDown) => break,
+            Err(e) => panic!("unexpected admission error: {e}"),
+            Ok(_ticket) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "gate never closed after pool death"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    let reply = handle.solve("X", bindings(12, 20, 30));
+    assert!(matches!(reply.result, Err(ServeError::Closed)), "{reply:?}");
+    let stats = handle.stats();
+    assert_eq!(stats.supervision.workers_alive, 0);
+    assert_eq!(stats.supervision.worker_panics, 1);
+    assert_eq!(stats.supervision.respawns, 0);
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 1);
+    assert_eq!(report.respawns, 0);
+}
+
+#[test]
+fn dropping_a_server_after_a_worker_panic_does_not_panic() {
+    silence_injected_panics();
+    let server = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let handle = server.handle();
+    let lethal = RequestOptions {
+        fault: Some(SolveFault::Kill),
+        ..RequestOptions::default()
+    };
+    let reply = handle.submit_opts("X", bindings(10, 20, 30), lethal).wait();
+    assert!(reply.result.is_err());
+    // No shutdown(): Drop must never join (let alone expect on) dead
+    // threads.
+    drop(server);
+}
+
+#[test]
+fn abandoned_tickets_do_not_leak_permits() {
+    let server = start(ServeConfig {
+        queue_capacity: 2,
+        ..ServeConfig::default()
+    });
+    let handle = server.handle();
+    // The client walks away; the server replies into a dead channel
+    // and must still release the admission slot.
+    for i in 0..10 {
+        let ticket = handle.submit_opts("X", bindings(10 + i, 20, 30), RequestOptions::default());
+        drop(ticket);
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let served = handle.stats().served;
+        if served.completed + served.rejected >= 10 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "abandoned requests never drained"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // All permits are back: a full-capacity batch is admitted whole.
+    let replies: Vec<_> = handle
+        .submit_batch_opts(vec![
+            (
+                "X".to_owned(),
+                bindings(50, 20, 30),
+                RequestOptions::default(),
+            ),
+            (
+                "X".to_owned(),
+                bindings(51, 20, 30),
+                RequestOptions::default(),
+            ),
+        ])
+        .into_iter()
+        .map(|t| t.wait())
+        .collect();
+    assert!(replies.iter().all(|r| r.result.is_ok()), "{replies:?}");
+    let report = server.shutdown();
+    assert!(report.is_clean(), "{report:?}");
+}

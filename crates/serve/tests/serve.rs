@@ -6,7 +6,7 @@ use gmc::{FlopCount, GmcOptimizer};
 use gmc_expr::{Dim, DimBindings, Property, SymChain, SymFactor, SymOperand, UnaryOp};
 use gmc_kernels::KernelRegistry;
 use gmc_serve::tcp::TcpFrontDoor;
-use gmc_serve::{ServeConfig, ServeError, Server};
+use gmc_serve::{RequestOptions, ServeConfig, ServeError, Server};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -136,7 +136,11 @@ fn unknown_structures_and_bad_bindings_error_cleanly() {
 
     // The untrusted raw path rejects variable names outside the
     // structure's vocabulary (they must never reach the interner).
-    let reply = handle.solve_raw("X", vec![("totally_bogus_var".to_owned(), 5)]);
+    let reply = handle.solve_raw(
+        "X",
+        vec![("totally_bogus_var".to_owned(), 5)],
+        RequestOptions::default(),
+    );
     assert!(
         matches!(reply.result, Err(ServeError::BadRequest(ref m)) if m.contains("totally_bogus_var")),
         "{reply:?}"
@@ -149,6 +153,7 @@ fn unknown_structures_and_bad_bindings_error_cleanly() {
             ("sv_m".to_owned(), 20),
             ("sv_k".to_owned(), 30),
         ],
+        RequestOptions::default(),
     );
     assert!(reply.result.is_ok(), "{reply:?}");
     server.shutdown();
