@@ -440,6 +440,19 @@ pub fn replay_trace(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport,
             served.expired
         ));
     }
+    // Stage span histograms record exactly once per completed request:
+    // after shutdown drains, every stage's sample count equals
+    // `completed`.
+    for stage in &stats.latency.stages {
+        if stage.snapshot.count() != served.completed {
+            violations.push(format!(
+                "stage `{}` span samples ({}) != completed ({})",
+                stage.stage,
+                stage.snapshot.count(),
+                served.completed
+            ));
+        }
+    }
     // Class histograms record only successful solves: exactly one
     // sample per hit or miss, none for failures.
     let class_total: u64 = stats

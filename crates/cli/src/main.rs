@@ -128,7 +128,8 @@ fn compile_main(args: &[String]) -> ExitCode {
                      \x20      gmcc serve FILE (--requests RFILE | --listen ADDR) [--workers N] \
                      [--mode compositional|deep] [--plan-store PATH] [--pre-enumerate] \
                      [--queue-capacity N]\n\
-                     \x20      gmcc request ADDR [RFILE]\n\
+                     \x20      gmcc request ADDR [RFILE]  (request lines, or STATS | \
+                     METRICS | SLOW | CACHE for introspection)\n\
                      \x20      gmcc workload <gen|describe|faults|replay> [...] \
                      (see gmcc workload --help)"
                 );

@@ -141,6 +141,9 @@ pub fn run_serve_batch(
         Reply,
         Literal(String),
         Stats,
+        Metrics,
+        Slow,
+        Cache,
     }
     let mut parsed = Vec::new();
     let mut line_results: Vec<Line> = Vec::new();
@@ -151,6 +154,18 @@ pub fn run_serve_batch(
         }
         if line == "STATS" {
             line_results.push(Line::Stats);
+            continue;
+        }
+        if line == "METRICS" {
+            line_results.push(Line::Metrics);
+            continue;
+        }
+        if line == "SLOW" {
+            line_results.push(Line::Slow);
+            continue;
+        }
+        if line == "CACHE" {
+            line_results.push(Line::Cache);
             continue;
         }
         match parse_request_line(line) {
@@ -187,6 +202,24 @@ pub fn run_serve_batch(
             // submitted whole, so this reflects every request above).
             Line::Stats => {
                 out.push_str(&stats_to_json(&handle.stats()));
+                out.push('\n');
+            }
+            // Multi-line Prometheus exposition, `# EOF`-terminated
+            // like the wire protocol.
+            Line::Metrics => {
+                let body = handle.metrics_prometheus();
+                out.push_str(&body);
+                if !body.is_empty() && !body.ends_with('\n') {
+                    out.push('\n');
+                }
+                out.push_str("# EOF\n");
+            }
+            Line::Slow => {
+                out.push_str(&handle.slow_traces_json());
+                out.push('\n');
+            }
+            Line::Cache => {
+                out.push_str(&handle.cache_introspection_json());
                 out.push('\n');
             }
         }
@@ -299,14 +332,21 @@ pub fn run_request(addr: &str, requests: &str) -> Result<String, String> {
             .write_all(format!("{line}\n").as_bytes())
             .map_err(|e| format!("send failed: {e}"))?;
         writer.flush().map_err(|e| format!("send failed: {e}"))?;
-        let mut reply = String::new();
-        reader
-            .read_line(&mut reply)
-            .map_err(|e| format!("receive failed: {e}"))?;
-        if reply.is_empty() {
-            return Err("server closed the connection".to_owned());
+        // Every reply is one line, except `METRICS`: a multi-line
+        // Prometheus exposition the server terminates with `# EOF`.
+        loop {
+            let mut reply = String::new();
+            reader
+                .read_line(&mut reply)
+                .map_err(|e| format!("receive failed: {e}"))?;
+            if reply.is_empty() {
+                return Err("server closed the connection".to_owned());
+            }
+            out.push_str(&reply);
+            if line != "METRICS" || reply.trim_end() == "# EOF" {
+                break;
+            }
         }
-        out.push_str(&reply);
     }
     Ok(out)
 }
@@ -399,6 +439,40 @@ Y := A * B
         assert!(out.contains("warm start"), "{out}");
         assert!(out.contains("\"outcome\":\"hit\""), "{out}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_slow_and_cache_lines_work_in_both_drivers() {
+        // In-process batch driver.
+        let requests = "X n=2000,m=200\nX n=4000,m=400\nMETRICS\nSLOW\nCACHE\n";
+        let out = run_serve_batch(PROBLEM, requests, &ServeOptions::default()).unwrap();
+        assert!(
+            out.contains("# TYPE gmc_serve_stage_latency_ns histogram"),
+            "{out}"
+        );
+        assert!(out.contains("# EOF"), "{out}");
+        assert!(out.contains("\"format\":\"gmc-traces/1\""), "{out}");
+        assert!(out.contains("\"shards\":["), "{out}");
+
+        // Over the wire through `run_request`.
+        let (server, _report) = build_server(PROBLEM, &ServeOptions::default()).unwrap();
+        let door = gmc_serve::tcp::TcpFrontDoor::bind(server.handle(), "127.0.0.1:0").unwrap();
+        let addr = door.local_addr().to_string();
+        let out = run_request(&addr, requests).unwrap();
+        assert!(
+            out.contains("# TYPE gmc_serve_stage_latency_ns histogram"),
+            "{out}"
+        );
+        assert!(out.lines().any(|l| l == "# EOF"), "{out}");
+        assert!(out.contains("\"format\":\"gmc-traces/1\""), "{out}");
+        assert!(out.contains("\"shards\":["), "{out}");
+        // The exposition covers the two completed requests' stages.
+        assert!(
+            out.contains("gmc_serve_stage_latency_ns_count{stage=\"solve\"} 2"),
+            "{out}"
+        );
+        door.shutdown();
+        server.shutdown();
     }
 
     #[test]

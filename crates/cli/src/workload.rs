@@ -443,6 +443,22 @@ fn print_report(report: &ReplayReport) {
         report.verified,
         stats
     );
+    if !stats.latency.stages.is_empty() {
+        let breakdown: Vec<String> = stats
+            .latency
+            .stages
+            .iter()
+            .map(|s| {
+                format!(
+                    "{} p50 {}ns p99 {}ns",
+                    s.stage,
+                    s.snapshot.quantile(0.5),
+                    s.snapshot.quantile(0.99)
+                )
+            })
+            .collect();
+        eprintln!("stages: {}", breakdown.join("; "));
+    }
     if report.queue_full_replies
         + report.expired_replies
         + report.internal_replies

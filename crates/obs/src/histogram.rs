@@ -139,6 +139,11 @@ impl HistogramSnapshot {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
+    /// The sum of the recorded samples (exact, unlike quantiles).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// The `q`-quantile (`0.0..=1.0`), reported as the inclusive upper
     /// bound of the bucket holding that rank — so the true quantile is
     /// never above the reported value by more than the bucket width

@@ -1,0 +1,36 @@
+//! `gmc-obs`: the observability layer of the GMC serving stack.
+//!
+//! Std-only (no async runtime, no crates.io dependencies), designed to
+//! sit on the serving hot path without measurable cost:
+//!
+//! * [`histogram`] — fixed-bucket log-linear latency histograms, moved
+//!   here from `gmc-serve` (which re-exports it, bucket boundaries
+//!   unchanged bit for bit).
+//! * [`registry`] — a [`MetricsRegistry`] of counters, gauges and
+//!   histograms under stable dotted names with **bounded label sets**:
+//!   each metric family caps its distinct label combinations, and
+//!   overflow funnels into a reserved `other` series so hostile or
+//!   unbounded label values cannot grow memory without bound.
+//! * [`prometheus`] — an [`Exposition`] builder rendering the
+//!   Prometheus text format: families sorted by name, series sorted by
+//!   label values, label values escaped, one `# HELP`/`# TYPE` pair
+//!   per family, histograms as cumulative `_bucket`/`_sum`/`_count`
+//!   series.
+//! * [`trace`] — per-request traces: ns-resolution [`Span`]s per
+//!   pipeline stage and a fixed-capacity, lock-cheap [`SlowTraceRing`]
+//!   that retains the N slowest traces (an atomic floor check rejects
+//!   fast requests without touching the lock), exportable as stable
+//!   `gmc-traces/1` JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod prometheus;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
+pub use prometheus::Exposition;
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use trace::{SlowTraceRing, Span, Trace, TRACE_FORMAT};

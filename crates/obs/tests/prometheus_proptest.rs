@@ -1,0 +1,330 @@
+//! Property tests for the Prometheus text renderer: for arbitrary
+//! mixes of counter/gauge/histogram series with hostile label values,
+//! the rendered exposition must be well-formed — exactly one
+//! `# HELP`/`# TYPE` pair per family, families and series sorted,
+//! unique series, label values escaped so they parse back, histogram
+//! buckets cumulative and monotone, and `_count`/`_sum` matching the
+//! recorded samples exactly.
+
+use gmc_obs::histogram::LatencyHistogram;
+use gmc_obs::prometheus::{sanitize_name, Exposition};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A series key: (family name, labels without `le`).
+type SeriesKey = (String, Vec<(String, String)>);
+/// Accumulated histogram state: (cumulative buckets, sum, count).
+type HistState = (Vec<u64>, Option<u64>, Option<u64>);
+
+/// What each pool family is (index, raw name, kind, label names).
+/// Raw names exercise sanitization: dots, spaces, slashes, a leading
+/// digit. Sanitized names stay distinct.
+const KIND_COUNTER: usize = 0;
+const KIND_GAUGE: usize = 1;
+const KIND_HISTOGRAM: usize = 2;
+
+fn pool() -> Vec<(&'static str, usize, Vec<&'static str>)> {
+    vec![
+        ("gmc.serve.requests.served", KIND_COUNTER, vec!["class"]),
+        ("9shards.in use", KIND_GAUGE, vec!["shard", "mode"]),
+        ("gmc.cache.hits", KIND_COUNTER, vec![]),
+        ("gmc.serve.stage.latency.ns", KIND_HISTOGRAM, vec!["stage"]),
+        ("weird/family-name", KIND_HISTOGRAM, vec![]),
+        ("gmc.obs.level", KIND_GAUGE, vec!["k"]),
+    ]
+}
+
+/// Label values mixing escapes (quote, backslash, newline), commas,
+/// equals signs, non-ASCII, and a random plain suffix.
+fn label_value() -> impl Strategy<Value = String> {
+    (
+        prop::sample::select(vec![
+            "",
+            "plain",
+            "has\"quote",
+            "back\\slash",
+            "new\nline",
+            "a,b=c{d}",
+            "\\n literal",
+            "ünïcode",
+        ]),
+        "[a-z]{0,3}",
+    )
+        .prop_map(|(prefix, suffix)| format!("{prefix}{suffix}"))
+}
+
+/// One generated series: pool family index, two label values (as many
+/// as the family needs are used), histogram samples, gauge value.
+fn series() -> impl Strategy<Value = (usize, String, String, Vec<u64>, f64)> {
+    (
+        0usize..6,
+        label_value(),
+        label_value(),
+        prop::collection::vec(0u64..2_000_000_000, 0..12),
+        -1.0e9f64..1.0e9,
+    )
+}
+
+/// The expected value of one rendered series.
+#[derive(Clone, Debug, PartialEq)]
+enum Expected {
+    Counter(u64),
+    Gauge(f64),
+    /// (sample count, sample sum)
+    Histogram(u64, u64),
+}
+
+/// Splits `name{a="x",b="y"} 42` into (metric name, labels, value),
+/// parsing label values with escape handling. Panics (failing the
+/// property) on any malformed line.
+fn parse_sample(line: &str) -> (String, Vec<(String, String)>, String) {
+    let (head, value) = line.rsplit_once(' ').expect("sample line has a value");
+    if let Some(brace) = head.find('{') {
+        let name = head[..brace].to_owned();
+        let body = &head[brace + 1..];
+        assert!(body.ends_with('}'), "unterminated label set: {line}");
+        let body = &body[..body.len() - 1];
+        let mut labels = Vec::new();
+        let mut chars = body.chars().peekable();
+        loop {
+            let mut key = String::new();
+            for c in chars.by_ref() {
+                if c == '=' {
+                    break;
+                }
+                key.push(c);
+            }
+            assert!(!key.is_empty(), "empty label name: {line}");
+            assert_eq!(chars.next(), Some('"'), "label value not quoted: {line}");
+            let mut val = String::new();
+            loop {
+                match chars.next().expect("unterminated label value") {
+                    '\\' => match chars.next().expect("dangling escape") {
+                        '\\' => val.push('\\'),
+                        '"' => val.push('"'),
+                        'n' => val.push('\n'),
+                        c => panic!("invalid escape \\{c} in {line}"),
+                    },
+                    '"' => break,
+                    '\n' => panic!("raw newline inside label value: {line}"),
+                    c => val.push(c),
+                }
+            }
+            labels.push((key, val));
+            match chars.next() {
+                None => break,
+                Some(',') => continue,
+                Some(c) => panic!("unexpected {c:?} after label value: {line}"),
+            }
+        }
+        (name, labels, value.to_owned())
+    } else {
+        (head.to_owned(), Vec::new(), value.to_owned())
+    }
+}
+
+fn is_valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.as_bytes()[0].is_ascii_digit()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Strips a histogram suffix, returning the family name.
+fn family_of(metric: &str, families: &BTreeMap<String, (usize, Vec<String>)>) -> String {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = metric.strip_suffix(suffix) {
+            if matches!(families.get(base), Some((KIND_HISTOGRAM, _))) {
+                return base.to_owned();
+            }
+        }
+    }
+    metric.to_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// See the file docs: one HELP/TYPE pair per family, sorted unique
+    /// series, parseable escapes, consistent histograms.
+    #[test]
+    fn rendered_exposition_is_well_formed(entries in prop::collection::vec(series(), 0..24)) {
+        let pool = pool();
+        let mut expo = Exposition::new();
+        // families: sanitized name -> (kind, label names); expected:
+        // (family, sorted label pairs) -> value. Mimics the renderer's
+        // replace-on-same-key semantics via map insertion.
+        let mut families: BTreeMap<String, (usize, Vec<String>)> = BTreeMap::new();
+        let mut expected: BTreeMap<(String, Vec<(String, String)>), Expected> = BTreeMap::new();
+
+        for (idx, v1, v2, samples, gauge) in &entries {
+            let (raw, kind, label_names) = &pool[*idx];
+            let values = [v1.as_str(), v2.as_str()];
+            let labels: Vec<(&str, &str)> = label_names
+                .iter()
+                .zip(values.iter())
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            let name = sanitize_name(raw);
+            let mut key: Vec<(String, String)> = labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect();
+            key.sort();
+            families.insert(name.clone(), (*kind, label_names.iter().map(|s| (*s).to_owned()).collect()));
+            match *kind {
+                KIND_COUNTER => {
+                    let total = samples.iter().sum::<u64>();
+                    expo.add_counter(raw, "help text", &labels, total);
+                    expected.insert((name, key), Expected::Counter(total));
+                }
+                KIND_GAUGE => {
+                    expo.add_gauge(raw, "help text", &labels, *gauge);
+                    expected.insert((name, key), Expected::Gauge(*gauge));
+                }
+                _ => {
+                    let h = LatencyHistogram::new();
+                    for &s in samples {
+                        h.record(s);
+                    }
+                    expo.add_histogram(raw, "help text", &labels, h.snapshot());
+                    expected.insert(
+                        (name, key),
+                        Expected::Histogram(samples.len() as u64, samples.iter().sum()),
+                    );
+                }
+            }
+        }
+
+        let text = expo.render();
+
+        // -- structural walk -------------------------------------------------
+        let mut seen_families: Vec<String> = Vec::new();
+        let mut seen_series: Vec<(String, Vec<(String, String)>)> = Vec::new();
+        // (family, labels-without-le) -> (cumulative buckets, sum, count)
+        let mut hist: BTreeMap<SeriesKey, HistState> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        let mut lines = text.lines().peekable();
+        while let Some(line) = lines.next() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap().to_owned();
+                prop_assert!(is_valid_metric_name(&name), "bad family name {name:?}");
+                if let Some(prev) = seen_families.last() {
+                    prop_assert!(
+                        *prev < name,
+                        "families out of order: {prev} then {name}"
+                    );
+                }
+                prop_assert!(!rest[name.len()..].contains('\n'));
+                let type_line = lines.next().expect("HELP must be followed by TYPE");
+                let expected_kind = match families[&name].0 {
+                    KIND_COUNTER => "counter",
+                    KIND_GAUGE => "gauge",
+                    _ => "histogram",
+                };
+                prop_assert_eq!(
+                    type_line,
+                    format!("# TYPE {name} {expected_kind}"),
+                    "bad TYPE line for {}", name
+                );
+                seen_families.push(name.clone());
+                current = Some(name);
+                continue;
+            }
+            prop_assert!(!line.starts_with('#'), "unexpected comment {line:?}");
+            let family = current.clone().expect("sample before any family header");
+            let (metric, labels, value) = parse_sample(line);
+            prop_assert!(is_valid_metric_name(&metric), "bad metric name {metric:?}");
+            prop_assert_eq!(
+                family_of(&metric, &families),
+                family.clone(),
+                "sample {} under wrong family", line
+            );
+            let (kind, label_names) = families[&family].clone();
+            let without_le: Vec<(String, String)> =
+                labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+            // Label names match the registration (sorted), minus `le`.
+            let mut expected_names = label_names.clone();
+            expected_names.sort();
+            let got_names: Vec<String> = without_le.iter().map(|(k, _)| k.clone()).collect();
+            prop_assert_eq!(got_names, expected_names, "label names for {}", line);
+
+            match kind {
+                KIND_COUNTER => {
+                    let got: u64 = value.parse().expect("counter value");
+                    prop_assert_eq!(
+                        Some(&Expected::Counter(got)),
+                        expected.get(&(family.clone(), without_le.clone())),
+                        "counter mismatch at {}", line
+                    );
+                    seen_series.push((family, without_le));
+                }
+                KIND_GAUGE => {
+                    let got: f64 = value.parse().expect("gauge value");
+                    match expected.get(&(family.clone(), without_le.clone())) {
+                        Some(Expected::Gauge(want)) => prop_assert!(
+                            (got - want).abs() <= want.abs() * 1e-12,
+                            "gauge mismatch at {line}: got {got}, want {want}"
+                        ),
+                        other => panic!("unexpected gauge series {line}: {other:?}"),
+                    }
+                    seen_series.push((family, without_le));
+                }
+                _ => {
+                    let entry = hist
+                        .entry((family.clone(), without_le.clone()))
+                        .or_insert_with(|| (Vec::new(), None, None));
+                    if metric.ends_with("_bucket") {
+                        let le = labels
+                            .iter()
+                            .find(|(k, _)| k == "le")
+                            .map(|(_, v)| v.clone())
+                            .expect("bucket line has le");
+                        prop_assert!(
+                            le == "+Inf" || le.parse::<u64>().is_ok(),
+                            "bad le {le:?} in {line}"
+                        );
+                        entry.0.push(value.parse().expect("bucket count"));
+                    } else if metric.ends_with("_sum") {
+                        prop_assert!(entry.1.is_none(), "duplicate _sum for {line}");
+                        entry.1 = Some(value.parse().expect("sum value"));
+                    } else {
+                        prop_assert!(entry.2.is_none(), "duplicate _count for {line}");
+                        entry.2 = Some(value.parse().expect("count value"));
+                        seen_series.push((family, without_le));
+                    }
+                }
+            }
+        }
+
+        // -- uniqueness, sortedness, completeness ----------------------------
+        for w in seen_series.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "series out of order: {w:?}");
+            }
+        }
+        let mut unique = seen_series.clone();
+        unique.sort();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), seen_series.len(), "duplicate series");
+        prop_assert_eq!(seen_series.len(), expected.len(), "series missing from render");
+
+        // -- histogram invariants ---------------------------------------------
+        for ((family, labels), (buckets, sum, count)) in &hist {
+            let want = expected
+                .get(&(family.clone(), labels.clone()))
+                .expect("histogram series not registered");
+            let (want_count, want_sum) = match want {
+                Expected::Histogram(c, s) => (*c, *s),
+                other => panic!("kind confusion for {family}: {other:?}"),
+            };
+            for w in buckets.windows(2) {
+                prop_assert!(w[0] <= w[1], "buckets not monotone in {family}: {buckets:?}");
+            }
+            prop_assert_eq!(buckets.last().copied(), Some(want_count), "last bucket != count in {}", family);
+            prop_assert_eq!(sum.to_owned(), Some(want_sum), "sum mismatch in {}", family);
+            prop_assert_eq!(count.to_owned(), Some(want_count), "count mismatch in {}", family);
+        }
+    }
+}

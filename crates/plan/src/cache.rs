@@ -33,6 +33,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// How a request was served by the cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,6 +105,38 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// Per-shard cache introspection, from [`PlanCache::shard_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index (0-based, stable for the life of the cache).
+    pub shard: usize,
+    /// Distinct chain structures currently cached in this shard.
+    pub structures: usize,
+    /// Total size regions recorded across the shard's structures.
+    pub regions: usize,
+    /// Requests served from a cached region.
+    pub hits: u64,
+    /// Requests that recorded a new region for a known structure.
+    pub region_misses: u64,
+    /// Requests that recorded a brand-new structure.
+    pub structure_misses: u64,
+    /// Misses that lost the recording race and were served as hits
+    /// after waiting on the shard's write mutex.
+    pub coalesced_waiters: u64,
+    /// Copy-on-write snapshot publications (cache writes).
+    pub snapshot_swaps: u64,
+}
+
+/// Nanosecond timing of one [`PlanCache::solve_traced`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveTiming {
+    /// Time locating the cached region: binding, structure keying,
+    /// snapshot reads and (on the slow path) the write-mutex wait.
+    pub lookup_ns: u64,
+    /// Time instantiating the cached plan or recording a new one.
+    pub work_ns: u64,
+}
+
 /// Errors surfaced by [`PlanCache::solve`].
 #[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
@@ -150,12 +183,22 @@ impl From<gmc_expr::DimError> for PlanError {
     }
 }
 
+/// Per-structure request counters, `Arc`-shared across every
+/// copy-on-write clone of the owning [`SymbolicPlan`] so counts
+/// survive snapshot swaps.
+#[derive(Debug, Default)]
+pub(crate) struct StructCounters {
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+}
+
 /// A symbolic plan for one chain structure: one recorded [`RegionPlan`]
 /// per size region encountered so far. Region plans are `Arc`-shared
 /// between cache snapshots, so cloning a `SymbolicPlan` is cheap.
 #[derive(Clone, Debug, Default)]
 pub struct SymbolicPlan {
     pub(crate) regions: HashMap<Vec<i8>, Arc<RegionPlan>>,
+    pub(crate) counters: Arc<StructCounters>,
 }
 
 impl SymbolicPlan {
@@ -164,13 +207,25 @@ impl SymbolicPlan {
         self.regions.len()
     }
 
+    /// Requests served from this structure's cached regions.
+    pub fn hits(&self) -> u64 {
+        self.counters.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that recorded a new region for this structure.
+    pub fn misses(&self) -> u64 {
+        self.counters.misses.load(Ordering::Relaxed)
+    }
+
     /// Iterates over the recorded regions' classification summaries.
     pub fn region_summaries(&self) -> impl Iterator<Item = PlanSummary> + '_ {
         self.regions.values().map(|r| r.summary())
     }
 }
 
-/// One shard: an immutable snapshot swapped under a write mutex.
+/// One shard: an immutable snapshot swapped under a write mutex, plus
+/// its own request counters (summed for [`PlanCache::stats`], exposed
+/// individually through [`PlanCache::shard_stats`]).
 #[derive(Debug, Default)]
 struct Shard {
     /// The current snapshot. The lock is held only to clone or swap the
@@ -179,6 +234,13 @@ struct Shard {
     /// Serializes recording within the shard, so concurrent misses on
     /// the same region coalesce into one symbolic solve.
     write: Mutex<()>,
+    hits: AtomicU64,
+    region_misses: AtomicU64,
+    structure_misses: AtomicU64,
+    /// Lost-race misses served as hits after waiting on `write`.
+    coalesced_waiters: AtomicU64,
+    /// Copy-on-write snapshot publications.
+    snapshot_swaps: AtomicU64,
 }
 
 type StructMap = HashMap<StructureKey, Arc<SymbolicPlan>>;
@@ -190,14 +252,23 @@ impl Shard {
         Arc::clone(&read_lock(&self.map))
     }
 
-    /// Publishes `region` under `(key, sig)` copy-on-write. Caller must
-    /// hold the shard's write mutex.
-    fn publish(&self, key: StructureKey, sig: Vec<i8>, region: Arc<RegionPlan>) {
+    /// Publishes `region` under `(key, sig)` copy-on-write, returning
+    /// the structure's (snapshot-surviving) counters. Caller must hold
+    /// the shard's write mutex.
+    fn publish(
+        &self,
+        key: StructureKey,
+        sig: Vec<i8>,
+        region: Arc<RegionPlan>,
+    ) -> Arc<StructCounters> {
+        self.snapshot_swaps.fetch_add(1, Ordering::Relaxed);
         let current = self.snapshot();
         let mut next: StructMap = (*current).clone();
         let plan = Arc::make_mut(next.entry(key).or_default());
         plan.regions.insert(sig, region);
+        let counters = Arc::clone(&plan.counters);
         *write_lock(&self.map) = Arc::new(next);
+        counters
     }
 }
 
@@ -208,6 +279,23 @@ thread_local! {
     /// state (and without a lock on the hot path).
     static SCRATCH: RefCell<(FlatTermScratch, PlanWorkspace)> =
         RefCell::new((FlatTermScratch::new(), PlanWorkspace::default()));
+}
+
+/// Splits `started → lookup_done → now` into a [`SolveTiming`]; both
+/// `None` (the untraced path) yields zeros.
+fn timing(started: Option<Instant>, lookup_done: Option<Instant>) -> SolveTiming {
+    match (started, lookup_done) {
+        (Some(started), Some(lookup_done)) => SolveTiming {
+            lookup_ns: saturating_ns(lookup_done.duration_since(started)),
+            work_ns: saturating_ns(lookup_done.elapsed()),
+        },
+        _ => SolveTiming::default(),
+    }
+}
+
+/// A `Duration` as whole nanoseconds, saturating at `u64::MAX`.
+fn saturating_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn with_scratch<R>(f: impl FnOnce(&mut FlatTermScratch, &mut PlanWorkspace) -> R) -> R {
@@ -282,9 +370,6 @@ pub struct PlanCache {
     registry: Arc<KernelRegistry>,
     inference: InferenceMode,
     shards: Vec<Shard>,
-    structure_misses: AtomicU64,
-    region_misses: AtomicU64,
-    hits: AtomicU64,
 }
 
 impl PlanCache {
@@ -295,9 +380,6 @@ impl PlanCache {
             registry,
             inference,
             shards: (0..SHARDS).map(|_| Shard::default()).collect(),
-            structure_misses: AtomicU64::new(0),
-            region_misses: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
         }
     }
 
@@ -311,13 +393,37 @@ impl PlanCache {
         &self.registry
     }
 
-    /// Cumulative hit/miss counters.
+    /// Cumulative hit/miss counters (summed over the shards).
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            structure_misses: self.structure_misses.load(Ordering::Relaxed),
-            region_misses: self.region_misses.load(Ordering::Relaxed),
-            hits: self.hits.load(Ordering::Relaxed),
+        let mut stats = CacheStats::default();
+        for shard in &self.shards {
+            stats.structure_misses += shard.structure_misses.load(Ordering::Relaxed);
+            stats.region_misses += shard.region_misses.load(Ordering::Relaxed);
+            stats.hits += shard.hits.load(Ordering::Relaxed);
         }
+        stats
+    }
+
+    /// Per-shard introspection: request counters plus current structure
+    /// and region counts, one entry per shard in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| {
+                let snap = s.snapshot();
+                ShardStats {
+                    shard,
+                    structures: snap.len(),
+                    regions: snap.values().map(|p| p.region_count()).sum(),
+                    hits: s.hits.load(Ordering::Relaxed),
+                    region_misses: s.region_misses.load(Ordering::Relaxed),
+                    structure_misses: s.structure_misses.load(Ordering::Relaxed),
+                    coalesced_waiters: s.coalesced_waiters.load(Ordering::Relaxed),
+                    snapshot_swaps: s.snapshot_swaps.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
     }
 
     /// Number of distinct chain structures cached.
@@ -407,6 +513,28 @@ impl PlanCache {
         chain: &SymChain,
         bindings: &DimBindings,
     ) -> Result<(GmcSolution<f64>, PlanOutcome), PlanError> {
+        self.solve_impl(chain, bindings, None)
+            .map(|(solution, outcome, _)| (solution, outcome))
+    }
+
+    /// Like [`PlanCache::solve`], additionally reporting where the call
+    /// spent its time ([`SolveTiming`]). Costs two extra clock reads
+    /// over the untraced path; the untraced path itself pays only a
+    /// branch.
+    pub fn solve_traced(
+        &self,
+        chain: &SymChain,
+        bindings: &DimBindings,
+    ) -> Result<(GmcSolution<f64>, PlanOutcome, SolveTiming), PlanError> {
+        self.solve_impl(chain, bindings, Some(Instant::now()))
+    }
+
+    fn solve_impl(
+        &self,
+        chain: &SymChain,
+        bindings: &DimBindings,
+        started: Option<Instant>,
+    ) -> Result<(GmcSolution<f64>, PlanOutcome, SolveTiming), PlanError> {
         let concrete = chain.bind(bindings)?;
         let key = structure_key(chain, self.inference);
         let sig = region_signature(&concrete.sizes());
@@ -414,10 +542,14 @@ impl PlanCache {
 
         // Fast path: hit on the immutable snapshot — a pure read.
         let snapshot = shard.snapshot();
-        if let Some(region) = snapshot.get(&key).and_then(|p| p.regions.get(&sig)) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            let solution = self.instantiate_region(region, chain, &concrete, bindings)?;
-            return Ok((solution, PlanOutcome::Hit));
+        if let Some(plan) = snapshot.get(&key) {
+            if let Some(region) = plan.regions.get(&sig) {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                plan.counters.hits.fetch_add(1, Ordering::Relaxed);
+                let lookup_done = started.map(|_| Instant::now());
+                let solution = self.instantiate_region(region, chain, &concrete, bindings)?;
+                return Ok((solution, PlanOutcome::Hit, timing(started, lookup_done)));
+            }
         }
         drop(snapshot);
 
@@ -425,28 +557,35 @@ impl PlanCache {
         let guard = mutex_lock(&shard.write);
         let snapshot = shard.snapshot();
         let structure_known = snapshot.contains_key(&key);
-        if let Some(region) = snapshot.get(&key).and_then(|p| p.regions.get(&sig)) {
-            // Another thread recorded this region while we waited: the
-            // recording coalesced, serve it as a hit.
-            drop(guard);
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            let solution = self.instantiate_region(region, chain, &concrete, bindings)?;
-            return Ok((solution, PlanOutcome::Hit));
+        if let Some(plan) = snapshot.get(&key) {
+            if let Some(region) = plan.regions.get(&sig) {
+                // Another thread recorded this region while we waited:
+                // the recording coalesced, serve it as a hit.
+                drop(guard);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                shard.coalesced_waiters.fetch_add(1, Ordering::Relaxed);
+                plan.counters.hits.fetch_add(1, Ordering::Relaxed);
+                let lookup_done = started.map(|_| Instant::now());
+                let solution = self.instantiate_region(region, chain, &concrete, bindings)?;
+                return Ok((solution, PlanOutcome::Hit, timing(started, lookup_done)));
+            }
         }
 
+        let lookup_done = started.map(|_| Instant::now());
         let (region, solution) = with_scratch(|scratch, _| {
             record_region(&self.registry, self.inference, chain, &concrete, scratch)
         });
-        shard.publish(key, sig, Arc::new(region));
+        let counters = shard.publish(key, sig, Arc::new(region));
+        counters.misses.fetch_add(1, Ordering::Relaxed);
         drop(guard);
         let outcome = if structure_known {
-            self.region_misses.fetch_add(1, Ordering::Relaxed);
+            shard.region_misses.fetch_add(1, Ordering::Relaxed);
             PlanOutcome::MissRegion
         } else {
-            self.structure_misses.fetch_add(1, Ordering::Relaxed);
+            shard.structure_misses.fetch_add(1, Ordering::Relaxed);
             PlanOutcome::MissStructure
         };
-        Ok((solution?, outcome))
+        Ok((solution?, outcome, timing(started, lookup_done)))
     }
 
     fn instantiate_region(

@@ -81,6 +81,8 @@ mod plan;
 mod store;
 pub mod sync;
 
-pub use cache::{CacheStats, PlanCache, PlanError, PlanOutcome, SymbolicPlan};
+pub use cache::{
+    CacheStats, PlanCache, PlanError, PlanOutcome, ShardStats, SolveTiming, SymbolicPlan,
+};
 pub use key::{region_signature, structure_key, undecided_shape_questions, StructureKey};
 pub use plan::{PlanSummary, RegionPlan};

@@ -43,20 +43,28 @@
 
 pub mod admission;
 pub mod faults;
-pub mod histogram;
+pub mod metrics;
 pub mod protocol;
 pub mod tcp;
 
+/// Latency histograms live in [`gmc_obs`] since the observability
+/// layer landed; re-exported here so existing
+/// `gmc_serve::histogram::…` paths keep working (bucket boundaries
+/// are unchanged, bit for bit).
+pub use gmc_obs::histogram;
+
 pub use admission::SubmitError;
 pub use faults::SolveFault;
+pub use gmc_obs::trace::{Span, Trace, TRACE_FORMAT};
 
 use admission::{AdmissionGate, Permit};
 use faults::FAULT_PANIC_MARKER;
 use gmc::{GmcSolution, InferenceMode};
 use gmc_expr::{DimBindings, SymChain};
 use gmc_kernels::KernelRegistry;
-use gmc_plan::{region_signature, CacheStats, PlanCache, PlanError, PlanOutcome};
-use histogram::{HistogramSnapshot, LatencyHistogram};
+use gmc_obs::trace::SlowTraceRing;
+use gmc_obs::{Histogram, HistogramSnapshot, LatencyHistogram, MetricsRegistry};
+use gmc_plan::{region_signature, CacheStats, PlanCache, PlanError, PlanOutcome, SolveTiming};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -91,12 +99,31 @@ pub struct ServeConfig {
     /// worker dies, the server closes its admission gate instead of
     /// hanging new requests.
     pub restart_budget: usize,
+    /// How many of the slowest request traces the server retains for
+    /// [`ServeHandle::slow_traces`] and the `SLOW` wire command.
+    /// 0 disables trace retention (per-stage histograms still record).
+    pub slow_trace_capacity: usize,
 }
 
 /// Upper bound on items per worker job: groups larger than this are
 /// split so independent instantiates of one hot region parallelize
 /// across the pool.
 const MAX_ITEMS_PER_JOB: usize = 16;
+
+/// The request pipeline stages, in order. Every completed request
+/// records one span per stage; the spans are consecutive, so their
+/// durations sum exactly to the request's end-to-end latency:
+///
+/// * `admit` — submission call entry to admission + parse done
+/// * `queue` — waiting in the dispatcher's inbox
+/// * `group` — grouping/coalescing inside the dispatcher
+/// * `dispatch` — job channel to a worker picking the job up
+/// * `lookup` — locating the cached region plan
+/// * `solve` — instantiating the plan (or recording it, on a miss)
+/// * `reply` — accounting and fan-out back to the caller
+pub const STAGES: [&str; 7] = [
+    "admit", "queue", "group", "dispatch", "lookup", "solve", "reply",
+];
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -106,6 +133,7 @@ impl Default for ServeConfig {
             max_batch: 256,
             queue_capacity: 4096,
             restart_budget: 8,
+            slow_trace_capacity: 32,
         }
     }
 }
@@ -442,8 +470,22 @@ pub struct LatencySnapshot {
     /// reach a worker, so they appear here instead of `total`).
     pub expired: HistogramSnapshot,
     /// Per-(structure, hit/miss) enqueue→complete histograms, sorted
-    /// by structure name then class for deterministic rendering.
+    /// by structure name then class for deterministic rendering. At
+    /// most [`MAX_LATENCY_CLASSES`] distinct structures are tracked;
+    /// the excess shares one `other` entry.
     pub classes: Vec<ClassLatency>,
+    /// Per-stage span histograms in [`STAGES`] order, recorded once
+    /// per completed request.
+    pub stages: Vec<StageLatency>,
+}
+
+/// One pipeline stage's span histogram.
+#[derive(Clone, Debug)]
+pub struct StageLatency {
+    /// Stage name (one of [`STAGES`]).
+    pub stage: &'static str,
+    /// Span-duration histogram of the stage across completed requests.
+    pub snapshot: HistogramSnapshot,
 }
 
 /// One (structure, hit/miss) latency class.
@@ -464,6 +506,12 @@ struct ClassHists {
     miss: LatencyHistogram,
 }
 
+/// Upper bound on distinct structure names tracked in per-class
+/// latency histograms. A hostile client registering (or requesting)
+/// many structures cannot grow stats memory without bound: structures
+/// beyond the cap all record into one shared `other` class.
+pub const MAX_LATENCY_CLASSES: usize = 64;
+
 /// The server-wide latency recording layer.
 #[derive(Debug, Default)]
 struct LatencyBook {
@@ -471,21 +519,38 @@ struct LatencyBook {
     queue: LatencyHistogram,
     expired: LatencyHistogram,
     classes: RwLock<HashMap<String, Arc<ClassHists>>>,
+    /// The shared overflow class once `classes` holds
+    /// [`MAX_LATENCY_CLASSES`] structures. Kept outside the map so it
+    /// is reported once (as structure `other`) and never double
+    /// counted.
+    other: Arc<ClassHists>,
+    /// Class lookups funneled into `other`.
+    class_overflow: AtomicU64,
 }
 
 impl LatencyBook {
     /// The histogram pair for `structure`, creating it on first use
     /// (registration pre-creates it; this covers re-registration
-    /// races).
+    /// races). Once [`MAX_LATENCY_CLASSES`] structures are tracked,
+    /// further structures share the `other` class.
     fn class(&self, structure: &str) -> Arc<ClassHists> {
         if let Some(h) = read_lock(&self.classes).get(structure) {
             return Arc::clone(h);
         }
-        Arc::clone(
-            write_lock(&self.classes)
-                .entry(structure.to_owned())
-                .or_default(),
-        )
+        let mut map = write_lock(&self.classes);
+        if let Some(h) = map.get(structure) {
+            return Arc::clone(h);
+        }
+        if map.len() >= MAX_LATENCY_CLASSES {
+            self.class_overflow.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(&self.other);
+        }
+        Arc::clone(map.entry(structure.to_owned()).or_default())
+    }
+
+    /// Class lookups that funneled into the shared `other` class.
+    fn overflowed(&self) -> u64 {
+        self.class_overflow.load(Ordering::Relaxed)
     }
 
     fn snapshot(&self) -> LatencySnapshot {
@@ -505,12 +570,23 @@ impl LatencyBook {
                 }
             }
         }
+        for (hit, h) in [(true, &self.other.hit), (false, &self.other.miss)] {
+            let snapshot = h.snapshot();
+            if !snapshot.is_empty() {
+                classes.push(ClassLatency {
+                    structure: "other".to_owned(),
+                    hit,
+                    snapshot,
+                });
+            }
+        }
         classes.sort_by(|a, b| (&a.structure, !a.hit).cmp(&(&b.structure, !b.hit)));
         LatencySnapshot {
             total: self.total.snapshot(),
             queue: self.queue.snapshot(),
             expired: self.expired.snapshot(),
             classes,
+            stages: Vec::new(),
         }
     }
 }
@@ -540,6 +616,56 @@ impl Ticket {
     }
 }
 
+/// The observability layer behind [`Shared`]: the live metrics
+/// registry (which owns the per-stage histograms), the slow-trace
+/// ring, and the trace-id counter. Everything else the `METRICS`
+/// exposition reports is copied from authoritative snapshots at scrape
+/// time, so the hot path never writes a counter twice.
+struct ObsLayer {
+    registry: MetricsRegistry,
+    /// Per-stage span histograms, in [`STAGES`] order (live handles
+    /// onto the registry's `gmc.serve.stage.latency.ns` family).
+    stages: [Histogram; STAGES.len()],
+    /// The N slowest completed traces.
+    ring: SlowTraceRing,
+    trace_ids: AtomicU64,
+}
+
+impl ObsLayer {
+    fn new(slow_trace_capacity: usize) -> ObsLayer {
+        let registry = MetricsRegistry::new();
+        let stages = STAGES.map(|stage| {
+            registry.histogram(
+                "gmc.serve.stage.latency.ns",
+                "Per-stage request span duration in nanoseconds",
+                &[("stage", stage)],
+            )
+        });
+        ObsLayer {
+            registry,
+            stages,
+            ring: SlowTraceRing::new(slow_trace_capacity),
+            trace_ids: AtomicU64::new(0),
+        }
+    }
+
+    fn next_trace_id(&self) -> u64 {
+        self.trace_ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Snapshots of the per-stage histograms, in [`STAGES`] order.
+    fn stage_snapshots(&self) -> Vec<StageLatency> {
+        STAGES
+            .iter()
+            .zip(&self.stages)
+            .map(|(stage, h)| StageLatency {
+                stage,
+                snapshot: h.snapshot(),
+            })
+            .collect()
+    }
+}
+
 struct Shared {
     cache: PlanCache,
     structures: RwLock<HashMap<String, Arc<SymChain>>>,
@@ -549,6 +675,7 @@ struct Shared {
     latency: LatencyBook,
     gate: Arc<AdmissionGate>,
     supervision: SupervisionCell,
+    obs: ObsLayer,
 }
 
 /// Supervision counters behind [`Shared`]; updated only by the
@@ -592,13 +719,15 @@ fn bind_named_vars(chain: &SymChain, vars: &[(String, usize)]) -> Result<DimBind
 
 impl Shared {
     fn stats(&self) -> ServerStats {
+        let mut latency = self.latency.snapshot();
+        latency.stages = self.obs.stage_snapshots();
         ServerStats {
             cache: self.cache.stats(),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             structures: read_lock(&self.structures).len(),
             served: self.served.snapshot(),
-            latency: self.latency.snapshot(),
+            latency,
             supervision: self.supervision.snapshot(),
         }
     }
@@ -639,8 +768,13 @@ struct Request {
     chain: Arc<SymChain>,
     bindings: DimBindings,
     reply: Sender<ServeReply>,
-    /// When the request entered the submission channel.
+    /// When the submission call started (trace origin).
     enqueued: Instant,
+    /// When the request was handed to the dispatcher (end of the
+    /// `admit` span: admission + parse done).
+    submitted: Instant,
+    /// Monotone per-server trace id.
+    trace_id: u64,
     /// Deadline/fault options.
     options: RequestOptions,
     /// The admission slot; released (dropped) right before the reply
@@ -657,6 +791,9 @@ enum Job {
     Batch {
         chain: Arc<SymChain>,
         items: Vec<BatchItem>,
+        /// When the dispatcher started grouping the round this job
+        /// came from (end of the `queue` span).
+        grouped: Instant,
         /// When the dispatcher formed this job (per-request queueing
         /// latency is `dispatched - enqueued`).
         dispatched: Instant,
@@ -674,11 +811,14 @@ struct BatchItem {
     fault: Option<SolveFault>,
 }
 
-/// One pending reply of a coalesced batch item, with the timestamp it
-/// was enqueued at (each coalesced request keeps its own latency).
+/// One pending reply of a coalesced batch item, with the timestamps it
+/// was enqueued/submitted at (each coalesced request keeps its own
+/// latency and trace).
 struct ReplySlot {
     name: String,
     enqueued: Instant,
+    submitted: Instant,
+    trace_id: u64,
     tx: Sender<ServeReply>,
     permit: Permit,
 }
@@ -753,6 +893,7 @@ impl ServeHandle {
         bindings: DimBindings,
         options: RequestOptions,
     ) -> Result<Ticket, SubmitError> {
+        let enqueued = Instant::now();
         let permit = self.shared.gate.try_acquire()?;
         let (tx, rx) = channel();
         let ticket = Ticket {
@@ -775,7 +916,9 @@ impl ServeHandle {
             name: structure.to_owned(),
             bindings,
             reply: tx,
-            enqueued: Instant::now(),
+            enqueued,
+            submitted: Instant::now(),
+            trace_id: self.shared.obs.next_trace_id(),
             options,
             permit,
         };
@@ -898,6 +1041,8 @@ impl ServeHandle {
                 bindings,
                 reply: tx,
                 enqueued,
+                submitted: enqueued, // overwritten below, once per batch
+                trace_id: self.shared.obs.next_trace_id(),
                 options,
                 permit,
             });
@@ -911,9 +1056,18 @@ impl ServeHandle {
                 .served
                 .record(ServedKind::RejectedOverload, overloaded);
         }
-        if !parsed.is_empty() && self.submit.send(Incoming::Requests(parsed)).is_err() {
-            // Server shut down: tickets resolve to `Closed` when their
-            // senders (and permits) drop with nothing sent.
+        if !parsed.is_empty() {
+            // The whole batch is handed over at one instant; stamping
+            // it here (after admission and parsing) closes every
+            // request's `admit` span.
+            let submitted = Instant::now();
+            for request in &mut parsed {
+                request.submitted = submitted;
+            }
+            if self.submit.send(Incoming::Requests(parsed)).is_err() {
+                // Server shut down: tickets resolve to `Closed` when
+                // their senders (and permits) drop with nothing sent.
+            }
         }
         tickets
     }
@@ -942,6 +1096,35 @@ impl ServeHandle {
         let mut names: Vec<String> = read_lock(&self.shared.structures).keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// The retained slowest traces, slowest first. Capacity is
+    /// [`ServeConfig::slow_trace_capacity`]; each trace's spans tile
+    /// its total exactly (see [`STAGES`]).
+    pub fn slow_traces(&self) -> Vec<Trace> {
+        self.shared.obs.ring.snapshot()
+    }
+
+    /// The slow traces as a stable [`TRACE_FORMAT`] (`gmc-traces/1`)
+    /// JSON document — the `SLOW` wire command's payload.
+    pub fn slow_traces_json(&self) -> String {
+        gmc_obs::trace::traces_json(&self.slow_traces())
+    }
+
+    /// Every metric the server keeps — serve counters, per-stage and
+    /// per-class latency histograms, cache/shard/structure counters,
+    /// trace-ring counters — rendered as a Prometheus text exposition
+    /// (the `METRICS` wire command's payload, without the `# EOF`
+    /// terminator).
+    pub fn metrics_prometheus(&self) -> String {
+        metrics::render_prometheus(&self.shared)
+    }
+
+    /// Cache introspection as a single-line JSON document: totals,
+    /// per-shard counters, and per-structure hit/miss/region counts
+    /// (the `CACHE` wire command's payload).
+    pub fn cache_introspection_json(&self) -> String {
+        metrics::render_cache(&self.shared)
     }
 }
 
@@ -1084,6 +1267,7 @@ impl Server {
             latency: LatencyBook::default(),
             gate: Arc::new(AdmissionGate::new(config.queue_capacity)),
             supervision: SupervisionCell::default(),
+            obs: ObsLayer::new(config.slow_trace_capacity),
         });
         shared
             .supervision
@@ -1347,19 +1531,19 @@ fn dispatcher_loop(
             ),
         >;
         let mut groups: GroupMap = HashMap::new();
-        let now = Instant::now();
+        let grouped = Instant::now();
         for req in pending {
             // Expired deadline: shed before grouping. The request
             // never reaches a worker, so it is `rejected` (with the
             // `expired` sub-count) and its latency lands in the
             // dedicated `expired` histogram, not `total`.
             if let Some(deadline) = req.options.deadline {
-                if now >= deadline {
+                if grouped >= deadline {
                     shared.served.record(ServedKind::Expired, 1);
                     shared
                         .latency
                         .expired
-                        .record(nanos_between(req.enqueued, now));
+                        .record(nanos_between(req.enqueued, grouped));
                     let Request {
                         name,
                         reply,
@@ -1412,6 +1596,8 @@ fn dispatcher_loop(
             replies.push(ReplySlot {
                 name: req.name,
                 enqueued: req.enqueued,
+                submitted: req.submitted,
+                trace_id: req.trace_id,
                 tx: req.reply,
                 permit: req.permit,
             });
@@ -1439,6 +1625,7 @@ fn dispatcher_loop(
                     .send(Job::Batch {
                         chain: Arc::clone(&chain),
                         items,
+                        grouped,
                         dispatched,
                     })
                     .is_err()
@@ -1477,6 +1664,7 @@ fn worker_loop(shared: &Shared, job_rx: &Arc<Mutex<Receiver<Job>>>) {
             Ok(Job::Batch {
                 chain,
                 items,
+                grouped,
                 dispatched,
             }) => {
                 // A `Kill` fault takes the worker down *after* the
@@ -1495,6 +1683,7 @@ fn worker_loop(shared: &Shared, job_rx: &Arc<Mutex<Receiver<Job>>>) {
                     if fault == Some(SolveFault::Kill) {
                         kill_after_job = true;
                     }
+                    let solve_started = Instant::now();
                     let outcome = if kill_after_job {
                         // Once a kill is pending, fail the rest of the
                         // job fast: the thread is about to die anyway.
@@ -1508,27 +1697,36 @@ fn worker_loop(shared: &Shared, job_rx: &Arc<Mutex<Receiver<Job>>>) {
                                 }
                                 _ => {}
                             }
-                            shared.cache.solve(&chain, &item.bindings)
+                            shared.cache.solve_traced(&chain, &item.bindings)
                         }))
                         .map_err(|payload| panic_message(payload.as_ref()))
                     };
                     let kind = match &outcome {
-                        Ok(Ok((_, PlanOutcome::Hit))) => ServedKind::Hit,
+                        Ok(Ok((_, PlanOutcome::Hit, _))) => ServedKind::Hit,
                         Ok(Ok(_)) => ServedKind::Miss,
                         Ok(Err(_)) | Err(_) => ServedKind::Failed,
                     };
-                    let completed = Instant::now();
+                    let solve_done = Instant::now();
+                    let timing = match &outcome {
+                        Ok(Ok((_, _, t))) => *t,
+                        _ => SolveTiming::default(),
+                    };
+                    let class: &'static str = match &outcome {
+                        Ok(Ok((_, oc, _))) => oc.label(),
+                        Ok(Err(_)) => "plan",
+                        Err(_) => "internal",
+                    };
                     // Latency: one sample per *request* (coalesced
                     // waiters each keep their own enqueue time), then
                     // one consistent counter update for the whole item.
                     for slot in &item.replies {
-                        let total = nanos_between(slot.enqueued, completed);
+                        let total = nanos_between(slot.enqueued, solve_done);
                         shared.latency.total.record(total);
                         shared
                             .latency
                             .queue
                             .record(nanos_between(slot.enqueued, dispatched));
-                        if let Ok(Ok((_, oc))) = &outcome {
+                        if let Ok(Ok((_, oc, _))) = &outcome {
                             let class = shared.latency.class(&slot.name);
                             if oc.is_hit() {
                                 class.hit.record(total);
@@ -1540,12 +1738,57 @@ fn worker_loop(shared: &Shared, job_rx: &Arc<Mutex<Receiver<Job>>>) {
                     shared.served.record(kind, item.replies.len() as u64);
                     for slot in item.replies {
                         let result = match &outcome {
-                            Ok(Ok((solution, outcome))) => {
+                            Ok(Ok((solution, outcome, _))) => {
                                 Ok(Served::from_solution(solution, *outcome))
                             }
                             Ok(Err(e)) => Err(ServeError::Plan(e.clone())),
                             Err(msg) => Err(ServeError::Internal(msg.clone())),
                         };
+                        // Stage spans tile enqueued → done exactly; the
+                        // `solve` span subtracts the cache's measured
+                        // lookup time so `lookup + solve` equals the
+                        // wall time the worker spent in the cache. The
+                        // stage histograms record *after* the served
+                        // counters, so at quiescence every completed
+                        // request has exactly one sample per stage.
+                        let done = Instant::now();
+                        let durs: [u64; STAGES.len()] = [
+                            nanos_between(slot.enqueued, slot.submitted),
+                            nanos_between(slot.submitted, grouped),
+                            nanos_between(grouped, dispatched),
+                            nanos_between(dispatched, solve_started),
+                            timing.lookup_ns,
+                            nanos_between(solve_started, solve_done)
+                                .saturating_sub(timing.lookup_ns),
+                            nanos_between(solve_done, done),
+                        ];
+                        for (hist, dur) in shared.obs.stages.iter().zip(durs) {
+                            hist.record(dur);
+                        }
+                        let total_ns: u64 = durs.iter().sum();
+                        shared.obs.ring.offer_with(total_ns, || {
+                            let mut start_ns = 0u64;
+                            let spans = STAGES
+                                .iter()
+                                .zip(durs)
+                                .map(|(stage, dur_ns)| {
+                                    let span = Span {
+                                        stage,
+                                        start_ns,
+                                        dur_ns,
+                                    };
+                                    start_ns += dur_ns;
+                                    span
+                                })
+                                .collect();
+                            Trace {
+                                id: slot.trace_id,
+                                label: slot.name.clone(),
+                                class: class.to_owned(),
+                                total_ns,
+                                spans,
+                            }
+                        });
                         slot.send(result);
                     }
                 }

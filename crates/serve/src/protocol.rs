@@ -7,8 +7,12 @@
 //! <structure> [<var>=<size>[,<var>=<size>...]]
 //! ```
 //!
-//! e.g. `X n=2000,m=200`. The special line `STATS` asks for the
-//! server's counters. Replies are one compact JSON object per line:
+//! e.g. `X n=2000,m=200`. Four special lines ask for introspection
+//! instead of a solve: `STATS` (server counters, one JSON line),
+//! `METRICS` (Prometheus text exposition, multi-line, ending with a
+//! `# EOF` line), `SLOW` (slowest retained traces, one `gmc-traces/1`
+//! JSON line) and `CACHE` (per-shard and per-structure cache stats,
+//! one JSON line). Replies are one compact JSON object per line:
 //!
 //! ```text
 //! {"structure":"X","outcome":"hit","cost":9.68e8,"flops":9.68e8,
@@ -145,8 +149,8 @@ fn quantile_fields(snapshot: &HistogramSnapshot) -> Vec<(String, Value)> {
 /// `served_hits + served_misses + failed == completed`) and the
 /// latency layer: total and queue quantiles, the total histogram's
 /// non-empty buckets as `[upper_bound_ns, count]` pairs in strictly
-/// increasing bound order, and per-(structure, hit/miss) class
-/// quantiles.
+/// increasing bound order, per-(structure, hit/miss) class quantiles,
+/// and per-stage span quantiles in [`crate::STAGES`] order.
 pub fn stats_to_json(stats: &ServerStats) -> String {
     let mut total = quantile_fields(&stats.latency.total);
     total.push((
@@ -193,6 +197,22 @@ pub fn stats_to_json(stats: &ServerStats) -> String {
             Value::Object(quantile_fields(&stats.latency.expired)),
         ),
         ("classes".to_owned(), Value::Array(classes)),
+        (
+            "stages".to_owned(),
+            Value::Array(
+                stats
+                    .latency
+                    .stages
+                    .iter()
+                    .map(|s| {
+                        let mut fields =
+                            vec![("stage".to_owned(), Value::String(s.stage.to_owned()))];
+                        fields.extend(quantile_fields(&s.snapshot));
+                        Value::Object(fields)
+                    })
+                    .collect(),
+            ),
+        ),
     ]);
     let doc = Value::Object(vec![
         (

@@ -1,9 +1,14 @@
 //! A thin TCP line-protocol listener over `std::net::TcpListener`.
 //!
 //! Each connection reads request lines (see [`crate::protocol`]) and
-//! writes one JSON reply line per request. This is deliberately a
-//! minimal front end: the batching, coalescing and caching all live in
-//! the worker pool behind the [`ServeHandle`].
+//! writes one JSON reply line per request. Four introspection lines
+//! are recognized alongside solve requests: `STATS` (one JSON line of
+//! server counters), `METRICS` (the Prometheus text exposition,
+//! multi-line, terminated by a `# EOF` line), `SLOW` (the retained
+//! slowest traces as one `gmc-traces/1` JSON line) and `CACHE` (one
+//! JSON line of per-shard and per-structure cache stats). This is
+//! deliberately a minimal front end: the batching, coalescing and
+//! caching all live in the worker pool behind the [`ServeHandle`].
 //!
 //! The connection loop is defensive about malformed clients: request
 //! lines are capped at [`TcpOptions::max_line_bytes`] (an oversized
@@ -241,6 +246,20 @@ fn serve_connection(stream: TcpStream, handle: &ServeHandle, options: &TcpOption
         }
         let response = if line.trim() == "STATS" {
             stats_to_json(&handle.stats())
+        } else if line.trim() == "METRICS" {
+            // Multi-line Prometheus text exposition, terminated by a
+            // `# EOF` line so line-oriented clients know where the
+            // scrape ends (every other reply stays one line).
+            let mut body = handle.metrics_prometheus();
+            if !body.is_empty() && !body.ends_with('\n') {
+                body.push('\n');
+            }
+            body.push_str("# EOF");
+            body
+        } else if line.trim() == "SLOW" {
+            handle.slow_traces_json()
+        } else if line.trim() == "CACHE" {
+            handle.cache_introspection_json()
         } else {
             match parse_request_line(&line) {
                 // `solve_raw` resolves the string-named variables

@@ -1,0 +1,397 @@
+//! End-to-end tests of the observability layer: the Prometheus
+//! `METRICS` exposition, per-stage tracing with the slow-trace ring,
+//! the `CACHE` introspection summary, histogram bit-identity across
+//! the `gmc-obs`/`gmc-serve` boundary, and the bounded latency-class
+//! cardinality.
+
+use gmc_expr::{Dim, DimBindings, SymChain, SymFactor, SymOperand};
+use gmc_kernels::KernelRegistry;
+use gmc_serve::tcp::TcpFrontDoor;
+use gmc_serve::{
+    RequestOptions, ServeConfig, Server, SolveFault, MAX_LATENCY_CLASSES, STAGES, TRACE_FORMAT,
+};
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn chain() -> SymChain {
+    let (n, m, k) = (Dim::var("ob_n"), Dim::var("ob_m"), Dim::var("ob_k"));
+    SymChain::new(vec![
+        SymFactor::plain(SymOperand::new("A", n, m)),
+        SymFactor::plain(SymOperand::new("B", m, k)),
+        SymFactor::plain(SymOperand::new("C", k, n)),
+    ])
+    .unwrap()
+}
+
+fn bindings(n: usize, m: usize, k: usize) -> DimBindings {
+    DimBindings::new()
+        .with("ob_n", n)
+        .with("ob_m", m)
+        .with("ob_k", k)
+}
+
+/// The value of the unique sample line starting with `prefix ` in a
+/// Prometheus exposition (label'd series need the full series as the
+/// prefix).
+fn sample(text: &str, prefix: &str) -> f64 {
+    let line = text
+        .lines()
+        .find(|l| l.starts_with(prefix) && l[prefix.len()..].starts_with(' '))
+        .unwrap_or_else(|| panic!("no sample line starts with `{prefix}` in:\n{text}"));
+    line[prefix.len()..].trim().parse().unwrap()
+}
+
+/// The single LatencyHistogram implementation now lives in `gmc-obs`;
+/// `gmc_serve::histogram` must re-export the *same type* (not a copy),
+/// and its log-linear bucket boundaries are pinned by hand-computed
+/// values so a future re-implementation cannot silently shift them.
+#[test]
+fn histogram_is_shared_and_buckets_are_pinned() {
+    // Compiles only if the re-export is the identical type.
+    fn count_of(h: &gmc_obs::LatencyHistogram) -> u64 {
+        h.snapshot().count()
+    }
+    let via_serve = gmc_serve::histogram::LatencyHistogram::new();
+    via_serve.record(7);
+    assert_eq!(count_of(&via_serve), 1);
+
+    // (recorded value, inclusive upper bound of its bucket).
+    let pinned: [(u64, u64); 10] = [
+        (0, 0),
+        (1, 1),
+        (15, 15),
+        (16, 16),
+        (17, 17),
+        (31, 31),
+        (32, 33),
+        (1000, 1023),
+        (1_000_000, 1_015_807),
+        (1_000_000_000, 1_006_632_959),
+    ];
+    for (value, upper) in pinned {
+        for snapshot in [
+            {
+                let h = gmc_obs::LatencyHistogram::new();
+                h.record(value);
+                h.snapshot()
+            },
+            {
+                let h = gmc_serve::histogram::LatencyHistogram::new();
+                h.record(value);
+                h.snapshot()
+            },
+        ] {
+            let buckets: Vec<(u64, u64)> = snapshot.buckets().collect();
+            assert_eq!(
+                buckets,
+                vec![(upper, 1)],
+                "value {value} should land in the bucket with upper bound {upper}"
+            );
+        }
+    }
+}
+
+/// Under concurrent traffic every `METRICS` scrape balances: the
+/// served classes sum to `completed`, and each stage histogram has
+/// recorded at most one sample per completed request (exactly one once
+/// the burst has drained).
+#[test]
+fn metrics_balance_under_concurrent_load() {
+    let registry = Arc::new(KernelRegistry::blas_lapack());
+    let server = Server::start(
+        registry,
+        ServeConfig {
+            workers: 3,
+            ..ServeConfig::default()
+        },
+    );
+    server.register("X", chain()).unwrap();
+    let handle = server.handle();
+
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                for i in 0..40 {
+                    // Mix of repeats (hits/coalesced) and fresh regions.
+                    let scale = 1 + (t * 40 + i) % 7;
+                    let reply = handle.solve("X", bindings(10 * scale, 200 * scale, 30 * scale));
+                    assert!(reply.result.is_ok(), "{:?}", reply.result);
+                }
+            })
+        })
+        .collect();
+
+    // Scrape mid-burst: the seqlock'd served counters must balance in
+    // every reading, and no stage can be ahead of `completed` (stage
+    // samples record after the served counters).
+    for _ in 0..50 {
+        let stats = handle.stats();
+        let served = stats.served;
+        assert_eq!(
+            served.hits + served.misses + served.failed,
+            served.completed,
+            "mid-burst scrape must balance"
+        );
+        assert_eq!(stats.latency.stages.len(), STAGES.len());
+        for stage in &stats.latency.stages {
+            assert!(
+                stage.snapshot.count() <= served.completed,
+                "stage {} has {} samples but only {} requests completed",
+                stage.stage,
+                stage.snapshot.count(),
+                served.completed
+            );
+        }
+        std::thread::yield_now();
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // Quiescent: every completed request left exactly one sample in
+    // every stage histogram, and the text exposition agrees.
+    let stats = handle.stats();
+    let completed = stats.served.completed;
+    assert_eq!(completed, 160);
+    for stage in &stats.latency.stages {
+        assert_eq!(
+            stage.snapshot.count(),
+            completed,
+            "stage {} count",
+            stage.stage
+        );
+    }
+    let text = handle.metrics_prometheus();
+    assert!(
+        text.contains("# TYPE gmc_serve_stage_latency_ns histogram"),
+        "{text}"
+    );
+    assert_eq!(
+        sample(&text, "gmc_serve_requests_completed") as u64,
+        completed
+    );
+    let hit = sample(&text, "gmc_serve_requests_served{class=\"hit\"}") as u64;
+    let miss = sample(&text, "gmc_serve_requests_served{class=\"miss\"}") as u64;
+    let failed = sample(&text, "gmc_serve_requests_served{class=\"failed\"}") as u64;
+    assert_eq!(hit + miss + failed, completed);
+    for stage in STAGES {
+        let count = sample(
+            &text,
+            &format!("gmc_serve_stage_latency_ns_count{{stage=\"{stage}\"}}"),
+        ) as u64;
+        assert_eq!(count, completed, "stage {stage} exposition count");
+    }
+    // Shard counters cover the cache totals.
+    let shard_hits: u64 = (0..16)
+        .map(|s| sample(&text, &format!("gmc_cache_shard_hits{{shard=\"{s}\"}}")) as u64)
+        .sum();
+    assert_eq!(shard_hits, stats.cache.hits);
+    server.shutdown();
+}
+
+/// The wire protocol answers `METRICS` (multi-line, `# EOF`-terminated),
+/// `SLOW` (one `gmc-traces/1` JSON line) and `CACHE` (one JSON line).
+#[test]
+fn wire_metrics_slow_and_cache_round_trip() {
+    let registry = Arc::new(KernelRegistry::blas_lapack());
+    let server = Server::start(
+        registry,
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    server.register("X", chain()).unwrap();
+    let door = TcpFrontDoor::bind(server.handle(), "127.0.0.1:0").unwrap();
+    let stream = TcpStream::connect(door.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut lines = BufReader::new(stream).lines();
+
+    for r in [
+        "X ob_n=10,ob_m=200,ob_k=30",
+        "X ob_n=20,ob_m=400,ob_k=60",
+        "X ob_n=10,ob_m=200,ob_k=30",
+    ] {
+        writer.write_all(r.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let reply = lines.next().unwrap().unwrap();
+        assert!(!reply.contains("error"), "{reply}");
+    }
+
+    writer.write_all(b"METRICS\n").unwrap();
+    writer.flush().unwrap();
+    let mut exposition = String::new();
+    loop {
+        let line = lines.next().unwrap().unwrap();
+        if line == "# EOF" {
+            break;
+        }
+        exposition.push_str(&line);
+        exposition.push('\n');
+    }
+    assert!(
+        exposition.contains("# TYPE gmc_serve_stage_latency_ns histogram"),
+        "{exposition}"
+    );
+    assert_eq!(sample(&exposition, "gmc_serve_requests_completed"), 3.0);
+    assert!(
+        sample(
+            &exposition,
+            "gmc_serve_stage_latency_ns_count{stage=\"solve\"}"
+        ) >= 3.0
+    );
+    assert_eq!(
+        sample(&exposition, "gmc_cache_structure_hits{structure=\"X\"}") as u64
+            + sample(&exposition, "gmc_cache_structure_misses{structure=\"X\"}") as u64,
+        3
+    );
+
+    writer.write_all(b"SLOW\n").unwrap();
+    writer.flush().unwrap();
+    let slow_line = lines.next().unwrap().unwrap();
+    let slow: Value = serde_json::from_str(&slow_line).expect("SLOW line parses as JSON");
+    let format = match slow.get_field("format").unwrap() {
+        Value::String(s) => s.clone(),
+        other => panic!("format should be a string, got {other:?}"),
+    };
+    assert_eq!(format, TRACE_FORMAT);
+    let traces = match slow.get_field("traces").unwrap() {
+        Value::Array(a) => a.clone(),
+        other => panic!("traces should be an array, got {other:?}"),
+    };
+    assert_eq!(traces.len(), 3, "{slow_line}");
+
+    writer.write_all(b"CACHE\n").unwrap();
+    writer.flush().unwrap();
+    let cache_line = lines.next().unwrap().unwrap();
+    let cache: Value = serde_json::from_str(&cache_line).expect("CACHE line parses as JSON");
+    let shards = match cache.get_field("shards").unwrap() {
+        Value::Array(a) => a.clone(),
+        other => panic!("shards should be an array, got {other:?}"),
+    };
+    assert_eq!(shards.len(), 16);
+    assert!(cache.get_field("totals").is_ok(), "{cache_line}");
+    assert!(cache.get_field("structures").is_ok(), "{cache_line}");
+
+    drop(writer);
+    drop(lines);
+    door.shutdown();
+    server.shutdown();
+}
+
+/// The slow-trace ring retains the slowest request, and its spans tile
+/// the request exactly: stages in [`STAGES`] order, telescoping start
+/// offsets, durations summing to the trace total.
+#[test]
+fn slow_trace_ring_keeps_the_slowest_with_exact_spans() {
+    let registry = Arc::new(KernelRegistry::blas_lapack());
+    let server = Server::start(
+        registry,
+        ServeConfig {
+            workers: 2,
+            slow_trace_capacity: 1,
+            ..ServeConfig::default()
+        },
+    );
+    server.register("X", chain()).unwrap();
+    let handle = server.handle();
+
+    // Warm the region, then a burst of fast hits around one delayed
+    // request: with capacity 1 only the delayed request survives.
+    handle.solve("X", bindings(10, 200, 30));
+    for _ in 0..5 {
+        handle.solve("X", bindings(10, 200, 30));
+    }
+    let slow = handle.submit_opts(
+        "X",
+        bindings(10, 200, 30),
+        RequestOptions {
+            deadline: None,
+            fault: Some(SolveFault::Delay(Duration::from_millis(30))),
+        },
+    );
+    assert!(slow.wait().result.is_ok());
+    for _ in 0..5 {
+        handle.solve("X", bindings(10, 200, 30));
+    }
+
+    let traces = handle.slow_traces();
+    assert_eq!(traces.len(), 1);
+    let trace = &traces[0];
+    assert_eq!(trace.label, "X");
+    assert!(
+        trace.total_ns >= 25_000_000,
+        "the retained trace should be the delayed request, got {}ns",
+        trace.total_ns
+    );
+    assert_eq!(trace.spans.len(), STAGES.len());
+    let mut expected_start = 0u64;
+    for (span, stage) in trace.spans.iter().zip(STAGES) {
+        assert_eq!(span.stage, stage);
+        assert_eq!(span.start_ns, expected_start, "spans must telescope");
+        expected_start += span.dur_ns;
+    }
+    assert_eq!(expected_start, trace.total_ns, "durations sum to total");
+
+    let json = handle.slow_traces_json();
+    assert!(json.contains(TRACE_FORMAT), "{json}");
+    server.shutdown();
+}
+
+/// Latency-class cardinality is bounded: past [`MAX_LATENCY_CLASSES`]
+/// structures, further classes share one `other` entry and the
+/// overflow counter surfaces in the exposition.
+#[test]
+fn latency_classes_are_bounded_with_shared_overflow() {
+    let registry = Arc::new(KernelRegistry::blas_lapack());
+    let server = Server::start(
+        registry,
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let total = MAX_LATENCY_CLASSES + 6;
+    for i in 0..total {
+        server.register(&format!("S{i:03}"), chain()).unwrap();
+    }
+    let handle = server.handle();
+    for i in 0..total {
+        let reply = handle.solve(&format!("S{i:03}"), bindings(10, 200, 30));
+        assert!(reply.result.is_ok(), "{:?}", reply.result);
+    }
+
+    let stats = handle.stats();
+    let mut structures: Vec<&str> = stats
+        .latency
+        .classes
+        .iter()
+        .map(|c| c.structure.as_str())
+        .collect();
+    structures.dedup();
+    assert!(
+        structures.len() <= MAX_LATENCY_CLASSES + 1,
+        "classes must stay bounded, got {} structures",
+        structures.len()
+    );
+    assert!(
+        structures.contains(&"other"),
+        "overflow structures share the `other` class: {structures:?}"
+    );
+    let text = handle.metrics_prometheus();
+    assert!(sample(&text, "gmc_serve_class_overflow") >= 6.0, "{text}");
+    // Every request still lands in exactly one class histogram.
+    let class_total: u64 = stats
+        .latency
+        .classes
+        .iter()
+        .map(|c| c.snapshot.count())
+        .sum();
+    assert_eq!(class_total, stats.served.completed);
+    server.shutdown();
+}

@@ -16,6 +16,7 @@
 //! * [`gmc_frontend`] — the input-language parser
 //! * [`gmc_baselines`] — the nine competitor strategies
 //! * [`gmc_experiments`] — the paper's evaluation harness
+//! * [`gmc_obs`] — metrics registry, Prometheus renderer, slow-trace ring
 
 pub use gmc;
 pub use gmc_analysis;
@@ -26,6 +27,7 @@ pub use gmc_expr;
 pub use gmc_frontend;
 pub use gmc_kernels;
 pub use gmc_linalg;
+pub use gmc_obs;
 pub use gmc_pattern;
 pub use gmc_plan;
 pub use gmc_runtime;

@@ -16,7 +16,11 @@
 # "serve_throughput" group drives the gmc-serve front door (dispatcher
 # + worker pool + shared concurrent cache) at 1/2/4/8 workers over a
 # hit-ratio sweep, recording requests/second, scaling vs 1 worker and
-# the host's available parallelism.
+# the host's available parallelism. The "replay_latency" group replays
+# seeded workload presets and reports serve-side latency quantiles.
+# The "obs_overhead" group compares the bare cache-hit path against
+# the fully instrumented one (per-stage histogram records + slow-trace
+# ring offer per request) against a 5% budget.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo run --release -p gmc-bench --bin gentime_json -- "$@"
